@@ -1,0 +1,38 @@
+"""Ablation: AMerge vs always-rollback in Across-FTL.
+
+DESIGN.md §5.2 — the paper's Fig. 8a shows only ~3.9% of areas ever
+roll back, i.e. the AMerge path preserves most of the re-alignment
+benefit.  With AMerge disabled every overlapping update rolls the area
+back to normal pages, so flash writes and rollback counts must rise.
+"""
+
+from repro.metrics.report import render_table
+from conftest import publish
+
+
+def test_ablation_amerge(ctx, results_dir, benchmark):
+    def run():
+        rows = {}
+        for name in ctx.lun_names():
+            on = ctx.run(name, "across")
+            off = ctx.run(name, "across", amerge_enabled=False)
+            rows[name] = [
+                on.extra["across_rollbacks"],
+                off.extra["across_rollbacks"],
+                on.counters.total_writes,
+                off.counters.total_writes,
+                on.total_io_ms / max(off.total_io_ms, 1e-9),
+            ]
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    rendered = render_table(
+        "Ablation — Across-FTL with AMerge on/off (off = always rollback)",
+        ["rollbacks_on", "rollbacks_off", "writes_on", "writes_off",
+         "io_on/io_off"],
+        rows,
+    )
+    publish(results_dir, "ablation_amerge", rendered)
+    for name, (rb_on, rb_off, w_on, w_off, io_ratio) in rows.items():
+        assert rb_off > rb_on, name        # every overlap now rolls back
+        assert w_off >= w_on, name         # rollback costs extra programs

@@ -1,0 +1,38 @@
+"""Ablation: read-modify-write in the baseline FTL.
+
+DESIGN.md §5.1 — RMW is the main source of the baseline's
+update-induced reads (the ones Across-FTL removes, §4.2.2).  Disabling
+RMW (which sacrifices data retention, so it is only a counter study)
+must drive update reads to zero while leaving programs untouched.
+"""
+
+from repro.metrics.report import render_table
+from conftest import publish
+
+
+def test_ablation_rmw(ctx, results_dir, benchmark):
+    def run():
+        rows = {}
+        for name in ctx.lun_names():
+            on = ctx.run(name, "ftl")
+            off = ctx.run(name, "ftl", rmw_enabled=False)
+            rows[name] = [
+                on.counters.update_reads,
+                off.counters.update_reads,
+                on.counters.total_reads,
+                off.counters.total_reads,
+            ]
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    rendered = render_table(
+        "Ablation — baseline FTL with read-modify-write on/off",
+        ["update_reads_on", "update_reads_off", "reads_on", "reads_off"],
+        rows,
+        float_fmt="{:.0f}",
+    )
+    publish(results_dir, "ablation_rmw", rendered)
+    for name, (on_upd, off_upd, on_reads, off_reads) in rows.items():
+        assert off_upd == 0, name
+        assert on_upd > 0, name
+        assert off_reads < on_reads, name

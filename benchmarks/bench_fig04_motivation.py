@@ -1,0 +1,18 @@
+"""Fig. 4 — motivation study: per-sector latency and flush count of
+across-page vs normal requests under the baseline FTL.
+
+Paper averages: across-page reads cost 1.61x, writes 1.49x, and flush
+operations 2.69x their normal counterparts per sector.
+"""
+
+from repro.experiments import figures as F
+from conftest import publish
+
+
+def test_fig04_motivation(ctx, results_dir, benchmark):
+    result = benchmark.pedantic(lambda: F.fig4(ctx), rounds=1, iterations=1)
+    publish(results_dir, "fig04", result.rendered)
+    # shape: across-page requests are strictly more expensive per sector
+    assert float(result.paper_vs_measured["read ratio"][1]) > 1.0
+    assert float(result.paper_vs_measured["write ratio"][1]) > 1.0
+    assert float(result.paper_vs_measured["flush ratio"][1]) > 1.5

@@ -1,0 +1,21 @@
+"""Fig. 8 — across-page access statistics under Across-FTL.
+
+Paper averages: 3.9% of areas ever roll back; only 8.9% of across
+writes are Unprofitable-AMerge; merged reads cause 0.12% of reads.
+"""
+
+from repro.experiments import figures as F
+from conftest import publish
+
+
+def test_fig08_across_stats(ctx, results_dir, benchmark):
+    result = benchmark.pedantic(lambda: F.fig8(ctx), rounds=1, iterations=1)
+    publish(results_dir, "fig08", result.rendered)
+    # shape assertions: rollbacks and unprofitable merges are the
+    # minority; most across writes keep their I/O benefit
+    _, rollback = result.paper_vs_measured["rollback ratio"]
+    _, unprofitable = result.paper_vs_measured["unprofitable share"]
+    _, merged = result.paper_vs_measured["merged read share"]
+    assert rollback < 0.25
+    assert unprofitable < 0.30
+    assert merged < 0.05

@@ -1,0 +1,41 @@
+"""Fig. 10 — normalised flash write/read counts with the Map/Data split.
+
+Paper: Across-FTL performs 15.9%/30.9% fewer flash writes than FTL/MRSM
+and 9.7%/16.1% fewer reads; mapping-table traffic is 36.9% of MRSM's
+writes and 34.4% of its reads vs 2.6%/0.74% for Across-FTL; Across-FTL
+removes 62.2% of the update-induced reads of the baseline.
+"""
+
+from repro.config import SCHEMES
+from repro.experiments import figures as F
+from repro.metrics.report import geomean
+from conftest import publish
+
+
+def test_fig10_flash_ops(ctx, results_dir, benchmark):
+    result = benchmark.pedantic(lambda: F.fig10(ctx), rounds=1, iterations=1)
+    publish(results_dir, "fig10", result.rendered)
+
+    w = result.series["writes"]
+    r = result.series["reads"]
+    i_across = SCHEMES.index("across")
+    i_mrsm = SCHEMES.index("mrsm")
+    # Across-FTL issues the fewest flash writes on every trace
+    for n in w:
+        assert w[n][i_across] < 1.0, n
+        assert w[n][i_across] < w[n][i_mrsm], n
+    gw_across = geomean([w[n][i_across] for n in w])
+    gr_across = geomean([r[n][i_across] for n in r])
+    assert gw_across < 0.97  # a real reduction, not noise
+    assert gr_across < 1.0
+    # MRSM's map traffic dominates its overhead
+    for key in ("mrsm map write share",):
+        pass  # shares are asserted via the reports below
+    for n in w:
+        rep_m = ctx.run(n, "mrsm")
+        rep_a = ctx.run(n, "across")
+        assert rep_m.counters.map_write_share() > rep_a.counters.map_write_share()
+        assert rep_m.counters.map_read_share() > rep_a.counters.map_read_share()
+        # update-induced reads: across removes a large part of FTL's
+        rep_f = ctx.run(n, "ftl")
+        assert rep_a.counters.update_reads < rep_f.counters.update_reads

@@ -1,0 +1,28 @@
+"""Fig. 12 — mapping-table space and DRAM-access overhead.
+
+Paper: Across-FTL's table is 1.4x the baseline's (widened entries plus
+the AMT), MRSM's is 2.4x (sub-page entries); MRSM performs ~32.6x the
+DRAM accesses (tree lookups) while Across-FTL stays within 1.1% of the
+baseline.
+"""
+
+from repro.config import SCHEMES
+from repro.experiments import figures as F
+from repro.metrics.report import geomean
+from conftest import publish
+
+
+def test_fig12_overhead(ctx, results_dir, benchmark):
+    result = benchmark.pedantic(lambda: F.fig12(ctx), rounds=1, iterations=1)
+    publish(results_dir, "fig12", result.rendered)
+
+    sizes = result.series["size_mib"]
+    dram = result.series["dram"]
+    i_f, i_m, i_a = (SCHEMES.index(s) for s in ("ftl", "mrsm", "across"))
+    for n in sizes:
+        assert sizes[n][i_a] > sizes[n][i_f], n      # across > ftl
+        assert sizes[n][i_m] > sizes[n][i_a], n      # mrsm largest
+    dram_mrsm = geomean([dram[n][i_m] for n in dram])
+    dram_across = geomean([dram[n][i_a] for n in dram])
+    assert dram_mrsm > 5.0       # an order-of-magnitude-ish blowup
+    assert dram_across < 1.5     # across stays near the baseline

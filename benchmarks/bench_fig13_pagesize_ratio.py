@@ -1,0 +1,16 @@
+"""Fig. 13 — across-page access ratio under 4/8/16 KiB flash pages.
+
+Paper: the ratio keeps decreasing as pages grow, because a larger page
+holds more data and refrains from across-page access.
+"""
+
+from repro.experiments import figures as F
+from conftest import publish
+
+
+def test_fig13_pagesize_ratio(ctx, results_dir, benchmark):
+    result = benchmark.pedantic(lambda: F.fig13(ctx), rounds=1, iterations=1)
+    publish(results_dir, "fig13", result.rendered)
+    for name, (r4, r8, r16) in result.series.items():
+        assert r4 > r8 > r16, name
+        assert r16 > 0.0, name  # across access never fully disappears

@@ -1,0 +1,19 @@
+"""Table 2 — specifications of the six calibrated LUN workloads."""
+
+from repro.experiments import figures as F
+from repro.traces.stats import characterize
+from repro.units import KIB
+from conftest import publish
+
+
+def test_table2_trace_specs(ctx, results_dir, benchmark):
+    result = benchmark.pedantic(lambda: F.table2(ctx), rounds=1, iterations=1)
+    publish(results_dir, "table2", result.rendered)
+    # calibration: every generated trace matches its published row
+    from repro.experiments.workloads import TABLE2_SPECS
+
+    for row in TABLE2_SPECS:
+        st = characterize(ctx.lun_trace(row.name), 8 * KIB)
+        assert abs(st.write_ratio - row.write_ratio) < 0.03, row.name
+        assert abs(st.across_ratio - row.across_ratio) < 0.03, row.name
+        assert abs(st.mean_write_kb - row.mean_write_kb) < 1.5, row.name

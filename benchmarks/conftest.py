@@ -1,0 +1,56 @@
+"""Shared state for the figure-reproduction benchmarks.
+
+One :class:`ExperimentContext` is built per pytest session and shared by
+every bench file, so the 6-trace x 3-scheme sweep at 8 KiB (behind
+Figs. 4, 8, 9, 10, 11, 12) simulates exactly once.  Each bench prints
+the reproduced figure and appends it to ``benchmarks/results/`` so
+EXPERIMENTS.md can be refreshed from a single run.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — fraction of the paper's per-trace request
+  counts to replay (default 0.03, i.e. ~19k-26k requests per trace).
+* ``REPRO_BENCH_FULL=1`` — use the full Table 1 device geometry instead
+  of the scaled bench device (slow; hours).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.config import SimConfig, SSDConfig
+from repro.experiments.runner import ExperimentContext
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "0.03"))
+    if os.environ.get("REPRO_BENCH_FULL") == "1":
+        cfg = SSDConfig.paper_table1()
+    else:
+        cfg = SSDConfig.bench_default()
+    return ExperimentContext(
+        cfg=cfg,
+        sim_cfg=SimConfig(
+            aged_used=0.90, aged_valid=0.398, aging_style="vdi"
+        ),
+        scale=scale,
+    )
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def publish(results_dir: Path, name: str, rendered: str) -> None:
+    """Print the reproduced figure and persist it under results/."""
+    print()
+    print(rendered)
+    (results_dir / f"{name}.txt").write_text(rendered + "\n")

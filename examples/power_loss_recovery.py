@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Power-loss recovery demo (library extension).
+
+DRAM mapping tables vanish on power loss; a real FTL rebuilds them by
+scanning the out-of-band records of every valid flash page.  This demo
+runs a VDI workload under Across-FTL, "pulls the plug" (wipes the PMT,
+the across-page mapping table and the AIdx references), rebuilds from
+flash, and proves both the table state and the user data survive —
+including the re-aligned across-page areas.
+
+Run:  python examples/power_loss_recovery.py [--requests N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro import (
+    SimConfig,
+    SSDConfig,
+    SyntheticSpec,
+    generate_trace,
+    make_ftl,
+    Simulator,
+)
+from repro.flash.service import FlashService
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--requests", type=int, default=6_000)
+    args = ap.parse_args()
+
+    cfg = SSDConfig.bench_default()
+    service = FlashService(cfg)
+    ftl = make_ftl("across", service, track_payload=True)
+    sim = Simulator(ftl, SimConfig(check_oracle=True))
+
+    spec = SyntheticSpec(
+        name="recovery",
+        requests=args.requests,
+        write_ratio=0.7,
+        across_ratio=0.25,
+        mean_write_kb=9.0,
+        footprint_sectors=int(cfg.logical_sectors * 0.5),
+        seed=17,
+    )
+    trace = generate_trace(spec)
+    sim.run(trace)
+    print(cfg.summary())
+    print(
+        f"\nworkload done: {len(trace)} requests, "
+        f"{int((ftl.pmt >= 0).sum())} mapped pages, "
+        f"{len(ftl.amt)} live across-page areas, "
+        f"oracle verified {sim.oracle.reads_verified} reads"
+    )
+
+    # --- power loss: all DRAM state gone -----------------------------
+    mapped_before = int((ftl.pmt >= 0).sum())
+    areas_before = {
+        e.aidx: (e.start, e.size, e.appn) for e in ftl.amt.entries()
+    }
+    ftl.pmt.fill(-1)
+    ftl.pmt_mask.fill(0)
+    ftl.amt.clear()
+    ftl.aidx_of_lpn.clear()
+    ftl._map_ppn.clear()
+    print("\n*** power loss: PMT, AMT and AIdx references wiped ***")
+
+    t0 = time.perf_counter()
+    scanned = ftl.rebuild_from_flash()
+    dt = time.perf_counter() - t0
+    areas_after = {
+        e.aidx: (e.start, e.size, e.appn) for e in ftl.amt.entries()
+    }
+    print(
+        f"rebuild: scanned {scanned} valid pages in {dt:.2f}s -> "
+        f"{int((ftl.pmt >= 0).sum())} mapped pages, "
+        f"{len(ftl.amt)} across-page areas"
+    )
+    assert int((ftl.pmt >= 0).sum()) == mapped_before
+    assert areas_after == areas_before
+    ftl.check_invariants()
+
+    # every sector the oracle knows must read back with its newest stamp
+    checked = 0
+    for sec, stamp in list(sim.oracle._versions.items())[::17]:
+        _, found = ftl.read(sec, 1, 0.0)
+        assert found.get(sec) == stamp, sec
+        checked += 1
+    print(
+        f"verified {checked} sampled sectors return their newest version "
+        "after recovery — tables and data intact"
+    )
+
+
+if __name__ == "__main__":
+    main()

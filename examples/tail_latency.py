@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Tail-latency analysis with the per-request event log.
+
+The paper reports mean response times (Fig. 9); this example goes
+deeper: per-class percentiles (the Fig. 4 motivation, at p50/p95/p99),
+the long-tail ratio GC pressure creates, and latency over time through
+burst periods — for the baseline FTL and Across-FTL side by side.
+
+Run:  python examples/tail_latency.py [--requests N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import (
+    OP_WRITE,
+    SimConfig,
+    SSDConfig,
+    SyntheticSpec,
+    generate_trace,
+    make_ftl,
+    render_table,
+    Simulator,
+)
+from repro.flash.service import FlashService
+
+
+def run(scheme, trace, cfg, sim_cfg):
+    service = FlashService(cfg)
+    ftl = make_ftl(scheme, service)
+    sim = Simulator(ftl, sim_cfg)
+    sim.run(trace)
+    return sim.request_log
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--requests", type=int, default=12_000)
+    args = ap.parse_args()
+
+    cfg = SSDConfig.bench_default()
+    sim_cfg = SimConfig(
+        aged_used=0.9, aged_valid=0.398, record_requests=True
+    )
+    spec = SyntheticSpec(
+        name="tail",
+        requests=args.requests,
+        write_ratio=0.6,
+        across_ratio=0.25,
+        mean_write_kb=9.0,
+        footprint_sectors=int(cfg.logical_sectors * 0.8),
+        seed=21,
+    )
+    trace = generate_trace(spec)
+
+    logs = {s: run(s, trace, cfg, sim_cfg) for s in ("ftl", "across")}
+
+    rows = {}
+    for scheme, log in logs.items():
+        rows[scheme] = [
+            log.percentile(50, op=OP_WRITE),
+            log.percentile(95, op=OP_WRITE),
+            log.percentile(99, op=OP_WRITE),
+            log.tail_ratio(99),
+        ]
+    print(cfg.summary())
+    print()
+    print(render_table(
+        "write latency percentiles (ms) and p99/p50 tail ratio",
+        ["p50", "p95", "p99", "tail"],
+        rows,
+    ))
+
+    rows = {}
+    for scheme, log in logs.items():
+        rows[scheme] = [
+            log.percentile(99, op=OP_WRITE, across=True),
+            log.percentile(99, op=OP_WRITE, across=False),
+            log.percentile(99, op=0, across=True),
+            log.percentile(99, op=0, across=False),
+        ]
+    print()
+    print(render_table(
+        "p99 by request class (the Fig. 4 split, at the tail)",
+        ["write across", "write normal", "read across", "read normal"],
+        rows,
+    ))
+
+    ftl_starts, ftl_means = logs["ftl"].latency_series(bucket_ms=2000.0)
+    acr_starts, acr_means = logs["across"].latency_series(bucket_ms=2000.0)
+    worst = ftl_means.argmax()
+    print(
+        f"\nworst 2s window under the baseline: mean latency "
+        f"{ftl_means[worst]:.2f} ms at t={ftl_starts[worst] / 1000:.1f}s; "
+        f"Across-FTL over the same horizon peaks at {acr_means.max():.2f} ms"
+    )
+    print(
+        "Re-aligning across-page writes trims the burst-drain queues, "
+        "which is where the paper's mean-latency gains concentrate."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Controller DRAM data cache (Table 1's cache, 0.001 ms access)."""
+
+from .buffer import DataCache
+
+__all__ = ["DataCache"]

@@ -1,0 +1,113 @@
+"""Write-through DRAM data cache.
+
+Models the SSD controller's data buffer (Table 1: 0.001 ms access).
+Writes always continue to the FTL (write-through — the paper's write
+latencies are flash-bound, so the buffer does not absorb programs), but
+the written sectors stay cached and subsequent reads that are fully
+covered by cached sectors complete at DRAM speed without any flash
+read.  Reads allocate into the cache as well.
+
+Granularity is the logical page: the cache tracks, per LPN, a bitmask
+of cached sectors plus their oracle stamps when data tracking is on.
+Eviction is LRU over LPNs and free (write-through means nothing is
+dirty).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from ..units import split_extent
+
+
+class DataCache:
+    """LRU, write-through sector cache keyed by LPN."""
+
+    def __init__(self, capacity_pages: int, spp: int):
+        if capacity_pages <= 0:
+            raise ValueError("capacity_pages must be positive")
+        self.capacity_pages = capacity_pages
+        self.spp = spp
+        #: lpn -> [sector bitmask, stamps dict | None]
+        self._entries: OrderedDict[int, list] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def put(self, offset: int, size: int, stamps: Optional[dict]) -> None:
+        """Cache the sectors of a write (or of a completed read)."""
+        for lpn, rel_lo, count in split_extent(offset, size, self.spp):
+            mask = ((1 << count) - 1) << rel_lo
+            entry = self._entries.get(lpn)
+            if entry is None:
+                entry = [0, {} if stamps is not None else None]
+                self._entries[lpn] = entry
+                self.insertions += 1
+            else:
+                self._entries.move_to_end(lpn)
+            entry[0] |= mask
+            if stamps is not None:
+                if entry[1] is None:
+                    entry[1] = {}
+                base = lpn * self.spp
+                for i in range(count):
+                    sec = base + rel_lo + i
+                    if sec in stamps:
+                        entry[1][sec] = stamps[sec]
+        while len(self._entries) > self.capacity_pages:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def put_found(self, offset: int, size: int, found: Optional[dict]) -> None:
+        """Read-allocate: cache the sectors a flash read returned."""
+        self.put(offset, size, found)
+
+    # ------------------------------------------------------------------
+    def full_hit(self, offset: int, size: int) -> bool:
+        """True when every requested sector is cached (the only case we
+        serve from DRAM; partial hits go to flash for simplicity)."""
+        for lpn, rel_lo, count in split_extent(offset, size, self.spp):
+            entry = self._entries.get(lpn)
+            if entry is None:
+                return False
+            mask = ((1 << count) - 1) << rel_lo
+            if entry[0] & mask != mask:
+                return False
+        return True
+
+    def get_stamps(self, offset: int, size: int) -> dict:
+        """Stamps of the requested sectors; caller checked full_hit."""
+        out: dict = {}
+        for lpn, rel_lo, count in split_extent(offset, size, self.spp):
+            entry = self._entries.get(lpn)
+            if entry is None:
+                continue
+            self._entries.move_to_end(lpn)
+            if entry[1]:
+                base = lpn * self.spp
+                for i in range(count):
+                    sec = base + rel_lo + i
+                    if sec in entry[1]:
+                        out[sec] = entry[1][sec]
+        return out
+
+    def discard(self, offset: int, size: int) -> None:
+        """Drop cached copies of a trimmed extent."""
+        for lpn, rel_lo, count in split_extent(offset, size, self.spp):
+            entry = self._entries.get(lpn)
+            if entry is None:
+                continue
+            mask = ((1 << count) - 1) << rel_lo
+            entry[0] &= ~mask
+            if entry[1]:
+                base = lpn * self.spp
+                for i in range(count):
+                    entry[1].pop(base + rel_lo + i, None)
+            if entry[0] == 0:
+                del self._entries[lpn]
+
+    def __len__(self) -> int:
+        return len(self._entries)

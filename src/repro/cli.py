@@ -1,0 +1,339 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands
+-----------
+``characterize``
+    Table 2 / Fig. 13 metrics for trace files (SYSTOR'17 or MSR) or the
+    built-in synthetic presets.
+``run``
+    Simulate one trace under one scheme and print the full report.
+``compare``
+    Run all three schemes on the same trace and print the normalised
+    comparison (the Fig. 9/10/11 view).
+``figures``
+    Regenerate paper figures by name (or ``all``), writing the rendered
+    tables to an output directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .config import SCHEMES, SimConfig, SSDConfig
+from .experiments.runner import ExperimentContext, run_trace
+from .metrics.report import normalize, render_table
+from .traces.model import Trace
+from .traces.msr import load_msr
+from .traces.stats import characterize
+from .traces.systor import load_systor
+from .units import KIB
+
+
+def _load_trace(args, cfg: SSDConfig) -> Trace:
+    if getattr(args, "workload", None):
+        from .traces.workload_spec import WorkloadSpec, compile_workload
+
+        spec = WorkloadSpec.from_json(Path(args.workload).read_text())
+        return compile_workload(spec, int(cfg.logical_sectors * 0.9))
+    if args.trace:
+        loaders = {
+            "msr": load_msr,
+            "systor": load_systor,
+        }
+        if args.format == "blktrace":
+            from .traces.blktrace import load_blktrace
+
+            trace = load_blktrace(args.trace)
+        else:
+            trace = loaders[args.format](args.trace)
+        return trace.clamped_to(int(cfg.logical_sectors * 0.9))
+    from .experiments.workloads import lun_specs
+    from .traces.synthetic import VDIWorkloadGenerator
+
+    specs = {s.name: s for s in lun_specs(cfg, scale=args.scale)}
+    if args.lun not in specs:
+        raise SystemExit(f"unknown lun preset {args.lun!r}; have {sorted(specs)}")
+    return VDIWorkloadGenerator(specs[args.lun]).generate()
+
+
+def _device(args) -> SSDConfig:
+    cfg = SSDConfig.paper_table1() if args.full_device else SSDConfig.bench_default()
+    if args.page_size:
+        cfg = cfg.with_page_size(args.page_size * KIB)
+    return cfg
+
+
+def _sim_cfg(args) -> SimConfig:
+    return SimConfig(aged_used=args.aged_used, aged_valid=args.aged_valid)
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace", help="trace file (SYSTOR'17 by default)")
+    p.add_argument("--workload",
+                   help="fio-style JSON workload spec (instead of a trace)")
+    p.add_argument("--format", choices=("systor", "msr", "blktrace"),
+                   default="systor")
+    p.add_argument("--lun", default="lun1",
+                   help="synthetic preset when no --trace given")
+    p.add_argument("--scale", type=float, default=0.01,
+                   help="request-count scale for synthetic presets")
+    p.add_argument("--page-size", type=int, choices=(4, 8, 16),
+                   help="flash page size in KiB (default 8)")
+    p.add_argument("--full-device", action="store_true",
+                   help="use the full Table 1 geometry (slow)")
+    p.add_argument("--aged-used", type=float, default=0.90)
+    p.add_argument("--aged-valid", type=float, default=0.398)
+
+
+def cmd_characterize(args) -> int:
+    """``repro characterize``: Table 2 metrics for traces."""
+    traces = []
+    if args.files:
+        loader = load_msr if args.format == "msr" else load_systor
+        traces = [loader(f) for f in args.files]
+    else:
+        cfg = SSDConfig.bench_default()
+        from .experiments.workloads import lun_traces
+
+        traces = lun_traces(cfg, scale=args.scale)
+    rows = {}
+    for t in traces:
+        st = characterize(t, args.page_size_kib * KIB)
+        rows[t.name] = [
+            st.requests,
+            f"{st.write_ratio:.1%}",
+            f"{st.mean_write_kb:.1f}KB",
+            f"{st.unaligned_ratio:.1%}",
+            f"{st.across_ratio:.1%}",
+        ]
+    print(render_table(
+        f"trace characterisation ({args.page_size_kib} KiB pages)",
+        ["requests", "write R", "write SZ", "unaligned", "across R"],
+        rows,
+    ))
+    return 0
+
+
+def cmd_run(args) -> int:
+    """``repro run``: simulate one scheme on one trace."""
+    cfg = _device(args)
+    trace = _load_trace(args, cfg)
+    rep = run_trace(args.scheme, trace, cfg, _sim_cfg(args))
+    print(cfg.summary())
+    print(f"\n{rep.scheme} on {rep.trace_name}: {rep.requests} requests "
+          f"in {rep.wall_seconds:.1f}s wall time")
+    rows = {
+        "latency": [
+            f"read {rep.mean_read_ms:.3f} ms",
+            f"write {rep.mean_write_ms:.3f} ms",
+            f"total {rep.total_io_ms / 1000:.2f} s",
+        ],
+        "flash ops": [
+            f"reads {rep.counters.total_reads}",
+            f"writes {rep.counters.total_writes}",
+            f"erases {rep.erase_count}",
+        ],
+        "map share": [
+            f"W {rep.counters.map_write_share():.2%}",
+            f"R {rep.counters.map_read_share():.2%}",
+            f"DRAM {rep.counters.dram_accesses}",
+        ],
+    }
+    print(render_table("results", ["", "", ""], rows))
+    for k in sorted(rep.extra):
+        print(f"  {k}: {rep.extra[k]}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """``repro compare``: all three schemes on one trace."""
+    cfg = _device(args)
+    trace = _load_trace(args, cfg)
+    sim_cfg = _sim_cfg(args)
+    reports = {s: run_trace(s, trace, cfg, sim_cfg) for s in SCHEMES}
+    io = normalize({s: r.total_io_ms for s, r in reports.items()})
+    er = normalize({s: float(max(1, r.erase_count)) for s, r in reports.items()})
+    rows = {
+        s: [
+            reports[s].mean_read_ms,
+            reports[s].mean_write_ms,
+            io[s],
+            er[s],
+            reports[s].counters.total_writes,
+        ]
+        for s in SCHEMES
+    }
+    print(render_table(
+        f"{trace.name}: scheme comparison (io/erases normalised to FTL)",
+        ["read ms", "write ms", "norm io", "norm erases", "flash writes"],
+        rows,
+    ))
+    return 0
+
+
+def cmd_figures(args) -> int:
+    """``repro figures``: regenerate paper figures by name."""
+    from .experiments import figures as F
+
+    names = args.names or ["all"]
+    if names == ["all"]:
+        names = list(F.ALL_FIGURES)
+    unknown = [n for n in names if n not in F.ALL_FIGURES]
+    if unknown:
+        raise SystemExit(f"unknown figures {unknown}; have {sorted(F.ALL_FIGURES)}")
+    ctx = ExperimentContext(
+        cfg=SSDConfig.paper_table1() if args.full_device else SSDConfig.bench_default(),
+        sim_cfg=SimConfig(aged_used=args.aged_used, aged_valid=args.aged_valid),
+        scale=args.scale,
+    )
+    out = Path(args.out) if args.out else None
+    if out:
+        out.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        result = F.ALL_FIGURES[name](ctx)
+        print(result.rendered)
+        print()
+        if out:
+            (out / f"{name}.txt").write_text(result.rendered + "\n")
+    return 0
+
+
+def cmd_summary(args) -> int:
+    """``repro summary``: generate the paper-vs-measured markdown."""
+    from .experiments.summary import render_experiments_md
+
+    ctx = ExperimentContext(
+        cfg=SSDConfig.paper_table1() if args.full_device else SSDConfig.bench_default(),
+        sim_cfg=SimConfig(
+            aged_used=args.aged_used,
+            aged_valid=args.aged_valid,
+            aging_style="vdi",
+        ),
+        scale=args.scale,
+    )
+    md = render_experiments_md(ctx, figures=args.names or None)
+    if args.out:
+        Path(args.out).write_text(md + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(md)
+    return 0
+
+
+def cmd_lint(args) -> int:
+    """``repro lint``: sanity-check trace files before simulating."""
+    from .traces.lint import has_errors, lint_trace
+
+    loaders = {"systor": load_systor, "msr": load_msr}
+    if args.format == "blktrace":
+        from .traces.blktrace import load_blktrace as loader
+    else:
+        loader = loaders[args.format]
+    cfg = SSDConfig.bench_default()
+    worst = 0
+    for path in args.files:
+        trace = loader(path)
+        print(f"{path}: {len(trace)} requests")
+        findings = lint_trace(
+            trace,
+            logical_sectors=cfg.logical_sectors if args.check_range else None,
+            page_size_bytes=args.page_size_kib * KIB,
+        )
+        for f in findings:
+            print(f"  {f}")
+        if has_errors(findings):
+            worst = 1
+    return worst
+
+
+def cmd_report(args) -> int:
+    """``repro report``: render the figure charts as an HTML report."""
+    from .experiments.charts import render_report_html
+
+    ctx = ExperimentContext(
+        cfg=SSDConfig.paper_table1() if args.full_device else SSDConfig.bench_default(),
+        sim_cfg=SimConfig(
+            aged_used=args.aged_used,
+            aged_valid=args.aged_valid,
+            aging_style="vdi",
+        ),
+        scale=args.scale,
+    )
+    html = render_report_html(ctx)
+    out = Path(args.out)
+    out.write_text(html)
+    print(f"wrote {out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    ap = argparse.ArgumentParser(
+        prog="repro",
+        description="Across-FTL reproduction (ICPP 2023) command line",
+    )
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("characterize", help="Table 2 metrics for traces")
+    p.add_argument("files", nargs="*")
+    p.add_argument("--format", choices=("systor", "msr"), default="systor")
+    p.add_argument("--scale", type=float, default=0.01)
+    p.add_argument("--page-size-kib", type=int, default=8)
+    p.set_defaults(func=cmd_characterize)
+
+    p = sub.add_parser("run", help="simulate one scheme on one trace")
+    p.add_argument("--scheme", choices=SCHEMES, default="across")
+    _add_common(p)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("compare", help="all three schemes on one trace")
+    _add_common(p)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("figures", help="regenerate paper figures")
+    p.add_argument("names", nargs="*", help="figure ids (fig2..fig14, table2) or 'all'")
+    p.add_argument("--scale", type=float, default=0.03)
+    p.add_argument("--out", help="directory for rendered outputs")
+    p.add_argument("--full-device", action="store_true")
+    p.add_argument("--aged-used", type=float, default=0.90)
+    p.add_argument("--aged-valid", type=float, default=0.398)
+    p.set_defaults(func=cmd_figures)
+
+    p = sub.add_parser("summary", help="paper-vs-measured markdown")
+    p.add_argument("names", nargs="*", help="figure subset (default: all)")
+    p.add_argument("--scale", type=float, default=0.03)
+    p.add_argument("--out", help="output markdown path")
+    p.add_argument("--full-device", action="store_true")
+    p.add_argument("--aged-used", type=float, default=0.90)
+    p.add_argument("--aged-valid", type=float, default=0.398)
+    p.set_defaults(func=cmd_summary)
+
+    p = sub.add_parser("report", help="HTML chart report of the figures")
+    p.add_argument("--out", default="report.html")
+    p.add_argument("--scale", type=float, default=0.03)
+    p.add_argument("--full-device", action="store_true")
+    p.add_argument("--aged-used", type=float, default=0.90)
+    p.add_argument("--aged-valid", type=float, default=0.398)
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("lint", help="sanity-check trace files")
+    p.add_argument("files", nargs="+")
+    p.add_argument("--format", choices=("systor", "msr", "blktrace"),
+                   default="systor")
+    p.add_argument("--page-size-kib", type=int, default=8)
+    p.add_argument("--check-range", action="store_true",
+                   help="also check offsets against the bench device")
+    p.set_defaults(func=cmd_lint)
+    return ap
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,323 @@
+"""Validated configuration objects and paper presets.
+
+:class:`SSDConfig` captures everything Table 1 of the paper specifies
+(geometry, TLC timing, GC threshold, DRAM cache) plus the knobs the
+evaluation sweeps (page size, Fig. 13/14).  Presets:
+
+* :func:`SSDConfig.paper_table1` — the full 128 GiB device of Table 1.
+* :func:`SSDConfig.bench_default` — the same device scaled down (fewer
+  blocks per plane) so a pure-Python sweep over six traces and three
+  schemes completes in minutes.  All reported metrics are normalised
+  ratios, which are stable under this scaling (see DESIGN.md §2).
+* :func:`SSDConfig.tiny` — a deliberately small device for unit tests,
+  sized so GC triggers after a few hundred page writes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field, replace
+
+from .errors import ConfigError
+from .units import GIB, KIB, MIB, sectors_per_page
+
+
+@dataclass(frozen=True)
+class TimingConfig:
+    """Flash and controller operation latencies, in milliseconds.
+
+    Defaults follow Table 1 (TLC cell): page read 0.075 ms, page program
+    2 ms, DRAM/cache access 0.001 ms.  The paper does not list the erase
+    latency; 3.5 ms is the customary SSDsim TLC figure and only shifts
+    absolute I/O time, never the normalised comparisons.
+    """
+
+    read_ms: float = 0.075
+    program_ms: float = 2.0
+    erase_ms: float = 3.5
+    cache_access_ms: float = 0.001
+    #: Per mapping-table lookup cost (models the ARM A7 measurement of
+    #: §4.2.4; charged once per DRAM mapping access when enabled).
+    map_lookup_ms: float = 0.0
+    #: Channel-bus transfer time per page (SSDsim models the data
+    #: transfer separately from the cell operation; ~20 us for 8 KiB at
+    #: 400 MB/s).  0 disables bus contention — the default, since the
+    #: cell operations dominate by 100x; enable for bus-bound studies.
+    transfer_ms: float = 0.0
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on any non-physical latency."""
+        for name in ("read_ms", "program_ms", "erase_ms", "cache_access_ms"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"timing.{name} must be positive")
+        if self.map_lookup_ms < 0:
+            raise ConfigError("timing.map_lookup_ms must be non-negative")
+        if self.transfer_ms < 0:
+            raise ConfigError("timing.transfer_ms must be non-negative")
+
+
+@dataclass(frozen=True)
+class SSDConfig:
+    """Full device configuration: geometry, timing, GC, caches."""
+
+    channels: int = 8
+    chips_per_channel: int = 4
+    dies_per_chip: int = 2
+    planes_per_die: int = 2
+    blocks_per_plane: int = 2048
+    pages_per_block: int = 64
+    page_size_bytes: int = 8 * KIB
+
+    #: GC starts in a plane when its free-block fraction drops below this.
+    gc_threshold: float = 0.10
+    #: GC stops once the free fraction is back above this (hysteresis).
+    gc_restore: float = 0.12
+    #: victim-selection policy: "greedy" (paper default), "cost_benefit"
+    #: or "wear_aware" (see repro.ftl.gc.GC_POLICIES)
+    gc_policy: str = "greedy"
+    #: when True, GC-migrated (cold) pages fill separate active blocks
+    #: from fresh user writes — classic stream separation that avoids
+    #: mixing lifetimes within a block (bench_ablation_streams)
+    hot_cold_separation: bool = False
+    #: Fraction of logical space exported to the host; the rest is
+    #: over-provisioning the FTL can burn during GC.
+    op_ratio: float = 0.125
+
+    timing: TimingConfig = field(default_factory=TimingConfig)
+
+    #: DRAM write-buffer capacity in bytes (Table 1 "cache").  ``0``
+    #: disables the buffer.
+    write_buffer_bytes: int = 16 * MIB
+    #: DRAM budget for cached mapping entries, in entries.  ``None``
+    #: means the whole table of the *baseline* page-map FTL fits; larger
+    #: tables (MRSM, AMT spill) then overflow to flash proportionally.
+    mapping_cache_entries: int | None = None
+
+    # ------------------------------------------------------------------
+    # derived geometry
+    # ------------------------------------------------------------------
+    @property
+    def sectors_per_page(self) -> int:
+        return sectors_per_page(self.page_size_bytes)
+
+    @property
+    def num_planes(self) -> int:
+        return (
+            self.channels
+            * self.chips_per_channel
+            * self.dies_per_chip
+            * self.planes_per_die
+        )
+
+    @property
+    def num_chips(self) -> int:
+        return self.channels * self.chips_per_channel
+
+    @property
+    def num_blocks(self) -> int:
+        return self.num_planes * self.blocks_per_plane
+
+    @property
+    def pages_per_plane(self) -> int:
+        return self.blocks_per_plane * self.pages_per_block
+
+    @property
+    def num_pages(self) -> int:
+        return self.num_blocks * self.pages_per_block
+
+    @property
+    def physical_bytes(self) -> int:
+        return self.num_pages * self.page_size_bytes
+
+    @property
+    def logical_pages(self) -> int:
+        """Number of LPNs exported to the host (after over-provisioning)."""
+        return int(self.num_pages * (1.0 - self.op_ratio))
+
+    @property
+    def logical_sectors(self) -> int:
+        return self.logical_pages * self.sectors_per_page
+
+    @property
+    def logical_bytes(self) -> int:
+        return self.logical_pages * self.page_size_bytes
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on any inconsistent setting."""
+        for name in (
+            "channels",
+            "chips_per_channel",
+            "dies_per_chip",
+            "planes_per_die",
+            "blocks_per_plane",
+            "pages_per_block",
+        ):
+            v = getattr(self, name)
+            if not isinstance(v, int) or v <= 0:
+                raise ConfigError(f"{name} must be a positive integer, got {v!r}")
+        if self.page_size_bytes % 512 != 0 or self.page_size_bytes <= 0:
+            raise ConfigError(
+                f"page_size_bytes must be a positive multiple of 512, "
+                f"got {self.page_size_bytes}"
+            )
+        if not (0.0 < self.gc_threshold < 1.0):
+            raise ConfigError("gc_threshold must be in (0, 1)")
+        if not (self.gc_threshold <= self.gc_restore < 1.0):
+            raise ConfigError("gc_restore must be in [gc_threshold, 1)")
+        if not (0.0 < self.op_ratio < 1.0):
+            raise ConfigError("op_ratio must be in (0, 1)")
+        if self.gc_policy not in ("greedy", "cost_benefit", "wear_aware"):
+            raise ConfigError(f"unknown gc_policy {self.gc_policy!r}")
+        if self.blocks_per_plane < 4:
+            raise ConfigError("need at least 4 blocks per plane for GC headroom")
+        if self.write_buffer_bytes < 0:
+            raise ConfigError("write_buffer_bytes must be non-negative")
+        if self.mapping_cache_entries is not None and self.mapping_cache_entries <= 0:
+            raise ConfigError("mapping_cache_entries must be positive or None")
+        self.timing.validate()
+
+    def with_page_size(self, page_size_bytes: int) -> "SSDConfig":
+        """Return a copy with a different page size, keeping capacity by
+        scaling pages per block (Fig. 13/14 sweep helper)."""
+        factor = self.page_size_bytes / page_size_bytes
+        ppb = max(4, int(round(self.pages_per_block * factor)))
+        cfg = replace(self, page_size_bytes=page_size_bytes, pages_per_block=ppb)
+        cfg.validate()
+        return cfg
+
+    def replace(self, **kw) -> "SSDConfig":
+        """Copy with keyword overrides (validated)."""
+        cfg = replace(self, **kw)
+        cfg.validate()
+        return cfg
+
+    # ------------------------------------------------------------------
+    # presets
+    # ------------------------------------------------------------------
+    @classmethod
+    def paper_table1(cls) -> "SSDConfig":
+        """The exact Table 1 device: 262144 blocks x 64 pages x 8 KiB = 128 GiB."""
+        cfg = cls(
+            channels=8,
+            chips_per_channel=4,
+            dies_per_chip=2,
+            planes_per_die=2,
+            blocks_per_plane=2048,
+            pages_per_block=64,
+            page_size_bytes=8 * KIB,
+        )
+        cfg.validate()
+        assert cfg.num_blocks == 262144
+        assert cfg.physical_bytes == 128 * GIB
+        return cfg
+
+    @classmethod
+    def bench_default(cls) -> "SSDConfig":
+        """A 2 GiB device (64x fewer blocks than Table 1) used by the
+        benchmark harness together with proportionally scaled traces.
+
+        The channel/chip/die/plane fan-out matches Table 1's device
+        (8 x 4 x 2 x 2 = 32 chips), so request-level parallelism and
+        queueing behave like the paper's; only blocks per plane shrink,
+        and every reported figure is a normalised ratio, which is
+        scale-stable.
+        """
+        cfg = cls(
+            channels=8,
+            chips_per_channel=4,
+            dies_per_chip=2,
+            planes_per_die=2,
+            blocks_per_plane=32,
+            pages_per_block=64,
+            page_size_bytes=8 * KIB,
+            write_buffer_bytes=16 * MIB,
+        )
+        cfg.validate()
+        return cfg
+
+    @classmethod
+    def tiny(cls) -> "SSDConfig":
+        """A small device for unit tests: 4 chips, 512 blocks, 16 pages/block."""
+        cfg = cls(
+            channels=2,
+            chips_per_channel=2,
+            dies_per_chip=1,
+            planes_per_die=2,
+            blocks_per_plane=64,
+            pages_per_block=16,
+            page_size_bytes=8 * KIB,
+            write_buffer_bytes=0,
+        )
+        cfg.validate()
+        return cfg
+
+    def summary(self) -> str:
+        """One-paragraph human-readable description."""
+        return (
+            f"SSD: {self.channels}ch x {self.chips_per_channel}chip x "
+            f"{self.dies_per_chip}die x {self.planes_per_die}plane, "
+            f"{self.blocks_per_plane} blocks/plane, "
+            f"{self.pages_per_block} pages/block, "
+            f"{self.page_size_bytes // 1024} KiB pages -> "
+            f"{self.physical_bytes / GIB:.1f} GiB physical, "
+            f"{self.logical_bytes / GIB:.1f} GiB logical, "
+            f"GC at {self.gc_threshold:.0%} free"
+        )
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Simulation-run options shared by all schemes."""
+
+    #: Age the device before the measured run: fill until ``aged_used``
+    #: of physical capacity has been programmed, with ``aged_valid`` of
+    #: capacity still valid afterwards (paper §4.1: 90% used, 39.8% valid).
+    aged_used: float = 0.0
+    aged_valid: float = 0.0
+    #: How to age: "aligned" fills with page-aligned writes (fast,
+    #: deterministic valid fraction); "vdi" replays a synthetic VDI
+    #: write stream like the paper's warm-up trace
+    #: (additional-02...LUN6), which also pre-fragments sub-page mapping
+    #: tables and seeds across-page areas.  With "vdi" the valid
+    #: fraction is emergent.
+    aging_style: str = "aligned"
+    #: Seed for any randomness inside the run (aging fill pattern).
+    seed: int = 42
+    #: When True the engine keeps a sector-version oracle and verifies
+    #: every read against it (tests); costs memory and time.
+    check_oracle: bool = False
+    #: Collect per-request latency samples (needed for latency metrics).
+    record_latencies: bool = True
+    #: Keep a full per-request event log (time, op, class, latency,
+    #: induced flushes) for tail-latency analysis; costs memory.
+    record_requests: bool = False
+    #: Take a counter snapshot every N requests (0 = off): feeds the
+    #: metric-over-time series of repro.metrics.series.
+    snapshot_every: int = 0
+    #: Host queue depth (NCQ): at most this many requests outstanding;
+    #: later arrivals wait in the host queue (their latency includes the
+    #: wait).  None = unlimited (the default, matching SSDsim replay).
+    queue_depth: int | None = None
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on inconsistent run options."""
+        if not (0.0 <= self.aged_used <= 0.98):
+            raise ConfigError("aged_used must be in [0, 0.98]")
+        if not (0.0 <= self.aged_valid <= self.aged_used or self.aged_used == 0.0):
+            raise ConfigError("aged_valid must be in [0, aged_used]")
+        if self.aging_style not in ("aligned", "vdi"):
+            raise ConfigError(f"unknown aging_style {self.aging_style!r}")
+        if self.queue_depth is not None and self.queue_depth <= 0:
+            raise ConfigError("queue_depth must be positive or None")
+        if self.snapshot_every < 0:
+            raise ConfigError("snapshot_every must be non-negative")
+
+    @classmethod
+    def paper_aging(cls, **kw) -> "SimConfig":
+        """Paper §4.1 aging: 90% of capacity used, 39.8% valid."""
+        return cls(aged_used=0.90, aged_valid=0.398, **kw)
+
+
+SCHEMES = ("ftl", "mrsm", "across")
+"""Canonical identifiers of the three compared FTL schemes."""

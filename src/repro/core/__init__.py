@@ -1,0 +1,13 @@
+"""The paper's primary contribution: Across-FTL.
+
+:class:`~repro.core.across.AcrossFTL` re-aligns across-page requests —
+requests no larger than one SSD page whose sector range spans two
+logical pages — onto a single physical page tracked by the
+:class:`~repro.core.amt.AcrossMappingTable`, with the AMerge/ARollback
+update policies and direct/merged read routines of paper §3.
+"""
+
+from .across import AcrossFTL, AcrossStats
+from .amt import AcrossMappingTable, AMTEntry
+
+__all__ = ["AcrossFTL", "AcrossStats", "AcrossMappingTable", "AMTEntry"]

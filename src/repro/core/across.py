@@ -1,0 +1,586 @@
+"""Across-FTL: re-aligning across-page requests (paper §3).
+
+The scheme extends the baseline page-mapping FTL with a second-level
+**across-page mapping table** (AMT).  An across-page write — size at
+most one page, spanning two logical pages — is *re-aligned*: its whole
+extent goes to one freshly allocated physical page (the *across-page
+area*), and both spanned LPNs gain an ``AIdx`` reference to the AMT
+entry.  Reads falling inside the area are served with a single flash
+read (*direct read*); reads exceeding it also fetch the normally-mapped
+pages (*merged read*).
+
+Updates that overlap a live area follow paper §3.3.1:
+
+* **AMerge** — if the union of the area and the update still fits one
+  page, merge and re-program the area (a *Profitable* AMerge when the
+  update itself is an across-page request, otherwise *Unprofitable*);
+* **ARollback** — otherwise, fold the area's data back into the two
+  normally-mapped pages, clear the AMT entry, and service the update
+  the normal way.
+
+Sector bookkeeping invariant (checked by ``check_invariants``): for any
+LPN, the bits of ``pmt_mask`` (newest copy in the normal page) and of
+its area range (newest copy in the across page) are disjoint, and their
+union is exactly the set of sectors ever written.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..errors import MappingError
+from ..ftl.allocator import STREAM_GC
+from ..ftl.base import BaseFTL, iter_bits, mask_range
+from ..ftl.meta import AcrossPageMeta
+from ..metrics.counters import OpKind
+from ..units import is_across_page, lpn_range, split_extent
+from .amt import AMT_ENTRY_BYTES, AcrossMappingTable
+
+#: modelled bytes of the AIdx field added to every PMT entry (Fig. 5)
+AIDX_FIELD_BYTES = 4
+
+
+@dataclass
+class AcrossStats:
+    """Across-path statistics behind Fig. 8 and §4.2.1."""
+
+    direct_writes: int = 0
+    profitable_amerge: int = 0
+    unprofitable_amerge: int = 0
+    rollbacks: int = 0
+    direct_reads: int = 0
+    merged_read_requests: int = 0
+    #: areas created during the measured run (aging-time creations are
+    #: excluded, like every other measured statistic)
+    areas_created: int = 0
+
+    @property
+    def across_writes(self) -> int:
+        return self.direct_writes + self.profitable_amerge + self.unprofitable_amerge
+
+    def rollback_ratio(self, areas_created: int) -> float:
+        """Areas rolled back / areas created (paper avg 3.9%)."""
+        return self.rollbacks / areas_created if areas_created else 0.0
+
+    def distribution(self) -> dict[str, float]:
+        """Fig. 8(b): share of each across-write class."""
+        total = self.across_writes
+        if not total:
+            return {"direct": 0.0, "profitable": 0.0, "unprofitable": 0.0}
+        return {
+            "direct": self.direct_writes / total,
+            "profitable": self.profitable_amerge / total,
+            "unprofitable": self.unprofitable_amerge / total,
+        }
+
+
+class AcrossFTL(BaseFTL):
+    """The paper's FTL scheme with across-page re-alignment."""
+
+    name = "across"
+
+    def __init__(
+        self,
+        service,
+        *,
+        amerge_enabled: bool = True,
+        amt_cache_entries: int | None = -1,
+        **kw,
+    ):
+        super().__init__(service, **kw)
+        if amt_cache_entries == -1:
+            # default: the AMT gets a slice of DRAM proportional to the
+            # device (the paper's Fig. 12a space overhead of ~1.4x the
+            # baseline table includes the AMT); spill still happens on
+            # area-heavy workloads, giving the small Map shares of
+            # Fig. 10 (2.6% writes / 0.74% reads)
+            amt_cache_entries = max(4096, self.dram_entries // 16)
+        #: ablation knob (bench_ablation_amerge): with AMerge disabled,
+        #: every overlapping update rolls the area back.
+        self.amerge_enabled = amerge_enabled
+        self.amt = AcrossMappingTable()
+        #: LPN -> AIdx of the area covering it (the PMT AIdx field;
+        #: absent means AIdx = -1)
+        self.aidx_of_lpn: dict[int, int] = {}
+        self.across_stats = AcrossStats()
+
+        entries_per_page = max(1, self.cfg.page_size_bytes // self.PMT_ENTRY_BYTES)
+        self._pmt_cache = self._make_cache(
+            table_id=0,
+            entries_per_page=entries_per_page,
+            capacity_entries=self.dram_entries,
+        )
+        amt_epp = max(1, self.cfg.page_size_bytes // AMT_ENTRY_BYTES)
+        self._amt_cache = self._make_cache(
+            table_id=2,
+            entries_per_page=amt_epp,
+            capacity_entries=amt_cache_entries,
+        )
+
+    # ==================================================================
+    # mask helpers
+    # ==================================================================
+    def _area_rel_mask(self, lpn: int, start: int, end: int) -> int:
+        """Page-relative mask of sectors of ``lpn`` inside [start, end)."""
+        page_lo = lpn * self.spp
+        page_hi = page_lo + self.spp
+        lo = max(start, page_lo)
+        hi = min(end, page_hi)
+        if lo >= hi:
+            return 0
+        return mask_range(lo - page_lo, hi - page_lo)
+
+    def _shadow_pmt(self, lpn: int, rel_mask: int) -> None:
+        """Remove sectors now living in an across area from the normal
+        page's live set; drop the normal page entirely if emptied."""
+        remaining = int(self.pmt_mask[lpn]) & ~rel_mask
+        self.pmt_mask[lpn] = np.uint64(remaining)
+        if remaining == 0 and self.pmt[lpn] >= 0:
+            self.service.invalidate(int(self.pmt[lpn]))
+            self.pmt[lpn] = -1
+
+    # ==================================================================
+    # write routine (paper §3.3.1)
+    # ==================================================================
+    def write(
+        self, offset: int, size: int, now: float, stamps: Optional[dict] = None
+    ) -> float:
+        """Service a write: across-page requests take the re-alignment
+        path; everything else is page-mapped with area interactions
+        (AMerge/ARollback) handled per overlapping piece."""
+        if is_across_page(offset, size, self.spp):
+            return self._write_across(offset, size, now, stamps)
+        finish = now
+        for lpn, rel_lo, count in split_extent(offset, size, self.spp):
+            t = self._write_piece(lpn, rel_lo, rel_lo + count, now, stamps)
+            finish = max(finish, t)
+        return finish
+
+    # ------------------------------------------------------------------
+    def _write_piece(
+        self, lpn: int, rel_lo: int, rel_hi: int, now: float, stamps: Optional[dict]
+    ) -> float:
+        """One per-LPN piece of a non-across write."""
+        t = self._pmt_cache.access(lpn, now, dirty=True, timed=self.timed)
+        now = max(now, t)
+        aidx = self.aidx_of_lpn.get(lpn)
+        if aidx is not None:
+            entry = self.amt.get(aidx)
+            amask = self._area_rel_mask(lpn, entry.start, entry.end)
+            piece_mask = mask_range(rel_lo, rel_hi)
+            if piece_mask & amask:
+                # the update overlaps the remapped across-page data
+                abs_lo = lpn * self.spp + rel_lo
+                abs_hi = lpn * self.spp + rel_hi
+                u_lo = min(entry.start, abs_lo)
+                u_hi = max(entry.end, abs_hi)
+                if self.amerge_enabled and u_hi - u_lo <= self.spp:
+                    return self._amerge(
+                        entry, abs_lo, abs_hi, now, stamps, profitable=False
+                    )
+                return self._rollback(
+                    entry, now, stamps, new_pieces={lpn: (rel_lo, rel_hi)}
+                )
+        # plain page-mapped update, possibly with read-modify-write
+        return self._write_data_page(lpn, rel_lo, rel_hi, now, stamps)
+
+    # ------------------------------------------------------------------
+    def _write_across(
+        self, offset: int, size: int, now: float, stamps: Optional[dict]
+    ) -> float:
+        l0, l_end = lpn_range(offset, size, self.spp)
+        l1 = l0 + 1
+        t0 = self._pmt_cache.access(l0, now, dirty=True, timed=self.timed)
+        t1 = self._pmt_cache.access(l1, now, dirty=True, timed=self.timed)
+        now = max(now, t0, t1)
+        a0 = self.aidx_of_lpn.get(l0)
+        a1 = self.aidx_of_lpn.get(l1)
+
+        if a0 is not None and a0 == a1:
+            # an area already covers exactly this LPN pair: update it
+            entry = self.amt.get(a0)
+            u_lo = min(entry.start, offset)
+            u_hi = max(entry.end, offset + size)
+            if self.amerge_enabled and u_hi - u_lo <= self.spp:
+                return self._amerge(
+                    entry, offset, offset + size, now, stamps, profitable=True
+                )
+            return self._rollback(
+                entry,
+                now,
+                stamps,
+                new_pieces=self._pieces_by_lpn(offset, size),
+            )
+
+        # conflicting neighbour areas (an LPN can hold only one AIdx):
+        # roll them back, then re-align the new request
+        finish = now
+        for aidx in {a for a in (a0, a1) if a is not None}:
+            entry = self.amt.get(aidx)
+            finish = max(finish, self._rollback(entry, now, None))
+        return max(finish, self._direct_write(offset, size, finish, stamps))
+
+    def _pieces_by_lpn(self, offset: int, size: int) -> dict[int, tuple[int, int]]:
+        return {
+            lpn: (rel_lo, rel_lo + count)
+            for lpn, rel_lo, count in split_extent(offset, size, self.spp)
+        }
+
+    # ------------------------------------------------------------------
+    def _direct_write(
+        self, offset: int, size: int, now: float, stamps: Optional[dict]
+    ) -> float:
+        """Across-page *direct write*: re-align onto one fresh page."""
+        l0 = offset // self.spp
+        payload = None
+        if self.track_payload:
+            payload = {}
+            if stamps:
+                for sec in range(offset, offset + size):
+                    if sec in stamps:
+                        payload[sec] = stamps[sec]
+        meta = AcrossPageMeta(-1, offset, size, payload)
+        ppn, finish = self._program_page(meta, now, OpKind.DATA)
+        entry = self.amt.create(l0, offset, size, ppn)
+        meta.aidx = entry.aidx
+        self.aidx_of_lpn[l0] = entry.aidx
+        self.aidx_of_lpn[l0 + 1] = entry.aidx
+        for lpn in entry.lpns:
+            self._shadow_pmt(lpn, self._area_rel_mask(lpn, offset, offset + size))
+        t = self._amt_cache.access(entry.aidx, now, dirty=True, timed=self.timed)
+        if not self.aging:
+            self.across_stats.direct_writes += 1
+            self.across_stats.areas_created += 1
+        return max(finish, t)
+
+    # ------------------------------------------------------------------
+    def _amerge(
+        self,
+        entry,
+        new_lo: int,
+        new_hi: int,
+        now: float,
+        stamps: Optional[dict],
+        *,
+        profitable: bool,
+    ) -> float:
+        """Across-page merged write (paper Fig. 6, middle)."""
+        u_lo = min(entry.start, new_lo)
+        u_hi = max(entry.end, new_hi)
+        if u_hi - u_lo > self.spp:
+            raise MappingError("AMerge called with a union larger than a page")
+        finish = now
+        t = self._amt_cache.access(entry.aidx, now, dirty=True, timed=self.timed)
+        finish = max(finish, t)
+
+        retained_lo, retained_hi = entry.start, entry.end
+        fully_covered = new_lo <= retained_lo and retained_hi <= new_hi
+        payload = None
+        if self.track_payload:
+            payload = {}
+        if not fully_covered:
+            # merging needs the old across data
+            t = self.service.read_page(
+                entry.appn, now, self._kind(OpKind.DATA), timed=self.timed
+            )
+            if not self.aging:
+                self.counters.update_reads += 1
+            finish = max(finish, t)
+            if payload is not None:
+                old_meta = self.service.array.meta(entry.appn)
+                if old_meta.payload:
+                    for sec in range(retained_lo, retained_hi):
+                        if (new_lo <= sec < new_hi) or sec not in old_meta.payload:
+                            continue
+                        payload[sec] = old_meta.payload[sec]
+        if payload is not None and stamps:
+            for sec in range(new_lo, new_hi):
+                if sec in stamps:
+                    payload[sec] = stamps[sec]
+
+        self.service.invalidate(entry.appn)
+        meta = AcrossPageMeta(entry.aidx, u_lo, u_hi - u_lo, payload)
+        ppn, t = self._program_page(meta, finish, OpKind.DATA)
+        finish = max(finish, t)
+        entry.start, entry.size, entry.appn = u_lo, u_hi - u_lo, ppn
+        for lpn in entry.lpns:
+            self._shadow_pmt(lpn, self._area_rel_mask(lpn, u_lo, u_hi))
+        if not self.aging:
+            if profitable:
+                self.across_stats.profitable_amerge += 1
+            else:
+                self.across_stats.unprofitable_amerge += 1
+        return finish
+
+    # ------------------------------------------------------------------
+    def _rollback(
+        self,
+        entry,
+        now: float,
+        stamps: Optional[dict],
+        new_pieces: Optional[dict[int, tuple[int, int]]] = None,
+    ) -> float:
+        """Across-page rollback write (paper Fig. 6, right): merge the
+        across data (plus any triggering update data) back into the two
+        normally-mapped pages and clear the area."""
+        new_pieces = new_pieces or {}
+        t = self._amt_cache.access(entry.aidx, now, dirty=True, timed=self.timed)
+        finish = max(now, t)
+        # the across page's data is needed for every sector the update
+        # does not overwrite
+        t = self.service.read_page(
+            entry.appn, now, self._kind(OpKind.DATA), timed=self.timed
+        )
+        if not self.aging:
+            self.counters.update_reads += 1
+        finish = max(finish, t)
+        area_meta = self.service.array.meta(entry.appn)
+
+        for lpn in entry.lpns:
+            amask = self._area_rel_mask(lpn, entry.start, entry.end)
+            rel_lo, rel_hi = new_pieces.get(lpn, (0, 0))
+            new_mask = mask_range(rel_lo, rel_hi)
+            keep_mask = amask & ~new_mask
+            extra_payload = None
+            if self.track_payload:
+                extra_payload = {}
+                if area_meta.payload:
+                    base = lpn * self.spp
+                    for bit in iter_bits(keep_mask):
+                        sec = base + bit
+                        if sec in area_meta.payload:
+                            extra_payload[sec] = area_meta.payload[sec]
+            t = self._write_data_page(
+                lpn,
+                rel_lo,
+                rel_hi,
+                finish,
+                stamps,
+                extra_mask=keep_mask,
+                extra_payload=extra_payload,
+            )
+            finish = max(finish, t)
+            del self.aidx_of_lpn[lpn]
+        self.service.invalidate(entry.appn)
+        self.amt.release(entry.aidx)
+        if not self.aging:
+            self.across_stats.rollbacks += 1
+        return finish
+
+    # ==================================================================
+    # read routine (paper §3.3.2)
+    # ==================================================================
+    def read(
+        self, offset: int, size: int, now: float
+    ) -> tuple[float, Optional[dict]]:
+        """Service a read: direct read when the extent sits inside an
+        across area, merged read when it spills beyond (paper §3.3.2)."""
+        finish = now
+        found: Optional[dict] = {} if self.track_payload else None
+        #: ppn -> sectors wanted from it
+        plan: dict[int, list[int]] = {}
+        touched_area = False
+        normal_pages = 0
+        seen_aidx: set[int] = set()
+
+        for lpn, rel_lo, count in split_extent(offset, size, self.spp):
+            t = self._pmt_cache.access(lpn, now, dirty=False, timed=self.timed)
+            finish = max(finish, t)
+            wanted = mask_range(rel_lo, rel_lo + count)
+            base = lpn * self.spp
+            aidx = self.aidx_of_lpn.get(lpn)
+            amask = 0
+            if aidx is not None:
+                entry = self.amt.get(aidx)
+                amask = self._area_rel_mask(lpn, entry.start, entry.end)
+                hit = wanted & amask
+                if hit:
+                    touched_area = True
+                    if aidx not in seen_aidx:
+                        seen_aidx.add(aidx)
+                        t = self._amt_cache.access(
+                            aidx, now, dirty=False, timed=self.timed
+                        )
+                        finish = max(finish, t)
+                    plan.setdefault(entry.appn, []).extend(
+                        base + bit for bit in iter_bits(hit)
+                    )
+            rem = wanted & ~amask & int(self.pmt_mask[lpn])
+            if rem:
+                ppn = int(self.pmt[lpn])
+                if ppn not in plan:
+                    normal_pages += 1
+                plan.setdefault(ppn, []).extend(
+                    base + bit for bit in iter_bits(rem)
+                )
+
+        for ppn, sectors in plan.items():
+            t = self.service.read_page(
+                ppn, now, self._kind(OpKind.DATA), timed=self.timed
+            )
+            finish = max(finish, t)
+            if found is not None:
+                self._read_stamps_from(ppn, sectors, found)
+
+        if touched_area and not self.aging:
+            if normal_pages == 0:
+                # served entirely from across areas: the direct read
+                self.across_stats.direct_reads += 1
+            else:
+                self.across_stats.merged_read_requests += 1
+                self.counters.merged_reads += normal_pages
+        return finish, found
+
+    # ==================================================================
+    # TRIM (paper extension: deallocation interacts with live areas)
+    # ==================================================================
+    def trim(self, offset: int, size: int, now: float) -> float:
+        """Drop data in the extent.  An across area wholly inside the
+        trim is released outright; a partially-trimmed area is first
+        rolled back to the normal pages (the surviving sectors move
+        there), then trimmed like ordinary data."""
+        first, last = lpn_range(offset, size, self.spp)
+        end = offset + size
+        seen: set[int] = set()
+        for lpn in range(first, last):
+            aidx = self.aidx_of_lpn.get(lpn)
+            if aidx is None or aidx in seen:
+                continue
+            seen.add(aidx)
+            entry = self.amt.get(aidx)
+            overlap_lo = max(entry.start, offset)
+            overlap_hi = min(entry.end, end)
+            if overlap_lo >= overlap_hi:
+                continue
+            if offset <= entry.start and entry.end <= end:
+                # fully trimmed: release the area, no data survives
+                self.service.invalidate(entry.appn)
+                for alpn in entry.lpns:
+                    del self.aidx_of_lpn[alpn]
+                self.amt.release(entry.aidx)
+            else:
+                # survivors move back to the normal pages, then the
+                # base trim below removes the trimmed bits
+                self._rollback(entry, now, None)
+        return super().trim(offset, size, now)
+
+    # ==================================================================
+    # GC relocation of across pages
+    # ==================================================================
+    def _relocate_extra(self, old_ppn: int, meta, now: float) -> float:
+        if meta.kind != "across":
+            return super()._relocate_extra(old_ppn, meta, now)
+        entry = self.amt.get(meta.aidx)
+        if entry.appn != old_ppn:
+            raise MappingError(
+                f"AMT {meta.aidx} points to {entry.appn}, GC found {old_ppn}"
+            )
+        plane = self.geom.plane_of_ppn(old_ppn)
+        new_ppn, finish = self._program_page(
+            meta, now, OpKind.GC, plane=plane, gc_check=False,
+            stream=STREAM_GC,
+        )
+        entry.appn = new_ppn
+        self.service.invalidate(old_ppn)
+        return finish
+
+    # ==================================================================
+    # power-loss recovery
+    # ==================================================================
+    def _rebuild_reset(self) -> None:
+        self.amt.clear()
+        self.aidx_of_lpn.clear()
+
+    def _rebuild_page(self, ppn: int, meta) -> None:
+        if meta.kind != "across":
+            return super()._rebuild_page(ppn, meta)
+        lpn0 = meta.start // self.spp
+        entry = self.amt.restore(meta.aidx, lpn0, meta.start, meta.size, ppn)
+        for lpn in entry.lpns:
+            if lpn in self.aidx_of_lpn:
+                raise MappingError(f"LPN {lpn} claimed by two across areas")
+            self.aidx_of_lpn[lpn] = entry.aidx
+
+    def _rebuild_finish(self) -> None:
+        self.amt.rebuild_done()
+        # data-page OOB masks are as-of-programming: sectors an area
+        # shadowed afterwards must be re-shadowed (without touching
+        # flash — the pages were already invalidated when the shadowing
+        # emptied them, so masks here stay non-empty)
+        for entry in self.amt.entries():
+            for lpn in entry.lpns:
+                amask = self._area_rel_mask(lpn, entry.start, entry.end)
+                self.pmt_mask[lpn] = np.uint64(
+                    int(self.pmt_mask[lpn]) & ~amask
+                )
+
+    # ==================================================================
+    def mapping_table_bytes(self) -> int:
+        """Fig. 12a model: PMT entries widened by the AIdx field, plus
+        the live AMT (entries are page-granular and demand-allocated)."""
+        mapped_lpns = int((self.pmt >= 0).sum()) + sum(
+            1 for lpn in self.aidx_of_lpn if self.pmt[lpn] < 0
+        )
+        return (
+            mapped_lpns * (self.PMT_ENTRY_BYTES + AIDX_FIELD_BYTES)
+            + len(self.amt) * AMT_ENTRY_BYTES
+        )
+
+    def flush_metadata(self, now: float) -> float:
+        """Write back dirty PMT and AMT translation pages."""
+        t1 = self._pmt_cache.flush(now, timed=self.timed)
+        t2 = self._amt_cache.flush(now, timed=self.timed)
+        return max(t1, t2)
+
+    def stats(self) -> dict:
+        """Across-path statistics (Fig. 8) merged into the report."""
+        s = super().stats()
+        st = self.across_stats
+        s.update(
+            across_direct_writes=st.direct_writes,
+            across_profitable_amerge=st.profitable_amerge,
+            across_unprofitable_amerge=st.unprofitable_amerge,
+            across_rollbacks=st.rollbacks,
+            across_rollback_ratio=st.rollback_ratio(st.areas_created),
+            across_direct_reads=st.direct_reads,
+            across_merged_read_requests=st.merged_read_requests,
+            amt_live=len(self.amt),
+            amt_created=self.amt.total_created,
+            amt_peak_live=self.amt.peak_live,
+            amt_cache_hits=self._amt_cache.hits,
+            amt_cache_misses=self._amt_cache.misses,
+        )
+        return s
+
+    # ==================================================================
+    def check_invariants(self) -> None:
+        """Across-specific invariants on top of the base PMT checks."""
+        super().check_invariants()
+        for lpn, aidx in self.aidx_of_lpn.items():
+            entry = self.amt.get(aidx)
+            if lpn not in entry.lpns:
+                raise MappingError(f"AIdx[{lpn}]={aidx} but area spans {entry.lpns}")
+            amask = self._area_rel_mask(lpn, entry.start, entry.end)
+            if amask & int(self.pmt_mask[lpn]):
+                raise MappingError(
+                    f"LPN {lpn}: PMT mask overlaps across area {aidx}"
+                )
+        for entry in self.amt.entries():
+            for lpn in entry.lpns:
+                if self.aidx_of_lpn.get(lpn) != entry.aidx:
+                    raise MappingError(
+                        f"area {entry.aidx} not referenced by LPN {lpn}"
+                    )
+            if not self.service.array.is_valid(entry.appn):
+                raise MappingError(f"area {entry.aidx} -> invalid PPN {entry.appn}")
+            meta = self.service.array.meta(entry.appn)
+            if meta.kind != "across" or meta.aidx != entry.aidx:
+                raise MappingError(f"area {entry.aidx} -> foreign page {meta!r}")
+            if not (2 <= entry.size <= self.spp):
+                raise MappingError(f"area {entry.aidx} has bad size {entry.size}")
+            first, last = lpn_range(entry.start, entry.size, self.spp)
+            if (first, last) != (entry.lpn0, entry.lpn0 + 2):
+                raise MappingError(f"area {entry.aidx} extent/LPN mismatch")

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the Across-FTL reproduction.
+
+Every error raised on purpose by the library derives from
+:class:`ReproError`, so callers can catch library failures without
+swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid or inconsistent."""
+
+
+class GeometryError(ReproError):
+    """A physical address is outside the flash geometry."""
+
+
+class FlashProtocolError(ReproError):
+    """A NAND protocol rule was violated (re-program, out-of-order
+    program within a block, erase of a block holding valid pages, ...).
+
+    These indicate FTL bugs, never workload problems, and are therefore
+    raised eagerly rather than recorded as statistics.
+    """
+
+
+class OutOfSpaceError(ReproError):
+    """The flash array has no free page/block left even after GC.
+
+    Raised when the workload's footprint exceeds usable capacity (e.g.
+    over-provisioning was configured too small for the trace).
+    """
+
+
+class MappingError(ReproError):
+    """An FTL mapping-table invariant was violated."""
+
+
+class TraceFormatError(ReproError):
+    """A trace file could not be parsed."""
+
+
+class SimulationError(ReproError):
+    """The simulator was driven incorrectly (e.g. time going backwards)."""

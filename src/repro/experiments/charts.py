@@ -1,0 +1,342 @@
+"""SVG chart rendering for the figure-reproduction HTML report.
+
+Hand-rolled SVG (no plotting dependency), following a fixed set of
+chart conventions:
+
+* grouped bars for the scheme comparisons (the three schemes are the
+  *identity* being compared → categorical color), one per paper figure;
+* bars are thin (<= 24 px), with a rounded data-end and a square
+  baseline, separated by surface gaps; gridlines are recessive
+  hairlines; one y-axis only;
+* the categorical palette (blue / aqua / yellow for ftl / mrsm /
+  across) is CVD-validated; because two slots sit below 3:1 contrast
+  on the light surface, every chart ships the *relief*: a legend, and
+  a full data table under the chart (`table_html`);
+* text never wears a series color — labels and ticks use ink tokens;
+  identity comes from the swatch beside the text;
+* dark mode is a selected variant of the same hues via CSS custom
+  properties, not an automatic inversion.
+
+The public entry point is :func:`render_report_html`, wired to
+``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import math
+from typing import Mapping, Sequence
+
+#: categorical slots (validated light/dark pairs); order is fixed —
+#: scheme identity keeps its hue regardless of which schemes a chart shows
+SERIES_VARS = {
+    "ftl": "--series-1",
+    "mrsm": "--series-2",
+    "across": "--series-3",
+}
+
+_CSS = """
+.viz-root {
+  --surface-1: #fcfcfb;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --grid: #e4e3df;
+  --series-1: #2a78d6;  /* blue   — ftl   */
+  --series-2: #1baf7a;  /* aqua   — mrsm  */
+  --series-3: #eda100;  /* yellow — across */
+  background: var(--surface-1);
+  color: var(--text-primary);
+  font: 14px/1.45 system-ui, sans-serif;
+  max-width: 960px;
+  margin: 0 auto;
+  padding: 24px;
+}
+@media (prefers-color-scheme: dark) {
+  .viz-root {
+    --surface-1: #1a1a19;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --grid: #34332f;
+    --series-1: #3987e5;
+    --series-2: #199e70;
+    --series-3: #c98500;
+  }
+}
+.viz-root h1 { font-size: 22px; }
+.viz-root h2 { font-size: 16px; margin: 28px 0 4px; }
+.viz-root p.note { color: var(--text-secondary); margin: 2px 0 10px; }
+.viz-legend { display: flex; gap: 16px; margin: 6px 0; }
+.viz-legend span { display: inline-flex; align-items: center; gap: 6px;
+                   color: var(--text-secondary); }
+.viz-legend i { width: 10px; height: 10px; border-radius: 3px;
+                display: inline-block; }
+table.viz-table { border-collapse: collapse; margin: 8px 0 20px;
+                  font-variant-numeric: tabular-nums; }
+table.viz-table th, table.viz-table td {
+  padding: 3px 10px; text-align: right;
+  border-bottom: 1px solid var(--grid); }
+table.viz-table th:first-child, table.viz-table td:first-child {
+  text-align: left; }
+"""
+
+
+def _fmt(v: float) -> str:
+    if not math.isfinite(v):
+        return "—"
+    return f"{v:.3f}" if abs(v) < 100 else f"{v:,.0f}"
+
+
+def _nice_max(values: Sequence[float]) -> float:
+    finite = [v for v in values if math.isfinite(v)]
+    peak = max(finite) if finite else 1.0
+    for candidate in (0.5, 1.0, 1.2, 1.5, 2.0, 3.0, 5.0, 10.0):
+        if peak <= candidate:
+            return candidate
+    mag = 10 ** math.floor(math.log10(peak))
+    for mult in (1, 2, 5, 10):
+        if peak <= mag * mult:
+            return mag * mult
+    return peak
+
+
+def _series_var(name: str, index: int) -> str:
+    """CSS var for a series: schemes keep their fixed slot (color
+    follows the entity); other series take slots in order."""
+    if name in SERIES_VARS:
+        return SERIES_VARS[name]
+    return f"--series-{(index % 3) + 1}"
+
+
+def grouped_bar_svg(
+    categories: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    *,
+    baseline: float | None = None,
+    width: int = 720,
+    height: int = 260,
+) -> str:
+    """A grouped bar chart: one group per category, one bar per series.
+
+    ``baseline`` draws a reference hairline (e.g. 1.0 for normalised
+    charts).  Returns an ``<svg>`` string that inherits the CSS custom
+    properties of an enclosing ``.viz-root``.
+    """
+    margin_l, margin_r, margin_t, margin_b = 46, 12, 8, 26
+    plot_w = width - margin_l - margin_r
+    plot_h = height - margin_t - margin_b
+    all_vals = [v for vals in series.values() for v in vals]
+    y_max = _nice_max(all_vals + ([baseline] if baseline else []))
+
+    def y(v: float) -> float:
+        return margin_t + plot_h * (1 - v / y_max)
+
+    n_groups = max(1, len(categories))
+    n_series = max(1, len(series))
+    group_w = plot_w / n_groups
+    gap = 2  # surface gap between adjacent bars
+    bar_w = min(24.0, (group_w * 0.7 - gap * (n_series - 1)) / n_series)
+    cluster_w = bar_w * n_series + gap * (n_series - 1)
+
+    parts = [
+        f'<svg role="img" xmlns="http://www.w3.org/2000/svg" '
+        f'viewBox="0 0 {width} {height}" '
+        f'width="{width}" height="{height}">'
+    ]
+    # recessive hairline grid + ticks (4 steps)
+    for i in range(5):
+        gv = y_max * i / 4
+        gy = y(gv)
+        parts.append(
+            f'<line x1="{margin_l}" y1="{gy:.1f}" x2="{width - margin_r}" '
+            f'y2="{gy:.1f}" stroke="var(--grid)" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{margin_l - 6}" y="{gy + 4:.1f}" text-anchor="end" '
+            f'font-size="11" fill="var(--text-secondary)">{gv:g}</text>'
+        )
+    if baseline is not None:
+        by = y(baseline)
+        parts.append(
+            f'<line x1="{margin_l}" y1="{by:.1f}" x2="{width - margin_r}" '
+            f'y2="{by:.1f}" stroke="var(--text-secondary)" '
+            f'stroke-width="1" stroke-dasharray="none"/>'
+        )
+    base_y = y(0)
+    for gi, cat in enumerate(categories):
+        x0 = margin_l + gi * group_w + (group_w - cluster_w) / 2
+        for si, (sname, vals) in enumerate(series.items()):
+            v = vals[gi]
+            if not math.isfinite(v):
+                continue  # degenerate normalisation; the table shows it
+            bx = x0 + si * (bar_w + gap)
+            top = y(v)
+            h = max(0.0, base_y - top)
+            r = min(4.0, bar_w / 2, h)  # rounded data-end, square baseline
+            var = _series_var(sname, si)
+            label = _html.escape(f"{cat} · {sname}: {_fmt(v)}")
+            parts.append(
+                f'<path d="M{bx:.1f},{base_y:.1f} V{top + r:.1f} '
+                f"Q{bx:.1f},{top:.1f} {bx + r:.1f},{top:.1f} "
+                f"H{bx + bar_w - r:.1f} "
+                f"Q{bx + bar_w:.1f},{top:.1f} {bx + bar_w:.1f},{top + r:.1f} "
+                f'V{base_y:.1f} Z" fill="var({var})">'
+                f"<title>{label}</title></path>"
+            )
+        parts.append(
+            f'<text x="{margin_l + gi * group_w + group_w / 2:.1f}" '
+            f'y="{height - 8}" text-anchor="middle" font-size="11" '
+            f'fill="var(--text-secondary)">{_html.escape(str(cat))}</text>'
+        )
+    # baseline axis
+    parts.append(
+        f'<line x1="{margin_l}" y1="{base_y:.1f}" x2="{width - margin_r}" '
+        f'y2="{base_y:.1f}" stroke="var(--text-secondary)" stroke-width="1"/>'
+    )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def legend_html(series_names: Sequence[str]) -> str:
+    """Swatch legend (always present for two or more series)."""
+    if len(series_names) < 2:
+        return ""
+    spans = [
+        f'<span><i style="background:var({_series_var(s, i)})"></i>'
+        f"{_html.escape(s)}</span>"
+        for i, s in enumerate(series_names)
+    ]
+    return f'<div class="viz-legend">{"".join(spans)}</div>'
+
+
+def table_html(
+    categories: Sequence[str], series: Mapping[str, Sequence[float]]
+) -> str:
+    """The data table under each chart (the contrast-relief channel)."""
+    head = "".join(f"<th>{_html.escape(s)}</th>" for s in series)
+    rows = []
+    for gi, cat in enumerate(categories):
+        cells = "".join(f"<td>{_fmt(vals[gi])}</td>" for vals in series.values())
+        rows.append(f"<tr><td>{_html.escape(str(cat))}</td>{cells}</tr>")
+    return (
+        f'<table class="viz-table"><thead><tr><th></th>{head}</tr></thead>'
+        f'<tbody>{"".join(rows)}</tbody></table>'
+    )
+
+
+def chart_section(
+    title: str,
+    note: str,
+    categories: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    *,
+    baseline: float | None = None,
+) -> str:
+    """One report section: heading, note, legend, chart, data table."""
+    return (
+        f"<h2>{_html.escape(title)}</h2>"
+        f'<p class="note">{_html.escape(note)}</p>'
+        + legend_html(list(series))
+        + grouped_bar_svg(categories, series, baseline=baseline)
+        + table_html(categories, series)
+    )
+
+
+def render_report_html(ctx) -> str:
+    """Build the full figure-reproduction HTML report for a context.
+
+    Covers the normalised scheme comparisons (Figs. 9, 10, 11, 12b),
+    the across-page ratio sweeps (Figs. 2 summary and 13) and the
+    page-size sweep (Fig. 14a).
+    """
+    from ..config import SCHEMES
+    from ..units import KIB
+    from . import figures as F
+
+    fig9 = F.fig9(ctx)
+    fig10 = F.fig10(ctx)
+    fig11 = F.fig11(ctx)
+    fig12 = F.fig12(ctx)
+    fig13 = F.fig13(ctx)
+    fig14 = F.fig14(ctx)
+
+    luns = ctx.lun_names()
+
+    def rows_from(norm_rows, order=SCHEMES):
+        return {s: [norm_rows[n][s] for n in luns] for s in order}
+
+    def rows_from_lists(list_rows, order=SCHEMES):
+        return {
+            s: [list_rows[n][list(SCHEMES).index(s)] for n in luns]
+            for s in order
+        }
+
+    sections = [
+        chart_section(
+            "Fig. 9c — normalised overall I/O time",
+            "Lower is better; the hairline marks the baseline FTL (1.0).",
+            luns,
+            rows_from(fig9.series["io"]),
+            baseline=1.0,
+        ),
+        chart_section(
+            "Fig. 10a — normalised flash write count",
+            "Across-FTL issues the fewest programs; MRSM adds map writes.",
+            luns,
+            rows_from_lists(fig10.series["writes"]),
+            baseline=1.0,
+        ),
+        chart_section(
+            "Fig. 11 — normalised erase count",
+            "The SSD-lifetime indicator (paper: across -13.3% vs FTL).",
+            luns,
+            rows_from(fig11.series),
+            baseline=1.0,
+        ),
+        chart_section(
+            "Fig. 12b — normalised DRAM accesses",
+            "MRSM's tree lookups cost ~32x the flat tables' touches.",
+            luns,
+            rows_from_lists(fig12.series["dram"]),
+            baseline=1.0,
+        ),
+        chart_section(
+            "Fig. 13 — across-page ratio vs flash page size",
+            "The ratio falls as pages grow (8 KiB column = Table 2).",
+            luns,
+            {
+                "4KB": [fig13.series[n][0] for n in luns],
+                "8KB": [fig13.series[n][1] for n in luns],
+                "16KB": [fig13.series[n][2] for n in luns],
+            },
+        ),
+        chart_section(
+            "Fig. 14a — Across-FTL normalised I/O time per page size",
+            "The re-alignment advantage holds at every page size.",
+            [f"{p // KIB}KB" for p in F.PAGE_SIZES],
+            {
+                "across": [
+                    _geomean_across(fig14.series[f"{p // KIB}KB"]["io"])
+                    for p in F.PAGE_SIZES
+                ]
+            },
+            baseline=1.0,
+        ),
+    ]
+    body = "".join(sections)
+    return (
+        "<!doctype html><html><head><meta charset='utf-8'>"
+        "<title>Across-FTL reproduction report</title>"
+        f"<style>{_CSS}</style></head>"
+        '<body><div class="viz-root">'
+        "<h1>Across-FTL reproduction — figure report</h1>"
+        f'<p class="note">Device: {_html.escape(ctx.cfg.summary())}. '
+        f"Workload scale {ctx.scale:g}. Values normalised to the baseline "
+        "FTL where a 1.0 hairline is drawn.</p>"
+        f"{body}</div></body></html>"
+    )
+
+
+def _geomean_across(io_rows) -> float:
+    from ..metrics.report import geomean
+
+    return geomean([io_rows[n]["across"] for n in io_rows])

@@ -1,0 +1,163 @@
+"""Scheme-comparison runner with result memoisation.
+
+``run_trace`` wires config -> flash service -> FTL -> simulator for a
+single (scheme, trace) pair.  ``ExperimentContext`` memoises runs so
+the figures that share the same sweep (Figs. 9, 10, 11, 12 all come
+from the lun1-lun6 x {ftl, mrsm, across} sweep at 8 KiB) only simulate
+once per benchmark session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import SCHEMES, SimConfig, SSDConfig
+from ..flash.service import FlashService
+from ..ftl import make_ftl
+from ..metrics.report import SimulationReport
+from ..sim.engine import Simulator
+from ..traces.model import Trace
+from ..traces.synthetic import SyntheticSpec, VDIWorkloadGenerator
+
+
+def run_trace(
+    scheme: str,
+    trace: Trace,
+    cfg: SSDConfig,
+    sim_cfg: SimConfig | None = None,
+    **ftl_kw,
+) -> SimulationReport:
+    """Simulate one trace under one scheme on a fresh device."""
+    service = FlashService(cfg)
+    ftl = make_ftl(scheme, service, **ftl_kw)
+    sim = Simulator(ftl, sim_cfg)
+    return sim.run(trace)
+
+
+def compare_schemes(
+    trace: Trace,
+    cfg: SSDConfig,
+    sim_cfg: SimConfig | None = None,
+    schemes=SCHEMES,
+    **ftl_kw,
+) -> dict[str, SimulationReport]:
+    """Run the same trace under each scheme (fresh device each time)."""
+    return {s: run_trace(s, trace, cfg, sim_cfg, **ftl_kw) for s in schemes}
+
+
+@dataclass
+class ExperimentContext:
+    """Shared state for a figure-reproduction session.
+
+    Holds the device config, aging settings and workload scale, plus a
+    memo of completed runs keyed by (trace, scheme, page size) so
+    multiple figures reuse the same simulations.
+    """
+
+    cfg: SSDConfig = field(default_factory=SSDConfig.bench_default)
+    sim_cfg: SimConfig = field(
+        default_factory=lambda: SimConfig(
+            aged_used=0.90, aged_valid=0.398, aging_style="vdi"
+        )
+    )
+    scale: float = 0.05
+    footprint_fraction: float = 0.8
+    seed_base: int = 2023
+    _traces: dict[str, Trace] = field(default_factory=dict)
+    _runs: dict[tuple, SimulationReport] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def config_for_page(self, page_size_bytes: int) -> SSDConfig:
+        """The device config at a given page size (Fig. 13/14 sweeps)."""
+        if page_size_bytes == self.cfg.page_size_bytes:
+            return self.cfg
+        return self.cfg.with_page_size(page_size_bytes)
+
+    def lun_trace(self, name: str) -> Trace:
+        """The calibrated synthetic trace for a lun preset (cached)."""
+        if name not in self._traces:
+            from .workloads import lun_specs
+
+            for spec in lun_specs(
+                self.cfg,
+                scale=self.scale,
+                footprint_fraction=self.footprint_fraction,
+                seed_base=self.seed_base,
+            ):
+                if spec.name not in self._traces:
+                    self._traces[spec.name] = VDIWorkloadGenerator(spec).generate()
+            if name not in self._traces:
+                raise KeyError(f"unknown lun preset {name!r}")
+        return self._traces[name]
+
+    def lun_names(self) -> list[str]:
+        """The six Table 2 preset names, in paper order."""
+        from .workloads import TABLE2_SPECS
+
+        return [row.name for row in TABLE2_SPECS]
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        trace_name: str,
+        scheme: str,
+        *,
+        page_size_bytes: int | None = None,
+        **ftl_kw,
+    ) -> SimulationReport:
+        """Memoised simulation of (lun trace, scheme, page size)."""
+        page = page_size_bytes or self.cfg.page_size_bytes
+        key = (trace_name, scheme, page, tuple(sorted(ftl_kw.items())))
+        if key not in self._runs:
+            cfg = self.config_for_page(page)
+            trace = self.lun_trace(trace_name)
+            self._runs[key] = run_trace(scheme, trace, cfg, self.sim_cfg, **ftl_kw)
+        return self._runs[key]
+
+    def save_results(self, directory) -> int:
+        """Archive every memoised run as JSON under ``directory``.
+
+        Writes one ``<trace>__<scheme>__<pageKiB>.json`` per run plus an
+        ``index.json`` listing them; returns the number of runs saved.
+        """
+        import json
+        from pathlib import Path
+
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        index = []
+        for (trace, scheme, page, kw), report in self._runs.items():
+            fname = f"{trace}__{scheme}__{page // 1024}k"
+            if kw:
+                fname += "__" + "_".join(f"{k}-{v}" for k, v in kw)
+            fname += ".json"
+            (directory / fname).write_text(report.to_json(indent=1))
+            index.append(
+                {
+                    "file": fname,
+                    "trace": trace,
+                    "scheme": scheme,
+                    "page_size_bytes": page,
+                    "ftl_kwargs": dict(kw),
+                }
+            )
+        (directory / "index.json").write_text(json.dumps(index, indent=1))
+        return len(index)
+
+    def sweep(
+        self,
+        *,
+        schemes=SCHEMES,
+        page_size_bytes: int | None = None,
+        **ftl_kw,
+    ) -> dict[str, dict[str, SimulationReport]]:
+        """All lun traces x schemes; returns {trace: {scheme: report}}."""
+        return {
+            name: {
+                s: self.run(
+                    name, s, page_size_bytes=page_size_bytes, **ftl_kw
+                )
+                for s in schemes
+            }
+            for name in self.lun_names()
+        }

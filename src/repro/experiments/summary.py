@@ -1,0 +1,60 @@
+"""Paper-vs-measured summary: the EXPERIMENTS.md generator.
+
+Runs (or reuses, via the context's memo) every figure reproduction and
+assembles one markdown document: a headline table collecting every
+scalar the paper states next to our measurement, followed by each
+figure's rendered series.  The repository's EXPERIMENTS.md is this
+output plus a hand-written preamble; refresh it with::
+
+    python -m repro summary --out EXPERIMENTS.generated.md
+"""
+
+from __future__ import annotations
+
+from . import figures as F
+from .runner import ExperimentContext
+
+
+def headline_table(results: dict[str, "F.FigureResult"]) -> str:
+    """Markdown table of every paper-stated scalar vs our measurement."""
+    lines = [
+        "| Experiment | Quantity | Paper | Measured |",
+        "| --- | --- | --- | --- |",
+    ]
+    for name, result in results.items():
+        for quantity, (paper, measured) in result.paper_vs_measured.items():
+            lines.append(
+                f"| {name} | {quantity} | {paper} | {measured} |"
+            )
+    return "\n".join(lines)
+
+
+def render_experiments_md(
+    ctx: ExperimentContext, figures: list[str] | None = None
+) -> str:
+    """Full paper-vs-measured markdown for the given context."""
+    names = figures or list(F.ALL_FIGURES)
+    results = {name: F.ALL_FIGURES[name](ctx) for name in names}
+    parts = [
+        "# Paper vs measured (generated)",
+        "",
+        f"Device: {ctx.cfg.summary()}",
+        f"Workload scale: {ctx.scale:g} x the paper's request counts; "
+        f"aging: {ctx.sim_cfg.aging_style} to "
+        f"{ctx.sim_cfg.aged_used:.0%} used.",
+        "",
+        "## Headline comparison",
+        "",
+        headline_table(results),
+        "",
+        "## Per-figure series",
+        "",
+    ]
+    for name, result in results.items():
+        parts.append(f"### {name} — {result.title}")
+        parts.append("")
+        parts.append("```")
+        parts.append(result.rendered)
+        parts.append("```")
+        parts.append("")
+    return "\n".join(parts)

@@ -1,0 +1,130 @@
+"""Generic parameter sweeps over device/workload knobs.
+
+The paper sweeps the flash page size (Figs. 13/14); a library user
+will want to sweep more — over-provisioning, GC threshold, cache size,
+across-page share, queue depth — and see how each scheme responds.
+:func:`sweep_config` handles any :class:`SSDConfig` field;
+:func:`sweep_workload` any :class:`SyntheticSpec` field; both return a
+:class:`SweepResult` whose table renders like the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Sequence
+
+from ..config import SCHEMES, SimConfig, SSDConfig
+from ..metrics.report import SimulationReport, render_table
+from ..traces.model import Trace
+from ..traces.synthetic import SyntheticSpec, VDIWorkloadGenerator
+from .runner import run_trace
+
+MetricFn = Callable[[SimulationReport], float]
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one sweep: metric values per (point, scheme)."""
+
+    parameter: str
+    points: list[Any]
+    metric: str
+    #: values[point_label][scheme]
+    values: dict[str, dict[str, float]]
+
+    def rendered(self) -> str:
+        """ASCII table of the sweep (points x schemes)."""
+        schemes = list(next(iter(self.values.values()))) if self.values else []
+        rows = {
+            label: [vals[s] for s in schemes]
+            for label, vals in self.values.items()
+        }
+        return render_table(
+            f"sweep of {self.parameter} — {self.metric}",
+            schemes,
+            rows,
+        )
+
+    def scheme_series(self, scheme: str) -> list[float]:
+        """One scheme's metric values in sweep-point order."""
+        return [self.values[str(p)][scheme] for p in self.points]
+
+
+def _metric_fn(metric: str | MetricFn) -> MetricFn:
+    if callable(metric):
+        return metric
+    return lambda rep: rep.metric(metric)
+
+
+def sweep_config(
+    field: str,
+    points: Sequence[Any],
+    trace: Trace,
+    base_cfg: SSDConfig,
+    sim_cfg: SimConfig | None = None,
+    *,
+    metric: str | MetricFn = "total_io_ms",
+    schemes: Sequence[str] = SCHEMES,
+) -> SweepResult:
+    """Run every scheme at every value of one ``SSDConfig`` field."""
+    fn = _metric_fn(metric)
+    values: dict[str, dict[str, float]] = {}
+    for point in points:
+        cfg = base_cfg.replace(**{field: point})
+        values[str(point)] = {
+            s: fn(run_trace(s, trace, cfg, sim_cfg)) for s in schemes
+        }
+    return SweepResult(
+        field, list(points), getattr(metric, "__name__", str(metric)), values
+    )
+
+
+def sweep_sim(
+    field: str,
+    points: Sequence[Any],
+    trace: Trace,
+    cfg: SSDConfig,
+    base_sim: SimConfig | None = None,
+    *,
+    metric: str | MetricFn = "total_io_ms",
+    schemes: Sequence[str] = SCHEMES,
+) -> SweepResult:
+    """Sweep one :class:`SimConfig` field (queue depth, aging, ...)."""
+    fn = _metric_fn(metric)
+    base = base_sim if base_sim is not None else SimConfig()
+    values: dict[str, dict[str, float]] = {}
+    for point in points:
+        sim_cfg = replace(base, **{field: point})
+        sim_cfg.validate()
+        values[str(point)] = {
+            s: fn(run_trace(s, trace, cfg, sim_cfg)) for s in schemes
+        }
+    return SweepResult(
+        field, list(points), getattr(metric, "__name__", str(metric)), values
+    )
+
+
+def sweep_workload(
+    field: str,
+    points: Sequence[Any],
+    base_spec: SyntheticSpec,
+    cfg: SSDConfig,
+    sim_cfg: SimConfig | None = None,
+    *,
+    metric: str | MetricFn = "total_io_ms",
+    schemes: Sequence[str] = SCHEMES,
+) -> SweepResult:
+    """Sweep one workload knob (e.g. ``across_ratio``), regenerating
+    the trace at each point."""
+    fn = _metric_fn(metric)
+    values: dict[str, dict[str, float]] = {}
+    for point in points:
+        spec = replace(base_spec, **{field: point})
+        spec.validate()
+        trace = VDIWorkloadGenerator(spec).generate()
+        values[str(point)] = {
+            s: fn(run_trace(s, trace, cfg, sim_cfg)) for s in schemes
+        }
+    return SweepResult(
+        field, list(points), getattr(metric, "__name__", str(metric)), values
+    )

@@ -1,0 +1,24 @@
+"""Flash-array substrate: NAND state machine, chip timing, service facade.
+
+This subpackage plays the role SSDsim's flash model plays in the paper:
+it owns physical page states, enforces NAND protocol rules (sequential
+program within a block, erase-before-reuse), tracks wear, and charges
+operation latencies against per-chip timelines.
+"""
+
+from .array import PAGE_FREE, PAGE_INVALID, PAGE_VALID, FlashArray
+from .service import FlashService
+from .timing import ChipTimeline
+from .wear import WearStats, projected_lifetime_writes, wear_stats
+
+__all__ = [
+    "FlashArray",
+    "FlashService",
+    "ChipTimeline",
+    "PAGE_FREE",
+    "PAGE_VALID",
+    "PAGE_INVALID",
+    "WearStats",
+    "wear_stats",
+    "projected_lifetime_writes",
+]

@@ -1,0 +1,198 @@
+"""NAND flash array: page states, block bookkeeping, protocol checks.
+
+The array is deliberately FTL-agnostic: a programmed page carries an
+opaque ``meta`` object owned by the FTL (its reverse-mapping record),
+which garbage collection later reads back.  All state lives in numpy
+arrays so even the full Table 1 device (16.7 M pages) stays compact.
+
+NAND protocol rules enforced here (violations raise
+:class:`~repro.errors.FlashProtocolError`, because they always indicate
+FTL bugs):
+
+* a page can only be programmed while FREE, and pages within a block
+  must be programmed in order (the one-shot sequential-program rule);
+* only VALID pages can be read;
+* a block can only be erased when it holds no VALID page.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Iterator
+
+import numpy as np
+
+from ..errors import FlashProtocolError, OutOfSpaceError
+from ..geometry import FlashGeometry
+
+PAGE_FREE = 0
+PAGE_VALID = 1
+PAGE_INVALID = 2
+
+
+class FlashArray:
+    """Physical page state for one device."""
+
+    def __init__(self, geom: FlashGeometry):
+        self.geom = geom
+        n_pages = geom.num_pages
+        n_blocks = geom.num_blocks
+        self.state = np.zeros(n_pages, dtype=np.uint8)
+        #: next page index to program, per global block
+        self.write_ptr = np.zeros(n_blocks, dtype=np.int32)
+        #: number of VALID pages, per global block
+        self.valid_count = np.zeros(n_blocks, dtype=np.int32)
+        #: lifetime erase count, per global block (wear indicator)
+        self.erase_count = np.zeros(n_blocks, dtype=np.int64)
+        #: logical clock of block mutations, and per-block last-mutation
+        #: stamp — the "age" input of cost-benefit GC victim selection
+        self.mod_seq = 0
+        self.last_mod = np.zeros(n_blocks, dtype=np.int64)
+        #: FTL metadata of currently-valid pages
+        self._meta: dict[int, Any] = {}
+        #: per-plane pool of fully-erased blocks (global block ids)
+        self._free_blocks: list[deque[int]] = [
+            deque(
+                range(
+                    p * geom.blocks_per_plane, (p + 1) * geom.blocks_per_plane
+                )
+            )
+            for p in range(geom.num_planes)
+        ]
+
+    # ------------------------------------------------------------------
+    # free-block pool
+    # ------------------------------------------------------------------
+    def free_block_count(self, plane: int) -> int:
+        """Fully-erased blocks currently pooled in ``plane``."""
+        return len(self._free_blocks[plane])
+
+    def free_fraction(self, plane: int) -> float:
+        """Free-block share of ``plane`` (the GC trigger input)."""
+        return len(self._free_blocks[plane]) / self.geom.blocks_per_plane
+
+    def total_free_blocks(self) -> int:
+        """Free blocks across every plane."""
+        return sum(len(q) for q in self._free_blocks)
+
+    def pop_free_block(self, plane: int) -> int:
+        """Take a fully-erased block from ``plane``'s pool."""
+        q = self._free_blocks[plane]
+        if not q:
+            raise OutOfSpaceError(f"plane {plane} has no free block")
+        return q.popleft()
+
+    # ------------------------------------------------------------------
+    # page operations
+    # ------------------------------------------------------------------
+    def program(self, ppn: int, meta: Any) -> None:
+        """Program one page, storing the FTL's reverse-map record."""
+        if self.state[ppn] != PAGE_FREE:
+            raise FlashProtocolError(f"program of non-free PPN {ppn}")
+        block = ppn // self.geom.pages_per_block
+        page = ppn % self.geom.pages_per_block
+        if page != self.write_ptr[block]:
+            raise FlashProtocolError(
+                f"out-of-order program: block {block} expects page "
+                f"{int(self.write_ptr[block])}, got {page}"
+            )
+        self.state[ppn] = PAGE_VALID
+        self.write_ptr[block] = page + 1
+        self.valid_count[block] += 1
+        self._meta[ppn] = meta
+        self.mod_seq += 1
+        self.last_mod[block] = self.mod_seq
+
+    def read(self, ppn: int) -> Any:
+        """Return the meta stored at a VALID page."""
+        if self.state[ppn] != PAGE_VALID:
+            raise FlashProtocolError(f"read of non-valid PPN {ppn}")
+        return self._meta[ppn]
+
+    def meta(self, ppn: int) -> Any:
+        """Peek at a valid page's meta without protocol check semantics."""
+        return self._meta[ppn]
+
+    def invalidate(self, ppn: int) -> None:
+        """Mark a VALID page stale (its data was superseded)."""
+        if self.state[ppn] != PAGE_VALID:
+            raise FlashProtocolError(f"invalidate of non-valid PPN {ppn}")
+        self.state[ppn] = PAGE_INVALID
+        block = ppn // self.geom.pages_per_block
+        self.valid_count[block] -= 1
+        del self._meta[ppn]
+        self.mod_seq += 1
+        self.last_mod[block] = self.mod_seq
+
+    def is_valid(self, ppn: int) -> bool:
+        """True while the page holds live data."""
+        return self.state[ppn] == PAGE_VALID
+
+    # ------------------------------------------------------------------
+    # block operations
+    # ------------------------------------------------------------------
+    def erase(self, block: int, *, aging: bool = False) -> None:
+        """Erase a block and return it to its plane's free pool."""
+        if self.valid_count[block] != 0:
+            raise FlashProtocolError(
+                f"erase of block {block} holding "
+                f"{int(self.valid_count[block])} valid pages"
+            )
+        lo = block * self.geom.pages_per_block
+        hi = lo + self.geom.pages_per_block
+        self.state[lo:hi] = PAGE_FREE
+        self.write_ptr[block] = 0
+        self.erase_count[block] += 1
+        plane = self.geom.plane_of_block(block)
+        self._free_blocks[plane].append(block)
+
+    def valid_ppns(self, block: int) -> Iterator[int]:
+        """Iterate the VALID PPNs of a block (GC migration source)."""
+        lo = block * self.geom.pages_per_block
+        hi = lo + self.geom.pages_per_block
+        for ppn in range(lo, hi):
+            if self.state[ppn] == PAGE_VALID:
+                yield ppn
+
+    def block_full(self, block: int) -> bool:
+        """True once every page of the block has been programmed."""
+        return self.write_ptr[block] == self.geom.pages_per_block
+
+    def valid_items(self):
+        """Iterate ``(ppn, meta)`` over every VALID page — the full-device
+        OOB scan an FTL performs to rebuild its tables after power loss."""
+        return self._meta.items()
+
+    # ------------------------------------------------------------------
+    # invariants (used by tests and sanity sweeps)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Verify numpy bookkeeping against the raw page states."""
+        ppb = self.geom.pages_per_block
+        states = self.state.reshape(-1, ppb)
+        valid = (states == PAGE_VALID).sum(axis=1)
+        if not np.array_equal(valid, self.valid_count):
+            bad = np.nonzero(valid != self.valid_count)[0][:5]
+            raise FlashProtocolError(f"valid_count mismatch in blocks {bad}")
+        # every page at or past the write pointer must be FREE, every
+        # page before it must not be FREE
+        for blk in range(self.geom.num_blocks):
+            wp = int(self.write_ptr[blk])
+            if (states[blk, wp:] != PAGE_FREE).any():
+                raise FlashProtocolError(f"block {blk}: non-free past wp")
+            if (states[blk, :wp] == PAGE_FREE).any():
+                raise FlashProtocolError(f"block {blk}: free before wp")
+        n_valid_meta = len(self._meta)
+        if n_valid_meta != int(self.valid_count.sum()):
+            raise FlashProtocolError(
+                f"meta store has {n_valid_meta} entries but "
+                f"{int(self.valid_count.sum())} pages are valid"
+            )
+
+    @property
+    def total_valid_pages(self) -> int:
+        return int(self.valid_count.sum())
+
+    @property
+    def total_erases(self) -> int:
+        return int(self.erase_count.sum())

@@ -1,0 +1,89 @@
+"""Facade combining the flash array, chip timelines and op counters.
+
+FTL code talks to this object only.  Every call both mutates NAND state
+and returns the *completion time* of the operation, so the FTL can fold
+flash latencies into request response times without touching the
+timing model directly.
+
+Operations carry an :class:`~repro.metrics.counters.OpKind` so the
+Data/Map/GC split of Fig. 10 falls out of the counters, and an optional
+``timed=False`` mode used during device aging (pre-conditioning must
+not leave the chips busy or pollute measured counts).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..config import SSDConfig
+from ..geometry import FlashGeometry
+from ..metrics.counters import FlashOpCounters, OpKind
+from .array import FlashArray
+from .timing import ChipTimeline
+
+
+class FlashService:
+    """Single entry point for all flash operations of one device."""
+
+    def __init__(self, cfg: SSDConfig, counters: FlashOpCounters | None = None):
+        cfg.validate()
+        self.cfg = cfg
+        self.geom = FlashGeometry(cfg)
+        self.array = FlashArray(self.geom)
+        self.timeline = ChipTimeline(
+            self.geom.num_chips, cfg.timing, cfg.chips_per_channel
+        )
+        self.counters = counters if counters is not None else FlashOpCounters()
+
+    # ------------------------------------------------------------------
+    def read_page(
+        self, ppn: int, now: float, kind: OpKind = OpKind.DATA, *, timed: bool = True
+    ) -> float:
+        """Read a valid page; returns completion time (``now`` if untimed)."""
+        self.array.read(ppn)
+        self.counters.count_read(kind)
+        if not timed:
+            return now
+        return self.timeline.read(self.geom.chip_of_ppn(ppn), now)
+
+    def program_page(
+        self,
+        ppn: int,
+        meta: Any,
+        now: float,
+        kind: OpKind = OpKind.DATA,
+        *,
+        timed: bool = True,
+    ) -> float:
+        """Program a free page; returns completion time."""
+        self.array.program(ppn, meta)
+        self.counters.count_write(kind)
+        if not timed:
+            return now
+        return self.timeline.program(self.geom.chip_of_ppn(ppn), now)
+
+    def erase_block(self, block: int, now: float, *, aging: bool = False) -> float:
+        """Erase a block; returns completion time (untimed when aging)."""
+        self.array.erase(block, aging=aging)
+        self.counters.count_erase(aging=aging)
+        if aging:
+            return now
+        chip = self.geom.chip_of_plane(self.geom.plane_of_block(block))
+        return self.timeline.erase(chip, now)
+
+    def invalidate(self, ppn: int) -> None:
+        """Mark a valid page stale (no timing cost: metadata only)."""
+        self.array.invalidate(ppn)
+
+    # -- pool passthroughs ------------------------------------------------
+    def free_fraction(self, plane: int) -> float:
+        """Free-block share of ``plane`` (GC trigger input)."""
+        return self.array.free_fraction(plane)
+
+    def pop_free_block(self, plane: int) -> int:
+        """Take a fully-erased block from ``plane``'s pool."""
+        return self.array.pop_free_block(plane)
+
+    @property
+    def num_planes(self) -> int:
+        return self.geom.num_planes

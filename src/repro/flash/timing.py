@@ -1,0 +1,104 @@
+"""Per-chip operation timelines.
+
+A chip services one flash operation at a time; operations on different
+chips overlap freely.  This is the contention model that turns flash-op
+counts into request response times: a sub-request issued at ``now``
+against a busy chip waits until the chip frees up (paper §2.1 — a
+request completes only when all its page-level sub-requests do).
+
+Erase operations issued by GC occupy the chip the same way, which is
+how GC pressure surfaces as long-tail latency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import TimingConfig
+from ..errors import SimulationError
+
+
+class ChipTimeline:
+    """Busy-until tracking for every chip (and, optionally, every
+    channel bus) in the device.
+
+    With ``timing.transfer_ms == 0`` (the default) a chip is the only
+    contended resource.  With a non-zero transfer time, page data also
+    occupies the chip's channel bus: programs transfer in before the
+    cell operation, reads transfer out after it, and transfers of chips
+    sharing a channel serialise against each other.
+    """
+
+    def __init__(
+        self,
+        num_chips: int,
+        timing: TimingConfig,
+        chips_per_channel: int | None = None,
+    ):
+        if num_chips <= 0:
+            raise SimulationError("need at least one chip")
+        self.timing = timing
+        self.busy_until = np.zeros(num_chips, dtype=np.float64)
+        #: cumulative busy time per chip (utilisation accounting)
+        self.busy_time = np.zeros(num_chips, dtype=np.float64)
+        self.op_count = np.zeros(num_chips, dtype=np.int64)
+        #: chips sharing one channel bus (None = one chip per channel)
+        self.chips_per_channel = chips_per_channel or 1
+        n_channels = -(-num_chips // self.chips_per_channel)
+        self.bus_busy_until = np.zeros(n_channels, dtype=np.float64)
+
+    def _channel(self, chip: int) -> int:
+        return chip // self.chips_per_channel
+
+    def _occupy(self, chip: int, now: float, duration: float) -> float:
+        start = max(now, float(self.busy_until[chip]))
+        finish = start + duration
+        self.busy_until[chip] = finish
+        self.busy_time[chip] += duration
+        self.op_count[chip] += 1
+        return finish
+
+    def read(self, chip: int, now: float) -> float:
+        """Schedule a page read; returns its completion time."""
+        tr = self.timing.transfer_ms
+        if tr <= 0:
+            return self._occupy(chip, now, self.timing.read_ms)
+        # cell read, then the data transfers out over the channel
+        cell_done = self._occupy(chip, now, self.timing.read_ms)
+        ch = self._channel(chip)
+        t0 = max(cell_done, float(self.bus_busy_until[ch]))
+        finish = t0 + tr
+        self.bus_busy_until[ch] = finish
+        self.busy_until[chip] = max(float(self.busy_until[chip]), finish)
+        return finish
+
+    def program(self, chip: int, now: float) -> float:
+        """Schedule a page program; returns its completion time."""
+        tr = self.timing.transfer_ms
+        if tr <= 0:
+            return self._occupy(chip, now, self.timing.program_ms)
+        # the data transfers in over the channel, then the cell programs
+        ch = self._channel(chip)
+        start = max(
+            now, float(self.busy_until[chip]), float(self.bus_busy_until[ch])
+        )
+        self.bus_busy_until[ch] = start + tr
+        finish = start + tr + self.timing.program_ms
+        self.busy_until[chip] = finish
+        self.busy_time[chip] += tr + self.timing.program_ms
+        self.op_count[chip] += 1
+        return finish
+
+    def erase(self, chip: int, now: float) -> float:
+        """Schedule a block erase; returns its completion time."""
+        return self._occupy(chip, now, self.timing.erase_ms)
+
+    def next_free(self, chip: int, now: float) -> float:
+        """Earliest time the chip could start a new operation."""
+        return max(now, float(self.busy_until[chip]))
+
+    def utilization(self, horizon_ms: float) -> np.ndarray:
+        """Per-chip busy fraction over ``[0, horizon_ms]``."""
+        if horizon_ms <= 0:
+            return np.zeros_like(self.busy_time)
+        return np.minimum(self.busy_time / horizon_ms, 1.0)

@@ -1,0 +1,84 @@
+"""Wear statistics and endurance projection.
+
+The paper uses the total erase count as its lifetime indicator
+(Fig. 11).  This module adds the per-block view a device vendor would
+look at: the erase-count distribution, its imbalance (a perfectly
+wear-levelled device has every block at the mean), and a projected
+lifetime under a per-block erase limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .array import FlashArray
+
+
+@dataclass(frozen=True)
+class WearStats:
+    """Summary of a device's wear state."""
+
+    total_erases: int
+    mean: float
+    std: float
+    max: int
+    min: int
+    #: normalised imbalance: (max - mean) / (mean + 1); 0 = perfectly even
+    imbalance: float
+    #: Gini coefficient of the erase distribution (0 = even, 1 = single
+    #: block takes all erases)
+    gini: float
+
+    def summary(self) -> str:
+        """One-line human-readable wear report."""
+        return (
+            f"erases: total {self.total_erases}, per-block mean "
+            f"{self.mean:.2f} (std {self.std:.2f}, min {self.min}, "
+            f"max {self.max}), imbalance {self.imbalance:.3f}, "
+            f"gini {self.gini:.3f}"
+        )
+
+
+def wear_stats(array: FlashArray) -> WearStats:
+    """Compute wear statistics from a flash array's erase counters."""
+    counts = array.erase_count.astype(np.float64)
+    total = int(counts.sum())
+    mean = float(counts.mean())
+    if total == 0:
+        return WearStats(0, 0.0, 0.0, 0, 0, 0.0, 0.0)
+    sorted_counts = np.sort(counts)
+    n = len(counts)
+    # standard Gini formula on the sorted distribution
+    index = np.arange(1, n + 1)
+    gini = float(
+        (2 * index - n - 1).dot(sorted_counts) / (n * sorted_counts.sum())
+    )
+    return WearStats(
+        total_erases=total,
+        mean=mean,
+        std=float(counts.std()),
+        max=int(counts.max()),
+        min=int(counts.min()),
+        imbalance=float((counts.max() - mean) / (mean + 1.0)),
+        gini=max(0.0, gini),
+    )
+
+
+def projected_lifetime_writes(
+    array: FlashArray, erase_limit: int, writes_so_far: int
+) -> float:
+    """Host writes the device can absorb before its most-worn block
+    reaches ``erase_limit``, extrapolating the observed wear rate.
+
+    Returns ``inf`` when nothing has been erased yet.
+    """
+    if erase_limit <= 0:
+        raise ValueError("erase_limit must be positive")
+    worst = int(array.erase_count.max())
+    if worst == 0 or writes_so_far <= 0:
+        return float("inf")
+    wear_per_write = worst / writes_so_far
+    remaining = max(0, erase_limit - worst)
+    return remaining / wear_per_write

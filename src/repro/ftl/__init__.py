@@ -1,0 +1,61 @@
+"""FTL schemes and shared FTL machinery.
+
+Three host-visible schemes are provided, matching the paper's §4.1
+comparison set:
+
+* :class:`~repro.ftl.pagemap.PageMapFTL` — the baseline dynamic
+  page-level mapping scheme (``"ftl"``),
+* :class:`~repro.ftl.mrsm.MRSMFTL` — multiregional sub-page space
+  management (``"mrsm"``, Chen et al. TCAD'20),
+* :class:`~repro.core.across.AcrossFTL` — the paper's contribution
+  (``"across"``), re-exported here for symmetry.
+
+Shared machinery: write allocation, greedy garbage collection, and the
+DRAM mapping cache with translation-page flash traffic.
+"""
+
+from .allocator import WriteAllocator
+from .base import BaseFTL
+from .gc import GarbageCollector
+from .mapping_cache import MappingCache
+from .mrsm import MRSMFTL
+from .pagemap import PageMapFTL
+
+
+def make_ftl(scheme: str, service, **kw):
+    """Instantiate an FTL scheme by its canonical name.
+
+    Besides the paper's three comparison schemes, the hybrid log-block
+    schemes ``"bast"`` and ``"fast"`` (library extensions) are
+    constructible here; they are not part of :data:`repro.config.SCHEMES` and never appears in
+    the paper-figure sweeps.
+    """
+    from ..core.across import AcrossFTL
+    from .bast import BASTFTL
+    from .fast import FASTFTL
+
+    schemes = {
+        "ftl": PageMapFTL,
+        "mrsm": MRSMFTL,
+        "across": AcrossFTL,
+        "bast": BASTFTL,
+        "fast": FASTFTL,
+    }
+    try:
+        cls = schemes[scheme]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheme {scheme!r}; expected one of {sorted(schemes)}"
+        ) from None
+    return cls(service, **kw)
+
+
+__all__ = [
+    "BaseFTL",
+    "PageMapFTL",
+    "MRSMFTL",
+    "WriteAllocator",
+    "GarbageCollector",
+    "MappingCache",
+    "make_ftl",
+]

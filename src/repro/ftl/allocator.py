@@ -1,0 +1,108 @@
+"""Dynamic page allocation with optional write-stream separation.
+
+SSDsim-style dynamic allocation: logical pages have no fixed home; each
+write takes the next free page of a per-plane *active block*, and
+consecutive allocations round-robin across planes so a multi-page
+request stripes over channels/chips and its sub-requests overlap
+(paper §2.1, [16]).
+
+GC migrations allocate in the victim's own plane (`allocate_in_plane`)
+so collection never steals bandwidth or free space from other planes.
+With ``hot_cold_separation`` enabled, migrated (cold) pages also fill
+*separate* active blocks from fresh user (hot) data — the classic
+stream separation that keeps blocks from mixing lifetimes and lowers
+write amplification (exercised by ``bench_ablation_streams``).
+"""
+
+from __future__ import annotations
+
+from ..errors import OutOfSpaceError
+from ..flash.service import FlashService
+
+#: allocation streams
+STREAM_USER = 0
+STREAM_GC = 1
+
+
+class WriteAllocator:
+    """Round-robin active-block allocator over all planes."""
+
+    def __init__(self, service: FlashService, *, separate_streams: bool = False):
+        self.service = service
+        self.geom = service.geom
+        #: when False, STREAM_GC shares the user stream's active blocks
+        self.separate_streams = separate_streams
+        n_streams = 2 if separate_streams else 1
+        #: active (filling) block per [stream][plane]
+        self._active: list[list[int | None]] = [
+            [None] * self.geom.num_planes for _ in range(n_streams)
+        ]
+        self._cursor = 0
+        # channel-first striping: consecutive allocations visit a
+        # different chip each time so a multi-page request's
+        # sub-requests overlap (SSDsim dynamic allocation)
+        chips = self.geom.num_chips
+        per_chip = self.geom.planes_per_chip
+        self._plane_order = [
+            (j % chips) * per_chip + (j // chips)
+            for j in range(self.geom.num_planes)
+        ]
+
+    def _stream(self, stream: int) -> int:
+        return stream if self.separate_streams else STREAM_USER
+
+    # ------------------------------------------------------------------
+    def active_blocks(self) -> set[int]:
+        """Blocks currently open for writing (GC must not pick these)."""
+        return {
+            b for per_plane in self._active for b in per_plane if b is not None
+        }
+
+    def is_active(self, block: int) -> bool:
+        """True when ``block`` is open for writing on any stream."""
+        plane = self.geom.plane_of_block(block)
+        return any(per_plane[plane] == block for per_plane in self._active)
+
+    def active_in_plane(self, plane: int) -> list[int]:
+        """Active block ids of ``plane`` across all streams."""
+        return [
+            per_plane[plane]
+            for per_plane in self._active
+            if per_plane[plane] is not None
+        ]
+
+    # ------------------------------------------------------------------
+    def allocate_in_plane(
+        self, plane: int, stream: int = STREAM_USER
+    ) -> int | None:
+        """Next free PPN in ``plane``, or None if the plane is exhausted."""
+        arr = self.service.array
+        active = self._active[self._stream(stream)]
+        block = active[plane]
+        if block is not None and arr.block_full(block):
+            active[plane] = block = None
+        if block is None:
+            if arr.free_block_count(plane) == 0:
+                return None
+            block = arr.pop_free_block(plane)
+            active[plane] = block
+        return block * self.geom.pages_per_block + int(arr.write_ptr[block])
+
+    def allocate(self, stream: int = STREAM_USER) -> int:
+        """Next free PPN anywhere, preferring round-robin plane order.
+
+        Raises :class:`OutOfSpaceError` when every plane is exhausted —
+        by then GC has already failed to reclaim anything.
+        """
+        n = self.geom.num_planes
+        for i in range(n):
+            idx = (self._cursor + i) % n
+            ppn = self.allocate_in_plane(self._plane_order[idx], stream)
+            if ppn is not None:
+                self._cursor = (idx + 1) % n
+                return ppn
+        raise OutOfSpaceError("no free page in any plane")
+
+    def next_plane(self) -> int:
+        """The plane the next :meth:`allocate` call will try first."""
+        return self._plane_order[self._cursor]

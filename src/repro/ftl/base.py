@@ -1,0 +1,436 @@
+"""Shared FTL machinery: PMT storage, RMW composition, GC relocation,
+translation-page programming, and the host-facing API contract.
+
+Concrete schemes (:mod:`.pagemap`, :mod:`.mrsm`,
+:mod:`repro.core.across`) implement :meth:`BaseFTL.write` /
+:meth:`BaseFTL.read` in terms of the helpers here.
+
+Sector bookkeeping
+------------------
+Each LPN carries a *PMT mask*: a bitmask of the sectors whose newest
+copy lives in the normally-mapped page ``pmt[lpn]``.  The baseline FTL
+has no other storage, so its mask equals "all sectors ever written".
+Across-FTL additionally shadows a sector range per across area; those
+bits are removed from the PMT mask while the area exists (see
+:mod:`repro.core.across`).  Masks make read composition and
+read-modify-write decisions O(1) bit arithmetic.
+
+Data versions
+-------------
+When ``track_payload`` is on, every programmed page stores a dict of
+``absolute_sector -> version stamp`` for the sectors it holds, and
+:meth:`read` returns the stamps it found.  The simulation oracle
+(:mod:`repro.sim.oracle`) compares them against ground truth — this is
+how we prove all three schemes return the newest data through merges,
+rollbacks and GC.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from ..config import SSDConfig
+from ..errors import MappingError
+from ..flash.service import FlashService
+from ..metrics.counters import OpKind
+from ..units import split_extent
+from .allocator import STREAM_GC, STREAM_USER, WriteAllocator
+from .gc import GarbageCollector
+from .mapping_cache import MappingCache
+from .meta import DataPageMeta, MapPageMeta
+
+
+def mask_range(lo: int, hi: int) -> int:
+    """Bitmask with bits ``[lo, hi)`` set (page-relative sectors)."""
+    return ((1 << (hi - lo)) - 1) << lo
+
+
+def iter_bits(mask: int):
+    """Yield the set bit positions of ``mask`` in ascending order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+class BaseFTL(ABC):
+    """Abstract flash translation layer."""
+
+    #: canonical scheme id ("ftl" / "mrsm" / "across")
+    name: str = "base"
+    #: whether the generic greedy GC manages this scheme's space
+    #: (hybrid log-block schemes reclaim through merges instead and
+    #: must never be driven through GarbageCollector)
+    uses_generic_gc: bool = True
+    #: bytes per PMT entry used for the Fig. 12a footprint model
+    PMT_ENTRY_BYTES = 8
+
+    def __init__(
+        self,
+        service: FlashService,
+        *,
+        track_payload: bool = False,
+        mapping_cache_entries: int | None = None,
+    ):
+        self.service = service
+        self.cfg: SSDConfig = service.cfg
+        self.geom = service.geom
+        self.counters = service.counters
+        self.spp = self.cfg.sectors_per_page
+        self.track_payload = track_payload
+        self.logical_pages = self.cfg.logical_pages
+        #: DRAM budget for mapping entries; defaults to "the baseline
+        #: page table exactly fits" (paper §4.1 / Fig. 12 discussion).
+        self.dram_entries = (
+            mapping_cache_entries
+            if mapping_cache_entries is not None
+            else (
+                self.cfg.mapping_cache_entries
+                if self.cfg.mapping_cache_entries is not None
+                else self.logical_pages
+            )
+        )
+        self.allocator = WriteAllocator(
+            service, separate_streams=self.cfg.hot_cold_separation
+        )
+        self.gc = GarbageCollector(
+            service,
+            self.allocator,
+            self._relocate,
+            self.cfg.gc_threshold,
+            self.cfg.gc_restore,
+            policy=self.cfg.gc_policy,
+        )
+        #: toggled by the engine during device pre-conditioning: flash
+        #: ops become untimed and are counted under OpKind.AGING.
+        self.aging = False
+
+        #: LPN -> PPN of the normally-mapped page (-1 = none)
+        self.pmt = np.full(self.logical_pages, -1, dtype=np.int64)
+        #: LPN -> bitmask of sectors whose newest copy is in pmt[lpn]
+        self.pmt_mask = np.zeros(self.logical_pages, dtype=np.uint64)
+        #: flash location of spilled translation pages: (table, tvpn) -> ppn
+        self._map_ppn: dict[tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # host-facing API
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def write(
+        self, offset: int, size: int, now: float, stamps: Optional[dict] = None
+    ) -> float:
+        """Service a write of ``size`` sectors at sector ``offset``.
+
+        ``stamps`` maps absolute sector -> version (oracle mode only).
+        Returns the completion time of the request.
+        """
+
+    @abstractmethod
+    def read(
+        self, offset: int, size: int, now: float
+    ) -> tuple[float, Optional[dict]]:
+        """Service a read; returns (completion time, found stamps)."""
+
+    @abstractmethod
+    def mapping_table_bytes(self) -> int:
+        """Current mapping-table footprint (Fig. 12a)."""
+
+    def trim(self, offset: int, size: int, now: float) -> float:
+        """TRIM/discard ``size`` sectors at ``offset``: the data is
+        dropped, pages whose last live sectors are trimmed are
+        invalidated (making them free GC fodder).  Returns completion
+        time (a DRAM-speed metadata operation).
+
+        The base implementation handles normally page-mapped data;
+        schemes with extra state (across areas, region slots) override
+        and chain up.
+        """
+        for lpn, rel_lo, count in split_extent(offset, size, self.spp):
+            self._trim_pmt_piece(lpn, mask_range(rel_lo, rel_lo + count))
+        self.counters.count_dram()
+        return now + self.cfg.timing.cache_access_ms
+
+    def _trim_pmt_piece(self, lpn: int, mask: int) -> None:
+        remaining = int(self.pmt_mask[lpn]) & ~mask
+        self.pmt_mask[lpn] = np.uint64(remaining)
+        if remaining == 0 and self.pmt[lpn] >= 0:
+            self.service.invalidate(int(self.pmt[lpn]))
+            self.pmt[lpn] = -1
+
+    def stats(self) -> dict:
+        """Scheme-specific statistics merged into the run report."""
+        return {
+            "gc_collections": self.gc.collections,
+            "gc_migrated_pages": self.gc.migrated_pages,
+        }
+
+    def flush_metadata(self, now: float) -> float:
+        """End-of-run barrier: write back dirty translation pages."""
+        return now
+
+    # ------------------------------------------------------------------
+    # op-kind / timing helpers honouring aging mode
+    # ------------------------------------------------------------------
+    @property
+    def timed(self) -> bool:
+        return not self.aging
+
+    def _kind(self, kind: OpKind) -> OpKind:
+        return OpKind.AGING if self.aging else kind
+
+    # ------------------------------------------------------------------
+    # programming & relocation
+    # ------------------------------------------------------------------
+    def _program_page(
+        self,
+        meta,
+        now: float,
+        kind: OpKind,
+        *,
+        plane: int | None = None,
+        gc_check: bool = True,
+        timed: bool | None = None,
+        stream: int = STREAM_USER,
+    ) -> tuple[int, float]:
+        """Allocate a page (preferring ``plane``), program ``meta`` and
+        run the GC check on the plane written.  Returns (ppn, finish).
+
+        ``timed=False`` models background work the controller schedules
+        into idle periods (translation-page write-back): the program is
+        counted but does not occupy a foreground chip timeline.
+        """
+        ppn = None
+        if plane is not None:
+            ppn = self.allocator.allocate_in_plane(plane, stream)
+        if ppn is None:
+            ppn = self.allocator.allocate(stream)
+        finish = self.service.program_page(
+            ppn,
+            meta,
+            now,
+            self._kind(kind),
+            timed=self.timed if timed is None else (timed and self.timed),
+        )
+        if gc_check:
+            # GC runs after the program: its migrations and erases keep
+            # the chips busy (delaying *later* requests — the long-tail
+            # effect), but do not gate this request's completion.
+            p = self.geom.plane_of_ppn(ppn)
+            self.gc.maybe_collect(p, now, timed=self.timed)
+        return ppn, finish
+
+    def _relocate(self, old_ppn: int, now: float, timed: bool) -> float:
+        """GC callback: move one valid page and fix the mapping."""
+        self.service.read_page(old_ppn, now, self._kind(OpKind.GC), timed=timed)
+        meta = self.service.array.meta(old_ppn)
+        kind = meta.kind
+        if kind == "data":
+            return self._relocate_data(old_ppn, meta, now)
+        if kind == "map":
+            return self._relocate_map(old_ppn, meta, now)
+        return self._relocate_extra(old_ppn, meta, now)
+
+    def _relocate_data(self, old_ppn: int, meta: DataPageMeta, now: float) -> float:
+        if self.pmt[meta.lpn] != old_ppn:
+            raise MappingError(
+                f"GC found data page for LPN {meta.lpn} at PPN {old_ppn} "
+                f"but PMT points to {int(self.pmt[meta.lpn])}"
+            )
+        plane = self.geom.plane_of_ppn(old_ppn)
+        new_ppn, finish = self._program_page(
+            meta, now, OpKind.GC, plane=plane, gc_check=False, stream=STREAM_GC
+        )
+        self.pmt[meta.lpn] = new_ppn
+        self.service.invalidate(old_ppn)
+        return finish
+
+    def _relocate_map(self, old_ppn: int, meta: MapPageMeta, now: float) -> float:
+        key = (meta.table_id, meta.tvpn)
+        if self._map_ppn.get(key) != old_ppn:
+            raise MappingError(f"stale map page {key} at PPN {old_ppn}")
+        plane = self.geom.plane_of_ppn(old_ppn)
+        new_ppn, finish = self._program_page(
+            meta, now, OpKind.GC, plane=plane, gc_check=False, stream=STREAM_GC
+        )
+        self._map_ppn[key] = new_ppn
+        self.service.invalidate(old_ppn)
+        return finish
+
+    def _relocate_extra(self, old_ppn: int, meta, now: float) -> float:
+        raise MappingError(f"scheme {self.name!r} cannot relocate {meta!r}")
+
+    # ------------------------------------------------------------------
+    # translation-page I/O callbacks for MappingCache
+    # ------------------------------------------------------------------
+    def _make_cache(
+        self,
+        table_id: int,
+        *,
+        entries_per_page: int,
+        capacity_entries: int | None,
+        touches_fn=None,
+    ) -> MappingCache:
+        def program(tvpn: int, now: float, timed: bool) -> float:
+            key = (table_id, tvpn)
+            old = self._map_ppn.get(key)
+            if old is not None:
+                self.service.invalidate(old)
+                del self._map_ppn[key]
+            meta = MapPageMeta(table_id, tvpn)
+            # translation-page write-back is background work: the
+            # controller schedules it into chip idle periods, so it is
+            # counted (Fig. 10's Map share, GC pressure) but does not
+            # occupy the foreground timeline
+            ppn, finish = self._program_page(meta, now, OpKind.MAP, timed=False)
+            self._map_ppn[key] = ppn
+            return finish
+
+        def read(tvpn: int, now: float, timed: bool) -> float:
+            ppn = self._map_ppn[(table_id, tvpn)]
+            return self.service.read_page(
+                ppn, now, self._kind(OpKind.MAP), timed=timed
+            )
+
+        return MappingCache(
+            self.service,
+            entries_per_page=entries_per_page,
+            capacity_entries=capacity_entries,
+            program_map_page=program,
+            read_map_page=read,
+            touches_fn=touches_fn,
+        )
+
+    # ------------------------------------------------------------------
+    # normal (page-mapped) data path shared by schemes
+    # ------------------------------------------------------------------
+    def _write_data_page(
+        self,
+        lpn: int,
+        rel_lo: int,
+        rel_hi: int,
+        now: float,
+        stamps: Optional[dict],
+        *,
+        extra_mask: int = 0,
+        extra_payload: Optional[dict] = None,
+    ) -> float:
+        """Write sectors ``[rel_lo, rel_hi)`` (page-relative) of ``lpn``
+        through the normal page-mapped path, performing read-modify-write
+        when the page already holds other live sectors.
+
+        ``extra_mask``/``extra_payload`` inject additional sectors that
+        are already in hand (used by Across-FTL rollback, which folds the
+        across-area data back in without re-reading it here).
+        Returns the completion time.
+        """
+        new_mask = mask_range(rel_lo, rel_hi) | extra_mask
+        old_ppn = int(self.pmt[lpn])
+        old_mask = int(self.pmt_mask[lpn])
+        retained = old_mask & ~new_mask
+        finish = now
+        payload: Optional[dict] = None
+
+        if self.track_payload:
+            payload = {}
+        if retained and old_ppn >= 0:
+            # RMW: the old page holds live sectors the new page must keep
+            finish = self.service.read_page(
+                old_ppn, now, self._kind(OpKind.DATA), timed=self.timed
+            )
+            if not self.aging:
+                self.counters.update_reads += 1
+            if payload is not None:
+                old_meta = self.service.array.meta(old_ppn)
+                if old_meta.payload:
+                    base = lpn * self.spp
+                    for bit in iter_bits(retained):
+                        sec = base + bit
+                        if sec in old_meta.payload:
+                            payload[sec] = old_meta.payload[sec]
+        if payload is not None:
+            if extra_payload:
+                payload.update(extra_payload)
+            if stamps:
+                base = lpn * self.spp
+                for bit in iter_bits(mask_range(rel_lo, rel_hi)):
+                    sec = base + bit
+                    if sec in stamps:
+                        payload[sec] = stamps[sec]
+
+        if old_ppn >= 0:
+            self.service.invalidate(old_ppn)
+        meta = DataPageMeta(lpn, old_mask | new_mask, payload)
+        new_ppn, t = self._program_page(meta, finish, OpKind.DATA)
+        self.pmt[lpn] = new_ppn
+        self.pmt_mask[lpn] = np.uint64(old_mask | new_mask)
+        return max(finish, t)
+
+    def _read_stamps_from(self, ppn: int, sectors: list[int], out: dict) -> None:
+        """Copy the stamps of ``sectors`` found at ``ppn`` into ``out``."""
+        meta = self.service.array.meta(ppn)
+        if meta.payload:
+            for sec in sectors:
+                if sec in meta.payload:
+                    out[sec] = meta.payload[sec]
+
+    # ------------------------------------------------------------------
+    # power-loss recovery
+    # ------------------------------------------------------------------
+    def rebuild_from_flash(self) -> int:
+        """Reconstruct every mapping table by scanning the valid pages'
+        out-of-band records (power-loss recovery).
+
+        Returns the number of pages scanned.  Caveat mirrors real
+        devices: TRIMs applied only in DRAM are forgotten — trimmed
+        sectors whose pages still hold them reappear.
+        """
+        self.pmt.fill(-1)
+        self.pmt_mask.fill(0)
+        self._map_ppn.clear()
+        self._rebuild_reset()
+        scanned = 0
+        for ppn, meta in self.service.array.valid_items():
+            scanned += 1
+            kind = meta.kind
+            if kind == "data":
+                if self.pmt[meta.lpn] != -1:
+                    raise MappingError(
+                        f"two valid data pages claim LPN {meta.lpn}"
+                    )
+                self.pmt[meta.lpn] = ppn
+                self.pmt_mask[meta.lpn] = np.uint64(meta.mask)
+            elif kind == "map":
+                self._map_ppn[(meta.table_id, meta.tvpn)] = ppn
+            else:
+                self._rebuild_page(ppn, meta)
+        self._rebuild_finish()
+        return scanned
+
+    def _rebuild_reset(self) -> None:
+        """Scheme hook: clear scheme-specific tables before the scan."""
+
+    def _rebuild_page(self, ppn: int, meta) -> None:
+        raise MappingError(
+            f"scheme {self.name!r} cannot rebuild from {meta!r}"
+        )
+
+    def _rebuild_finish(self) -> None:
+        """Scheme hook: fix-ups after the scan."""
+
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Cross-check PMT against the flash array (tests only)."""
+        for lpn in range(self.logical_pages):
+            ppn = int(self.pmt[lpn])
+            mask = int(self.pmt_mask[lpn])
+            if ppn >= 0:
+                if not self.service.array.is_valid(ppn):
+                    raise MappingError(f"PMT[{lpn}] -> invalid PPN {ppn}")
+                meta = self.service.array.meta(ppn)
+                if meta.kind != "data" or meta.lpn != lpn:
+                    raise MappingError(f"PMT[{lpn}] -> foreign page {meta!r}")
+            elif mask:
+                raise MappingError(f"LPN {lpn} has mask bits but no page")

@@ -1,0 +1,150 @@
+"""Greedy garbage collection.
+
+When a plane's free-block fraction drops below ``gc_threshold``
+(Table 1: 10%), the collector repeatedly picks the fully-written,
+non-active block with the fewest valid pages, migrates those pages via
+the owning FTL's ``relocate`` callback (which re-programs them and
+fixes the mapping tables), and erases the block — until the plane is
+back above ``gc_restore`` or no block would yield free space.
+
+Erase operations are the paper's endurance metric (Fig. 11); migration
+reads/writes are counted with :attr:`OpKind.GC` so they appear in the
+flash-op totals of Fig. 10 without polluting the Data/Map split.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..flash.service import FlashService
+from .allocator import WriteAllocator
+
+#: relocate(old_ppn, now, timed) -> completion time
+RelocateFn = Callable[[int, float, bool], float]
+
+
+#: victim-selection policies (``SSDConfig.gc_policy``):
+#: ``greedy`` — fewest valid pages (the paper's / SSDsim's default);
+#: ``cost_benefit`` — classic (1-u)/(1+u) * age score, favouring cold
+#: blocks so hot data has time to invalidate itself;
+#: ``wear_aware`` — greedy score with a penalty on already-worn blocks,
+#: trading some write amplification for evener wear.
+GC_POLICIES = ("greedy", "cost_benefit", "wear_aware")
+
+
+class GarbageCollector:
+    """Per-plane collector with selectable victim policy."""
+
+    def __init__(
+        self,
+        service: FlashService,
+        allocator: WriteAllocator,
+        relocate: RelocateFn,
+        threshold: float,
+        restore: float,
+        policy: str = "greedy",
+        wear_weight: float = 4.0,
+    ):
+        if policy not in GC_POLICIES:
+            raise ValueError(
+                f"unknown GC policy {policy!r}; expected one of {GC_POLICIES}"
+            )
+        self.service = service
+        self.allocator = allocator
+        self.relocate = relocate
+        self.threshold = threshold
+        self.restore = restore
+        self.policy = policy
+        self.wear_weight = wear_weight
+        self._collecting = False
+        #: number of GC invocations (victim blocks processed)
+        self.collections = 0
+        #: valid pages migrated over the run (write-amplification source)
+        self.migrated_pages = 0
+
+    # ------------------------------------------------------------------
+    def _candidates(self, plane: int):
+        """(lo, valid, eligible) arrays for a plane's blocks."""
+        geom = self.service.geom
+        arr = self.service.array
+        lo = plane * geom.blocks_per_plane
+        hi = lo + geom.blocks_per_plane
+        valid = arr.valid_count[lo:hi]
+        eligible = arr.write_ptr[lo:hi] == geom.pages_per_block
+        actives = self.allocator.active_in_plane(plane)
+        if actives:
+            eligible = eligible.copy()
+            for active in actives:
+                if lo <= active < hi:
+                    eligible[active - lo] = False
+        # a fully-valid block frees nothing: never a victim
+        eligible = eligible & (valid < geom.pages_per_block)
+        return lo, valid, eligible
+
+    def select_victim(self, plane: int) -> int | None:
+        """Pick a victim block by the configured policy; None when no
+        eligible block would free any space."""
+        geom = self.service.geom
+        arr = self.service.array
+        lo, valid, eligible = self._candidates(plane)
+        if not eligible.any():
+            return None
+        if self.policy == "greedy":
+            costs = np.where(eligible, valid, np.iinfo(valid.dtype).max)
+            return lo + int(np.argmin(costs))
+        if self.policy == "wear_aware":
+            hi = lo + geom.blocks_per_plane
+            wear = arr.erase_count[lo:hi].astype(np.float64)
+            mean_wear = wear.mean()
+            score = valid + self.wear_weight * np.maximum(
+                0.0, wear - mean_wear
+            )
+            score = np.where(eligible, score, np.inf)
+            return lo + int(np.argmin(score))
+        # cost_benefit: maximise (free/ppb) / (2 * valid/ppb) * age,
+        # i.e. the classic (1-u)/(2u) * age with age = time since the
+        # block last changed (colder blocks win ties)
+        hi = lo + geom.blocks_per_plane
+        ppb = geom.pages_per_block
+        u = valid / ppb
+        age = (arr.mod_seq - arr.last_mod[lo:hi]).astype(np.float64) + 1.0
+        benefit = (1.0 - u) / (2.0 * u + 1e-9) * age
+        benefit = np.where(eligible, benefit, -np.inf)
+        return lo + int(np.argmax(benefit))
+
+    # ------------------------------------------------------------------
+    def collect_once(self, plane: int, now: float, *, timed: bool = True) -> float:
+        """Collect a single victim block; returns the erase finish time,
+        or ``now`` when no victim exists."""
+        victim = self.select_victim(plane)
+        if victim is None:
+            return now
+        arr = self.service.array
+        finish = now
+        for ppn in list(arr.valid_ppns(victim)):
+            finish = max(finish, self.relocate(ppn, now, timed))
+            self.migrated_pages += 1
+        finish = max(finish, self.service.erase_block(victim, now, aging=not timed))
+        self.collections += 1
+        return finish
+
+    def maybe_collect(self, plane: int, now: float, *, timed: bool = True) -> float:
+        """Run GC on ``plane`` if it is below threshold; returns the time
+        the reclamation finished (``now`` when nothing ran)."""
+        if self._collecting:
+            return now
+        if self.service.free_fraction(plane) >= self.threshold:
+            return now
+        self._collecting = True
+        finish = now
+        try:
+            while self.service.free_fraction(plane) < self.restore:
+                before = self.service.array.free_block_count(plane)
+                finish = max(finish, self.collect_once(plane, now, timed=timed))
+                if self.service.array.free_block_count(plane) <= before:
+                    break  # no progress possible; let allocation fail upstream
+        finally:
+            self._collecting = False
+        return finish

@@ -1,0 +1,94 @@
+"""Reverse-mapping records stored with every programmed flash page.
+
+The flash array treats these as opaque; garbage collection reads them
+back to know how to re-map a migrated page.  ``payload`` carries the
+sector-version stamps used by the correctness oracle and is ``None``
+in plain performance runs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class DataPageMeta:
+    """A normally-mapped data page holding sectors of one LPN.
+
+    ``mask`` is the page-relative bitmap of the sectors that were live
+    when the page was programmed — the out-of-band (OOB) record a real
+    FTL scans to rebuild its tables after power loss.
+    """
+
+    __slots__ = ("lpn", "mask", "payload")
+    kind = "data"
+
+    def __init__(self, lpn: int, mask: int = 0, payload: Optional[dict] = None):
+        self.lpn = lpn
+        self.mask = mask
+        self.payload = payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DataPageMeta(lpn={self.lpn})"
+
+
+class AcrossPageMeta:
+    """An across-page area: one physical page holding a sector extent
+    that spans two logical pages (paper §3.1)."""
+
+    __slots__ = ("aidx", "start", "size", "payload")
+    kind = "across"
+
+    def __init__(self, aidx: int, start: int, size: int, payload: Optional[dict] = None):
+        self.aidx = aidx
+        #: absolute first sector of the re-aligned extent
+        self.start = start
+        #: extent length in sectors (always <= sectors per page)
+        self.size = size
+        self.payload = payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AcrossPageMeta(aidx={self.aidx}, start={self.start}, size={self.size})"
+
+
+class MapPageMeta:
+    """A translation page: a flash-resident chunk of a mapping table."""
+
+    __slots__ = ("table_id", "tvpn")
+    kind = "map"
+
+    def __init__(self, table_id: int, tvpn: int):
+        self.table_id = table_id
+        self.tvpn = tvpn
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MapPageMeta(table={self.table_id}, tvpn={self.tvpn})"
+
+
+class RegionPageMeta:
+    """An MRSM data page packing up to R sub-page regions.
+
+    ``slots`` holds one ``(region_key, live)`` pair per packed region;
+    a page stays VALID in the array while any slot is live.  ``masks``
+    records each slot's written-sector bitmap (region-relative) for
+    table reconstruction.
+    """
+
+    __slots__ = ("slots", "masks", "payloads")
+    kind = "region"
+
+    def __init__(
+        self,
+        slots: list,
+        masks: Optional[list] = None,
+        payloads: Optional[dict] = None,
+    ):
+        self.slots = slots
+        self.masks = masks if masks is not None else [0] * len(slots)
+        self.payloads = payloads
+
+    def live_count(self) -> int:
+        """Number of slots still holding the newest copy of a region."""
+        return sum(1 for _, live in self.slots if live)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RegionPageMeta({self.slots!r})"

@@ -1,0 +1,377 @@
+"""MRSM: multiregional sub-page space management (Chen et al., TCAD'20).
+
+The comparator scheme of the paper's evaluation.  Every page is split
+into ``regions_per_page`` fixed regions (default 4, i.e. 2 KiB regions
+on 8 KiB pages); the mapping is kept at region granularity, and a write
+packs all its regions into as few flash pages as possible — so an
+unaligned or across-page write usually costs a *single* program and no
+read-modify-write (region-aligned updates overwrite "directly").
+
+The price is exactly what the paper observes (§4.2):
+
+* the table has up to ``regions_per_page`` times more entries than a
+  page-level table, far exceeding the DRAM budget, so lookups stream
+  translation pages between DRAM and flash (the large *Map* components
+  of Fig. 10 and the worst erase counts of Fig. 11);
+* entries are organised in a tree, so each lookup costs O(log n) DRAM
+  touches (the ~32x DRAM accesses of Fig. 12b).
+
+Mapping-table *size* (Fig. 12a) is adaptive: a logical page whose R
+regions are packed, in order, in a single flash page collapses to one
+entry ("adaptively adjusting mapping granularity"); fragmented pages
+pay one entry per region.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigError, MappingError
+from ..metrics.counters import OpKind
+from .allocator import STREAM_GC
+from .base import BaseFTL, iter_bits, mask_range
+from .meta import RegionPageMeta
+
+#: a region entry records offset, size, PPN and slot ("a complicated
+#: mapping data structure to record the offset and size information",
+#: paper §2.2) — twice the plain page entry
+REGION_ENTRY_BYTES = 16
+PAGE_ENTRY_BYTES = 8
+
+
+class MRSMFTL(BaseFTL):
+    """Sub-page (regional) mapping FTL."""
+
+    name = "mrsm"
+
+    def __init__(self, service, *, regions_per_page: int = 4, **kw):
+        super().__init__(service, **kw)
+        if regions_per_page <= 0 or self.spp % regions_per_page != 0:
+            raise ConfigError(
+                f"regions_per_page={regions_per_page} must divide "
+                f"sectors_per_page={self.spp}"
+            )
+        self.R = regions_per_page
+        self.region_sectors = self.spp // regions_per_page
+        #: region key (= lpn * R + r) -> (ppn, slot index within page)
+        self.region_map: dict[int, tuple[int, int]] = {}
+        #: region key -> bitmask of written sectors within the region
+        self.region_mask: dict[int, int] = {}
+        #: LPNs that have ever been written at sub-page granularity;
+        #: once the tree splits a page's entry it stays split (a later
+        #: full-page overwrite does not re-coarsen it), which is why
+        #: MRSM's table converges to ~2.4x the baseline's (Fig. 12a)
+        self._ever_fragmented: set[int] = set()
+        entries_per_page = max(1, self.cfg.page_size_bytes // REGION_ENTRY_BYTES)
+        self._cache = self._make_cache(
+            table_id=1,
+            entries_per_page=entries_per_page,
+            capacity_entries=self.dram_entries,
+            touches_fn=self._tree_touches,
+        )
+
+    def _tree_touches(self) -> int:
+        """DRAM touches per lookup: the depth of the (4-ary) mapping
+        tree MRSM keeps its region entries in (Fig. 12b: ~32x the flat
+        tables' single touch, once multiplied by regions per request)."""
+        return max(1, math.ceil(math.log2(len(self.region_map) + 2) / 2))
+
+    # ------------------------------------------------------------------
+    # region geometry
+    # ------------------------------------------------------------------
+    def _split_regions(self, offset: int, size: int):
+        """Yield (region_key, rel_lo, rel_hi) pieces of a sector extent,
+        with rel_* relative to the region start."""
+        rs = self.region_sectors
+        sec = offset
+        end = offset + size
+        while sec < end:
+            key = sec // rs
+            region_start = key * rs
+            hi = min(end, region_start + rs)
+            yield key, sec - region_start, hi - region_start
+            sec = hi
+
+    def _region_base_sector(self, key: int) -> int:
+        return key * self.region_sectors
+
+    # ------------------------------------------------------------------
+    # slot lifecycle
+    # ------------------------------------------------------------------
+    def _kill_slot(self, key: int) -> None:
+        """Mark a region's old slot dead; invalidate its page when the
+        last live slot dies."""
+        loc = self.region_map.get(key)
+        if loc is None:
+            return
+        ppn, slot = loc
+        meta = self.service.array.meta(ppn)
+        skey, live = meta.slots[slot]
+        if skey != key or not live:
+            raise MappingError(f"slot bookkeeping broken for region {key}")
+        meta.slots[slot] = (key, False)
+        if meta.live_count() == 0:
+            self.service.invalidate(ppn)
+
+    # ------------------------------------------------------------------
+    def write(
+        self, offset: int, size: int, now: float, stamps: Optional[dict] = None
+    ) -> float:
+        """Service a write: split into regions, region-level RMW where a
+        region is partially covered, pack into R-slot pages."""
+        pieces = list(self._split_regions(offset, size))
+        finish = now
+        # any lpn not covered by whole aligned pages becomes (and stays)
+        # region-mapped in the tree — persistent table state, so warm-up
+        # (aging) writes fragment it too, like the paper's warm-up trace
+        first_lpn = offset // self.spp
+        last_lpn = (offset + size - 1) // self.spp
+        for lpn in range(first_lpn, last_lpn + 1):
+            page_lo = lpn * self.spp
+            if offset > page_lo or offset + size < page_lo + self.spp:
+                self._ever_fragmented.add(lpn)
+        # phase 1: mapping lookups + region-level read-modify-write
+        rmw_ppns: set[int] = set()
+        for key, rel_lo, rel_hi in pieces:
+            t = self._cache.access(key, now, dirty=True, timed=self.timed)
+            finish = max(finish, t)
+            old_mask = self.region_mask.get(key, 0)
+            retained = old_mask & ~mask_range(rel_lo, rel_hi)
+            if retained:
+                rmw_ppns.add(self.region_map[key][0])
+        for ppn in rmw_ppns:
+            t = self.service.read_page(
+                ppn, now, self._kind(OpKind.DATA), timed=self.timed
+            )
+            if not self.aging:
+                self.counters.update_reads += 1
+            finish = max(finish, t)
+
+        # phase 2: pack regions into pages, R slots per page
+        start = finish
+        for i in range(0, len(pieces), self.R):
+            group = pieces[i : i + self.R]
+            payload: Optional[dict] = {} if self.track_payload else None
+            slots = []
+            for slot_idx, (key, rel_lo, rel_hi) in enumerate(group):
+                base = self._region_base_sector(key)
+                old_mask = self.region_mask.get(key, 0)
+                new_mask = mask_range(rel_lo, rel_hi)
+                if payload is not None:
+                    # retained old sectors of this region
+                    retained = old_mask & ~new_mask
+                    if retained:
+                        old_ppn = self.region_map[key][0]
+                        old_meta = self.service.array.meta(old_ppn)
+                        if old_meta.payloads:
+                            for bit in iter_bits(retained):
+                                sec = base + bit
+                                if sec in old_meta.payloads:
+                                    payload[sec] = old_meta.payloads[sec]
+                    if stamps:
+                        for bit in iter_bits(new_mask):
+                            sec = base + bit
+                            if sec in stamps:
+                                payload[sec] = stamps[sec]
+                slots.append((key, True))
+            masks = [
+                self.region_mask.get(key, 0) | mask_range(rel_lo, rel_hi)
+                for key, rel_lo, rel_hi in group
+            ]
+            meta = RegionPageMeta(slots, masks, payload)
+            for key, _lo, _hi in group:
+                self._kill_slot(key)
+            ppn, t = self._program_page(meta, start, OpKind.DATA)
+            finish = max(finish, t)
+            for slot_idx, (key, rel_lo, rel_hi) in enumerate(group):
+                self.region_map[key] = (ppn, slot_idx)
+                self.region_mask[key] = masks[slot_idx]
+        return finish
+
+    # ------------------------------------------------------------------
+    def read(
+        self, offset: int, size: int, now: float
+    ) -> tuple[float, Optional[dict]]:
+        """Service a read: one flash read per distinct page holding a
+        wanted live region."""
+        finish = now
+        found: Optional[dict] = {} if self.track_payload else None
+        ppn_sectors: dict[int, list[int]] = {}
+        for key, rel_lo, rel_hi in self._split_regions(offset, size):
+            t = self._cache.access(key, now, dirty=False, timed=self.timed)
+            finish = max(finish, t)
+            present = self.region_mask.get(key, 0) & mask_range(rel_lo, rel_hi)
+            if not present:
+                continue
+            ppn = self.region_map[key][0]
+            base = self._region_base_sector(key)
+            ppn_sectors.setdefault(ppn, []).extend(
+                base + bit for bit in iter_bits(present)
+            )
+        for ppn, sectors in ppn_sectors.items():
+            t = self.service.read_page(
+                ppn, now, self._kind(OpKind.DATA), timed=self.timed
+            )
+            finish = max(finish, t)
+            if found is not None:
+                meta = self.service.array.meta(ppn)
+                if meta.payloads:
+                    for sec in sectors:
+                        if sec in meta.payloads:
+                            found[sec] = meta.payloads[sec]
+        return finish, found
+
+    # ------------------------------------------------------------------
+    def trim(self, offset: int, size: int, now: float) -> float:
+        """Drop data at region granularity: a region whose last live
+        sectors are trimmed gives up its slot (and its page, once every
+        slot is dead)."""
+        for key, rel_lo, rel_hi in self._split_regions(offset, size):
+            old = self.region_mask.get(key, 0)
+            if not old:
+                continue
+            remaining = old & ~mask_range(rel_lo, rel_hi)
+            if remaining:
+                self.region_mask[key] = remaining
+            else:
+                self._kill_slot(key)
+                del self.region_map[key]
+                del self.region_mask[key]
+        self.counters.count_dram()
+        return now + self.cfg.timing.cache_access_ms
+
+    # ------------------------------------------------------------------
+    # GC relocation of region pages
+    # ------------------------------------------------------------------
+    def _relocate_extra(self, old_ppn: int, meta, now: float) -> float:
+        if meta.kind != "region":
+            return super()._relocate_extra(old_ppn, meta, now)
+        live_keys = [k for k, live in meta.slots if live]
+        for k in live_keys:
+            if self.region_map.get(k, (None, None))[0] != old_ppn:
+                raise MappingError(f"region {k} not mapped to GC page {old_ppn}")
+        payload = None
+        if meta.payloads is not None:
+            payload = {}
+            for k in live_keys:
+                base = self._region_base_sector(k)
+                for bit in iter_bits(self.region_mask.get(k, 0)):
+                    sec = base + bit
+                    if sec in meta.payloads:
+                        payload[sec] = meta.payloads[sec]
+        new_meta = RegionPageMeta(
+            [(k, True) for k in live_keys],
+            [self.region_mask.get(k, 0) for k in live_keys],
+            payload,
+        )
+        plane = self.geom.plane_of_ppn(old_ppn)
+        new_ppn, finish = self._program_page(
+            new_meta, now, OpKind.GC, plane=plane, gc_check=False,
+            stream=STREAM_GC,
+        )
+        for slot_idx, k in enumerate(live_keys):
+            self.region_map[k] = (new_ppn, slot_idx)
+        self.service.invalidate(old_ppn)
+        return finish
+
+    # ------------------------------------------------------------------
+    # power-loss recovery
+    # ------------------------------------------------------------------
+    def _rebuild_reset(self) -> None:
+        self.region_map.clear()
+        self.region_mask.clear()
+        self._ever_fragmented.clear()
+
+    def _rebuild_page(self, ppn: int, meta) -> None:
+        if meta.kind != "region":
+            return super()._rebuild_page(ppn, meta)
+        for slot_idx, (key, live) in enumerate(meta.slots):
+            if not live:
+                continue
+            if key in self.region_map:
+                raise MappingError(f"region {key} claimed by two slots")
+            self.region_map[key] = (ppn, slot_idx)
+            self.region_mask[key] = meta.masks[slot_idx]
+
+    def _rebuild_finish(self) -> None:
+        # an lpn whose regions are not one packed page is fragmented
+        for key in self.region_map:
+            lpn = key // self.R
+            if lpn in self._ever_fragmented:
+                continue
+            locs = [
+                self.region_map.get(lpn * self.R + r) for r in range(self.R)
+            ]
+            if None in locs or len({p for p, _ in locs}) != 1 or [
+                s for _, s in locs
+            ] != list(range(self.R)):
+                self._ever_fragmented.add(lpn)
+
+    # ------------------------------------------------------------------
+    def mapping_table_bytes(self) -> int:
+        """Adaptive footprint: an LPN whose R regions sit packed in-order
+        in one page costs one entry; otherwise one entry per region."""
+        if not self.region_map:
+            return 0
+        keys = np.fromiter(self.region_map.keys(), dtype=np.int64)
+        ppns = np.fromiter(
+            (v[0] for v in self.region_map.values()), dtype=np.int64, count=len(keys)
+        )
+        slots = np.fromiter(
+            (v[1] for v in self.region_map.values()), dtype=np.int64, count=len(keys)
+        )
+        order = np.argsort(keys)
+        keys, ppns, slots = keys[order], ppns[order], slots[order]
+        lpns = keys // self.R
+        total = 0
+        i = 0
+        n = len(keys)
+        while i < n:
+            j = i
+            lpn = lpns[i]
+            while j < n and lpns[j] == lpn:
+                j += 1
+            cnt = j - i
+            if (
+                cnt == self.R
+                and int(lpn) not in self._ever_fragmented
+                and (ppns[i:j] == ppns[i]).all()
+                and (slots[i:j] == np.arange(self.R)).all()
+                and (keys[i:j] == lpn * self.R + np.arange(self.R)).all()
+            ):
+                total += PAGE_ENTRY_BYTES  # coarse page-level entry
+            else:
+                total += cnt * REGION_ENTRY_BYTES
+            i = j
+        return total
+
+    def flush_metadata(self, now: float) -> float:
+        """Write back dirty translation pages (end-of-run barrier)."""
+        return self._cache.flush(now, timed=self.timed)
+
+    def stats(self) -> dict:
+        """Region-map and mapping-cache statistics for the report."""
+        s = super().stats()
+        s.update(
+            region_entries=len(self.region_map),
+            map_cache_hits=self._cache.hits,
+            map_cache_misses=self._cache.misses,
+            map_cache_evictions=self._cache.evictions,
+            map_residency=self._cache.residency(len(self.region_map)),
+        )
+        return s
+
+    def check_invariants(self) -> None:
+        """Region-map consistency (tests only)."""
+        for key, (ppn, slot) in self.region_map.items():
+            if not self.service.array.is_valid(ppn):
+                raise MappingError(f"region {key} -> invalid PPN {ppn}")
+            meta = self.service.array.meta(ppn)
+            if meta.kind != "region":
+                raise MappingError(f"region {key} -> non-region page")
+            skey, live = meta.slots[slot]
+            if skey != key or not live:
+                raise MappingError(f"region {key} slot mismatch at PPN {ppn}")

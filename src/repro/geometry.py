@@ -1,0 +1,146 @@
+"""Physical address arithmetic for the flash hierarchy.
+
+The SSD follows the channel - chip - die - plane - block - page
+organisation (paper §1).  We linearise physical page numbers (PPNs) so
+that a plane's pages are contiguous::
+
+    plane_index = ((channel * chips_per_channel + chip) * dies_per_chip
+                   + die) * planes_per_die + plane
+    ppn = (plane_index * blocks_per_plane + block) * pages_per_block + page
+
+This keeps per-plane structures (free pools, valid counters) simple
+array slices, and chip contention a cheap integer division away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import SSDConfig
+from .errors import GeometryError
+
+
+@dataclass(frozen=True)
+class PhysAddr:
+    """A fully decoded physical page address."""
+
+    channel: int
+    chip: int
+    die: int
+    plane: int
+    block: int
+    page: int
+
+
+class FlashGeometry:
+    """Address packing/unpacking and hierarchy sizes for one device."""
+
+    __slots__ = (
+        "cfg",
+        "pages_per_block",
+        "blocks_per_plane",
+        "pages_per_plane",
+        "num_planes",
+        "num_chips",
+        "planes_per_chip",
+        "num_blocks",
+        "num_pages",
+    )
+
+    def __init__(self, cfg: SSDConfig):
+        cfg.validate()
+        self.cfg = cfg
+        self.pages_per_block = cfg.pages_per_block
+        self.blocks_per_plane = cfg.blocks_per_plane
+        self.pages_per_plane = cfg.pages_per_plane
+        self.num_planes = cfg.num_planes
+        self.num_chips = cfg.num_chips
+        self.planes_per_chip = cfg.dies_per_chip * cfg.planes_per_die
+        self.num_blocks = cfg.num_blocks
+        self.num_pages = cfg.num_pages
+
+    # -- packing -------------------------------------------------------
+    def ppn(self, plane_index: int, block: int, page: int) -> int:
+        """Pack (plane, block-in-plane, page-in-block) into a PPN."""
+        if not (0 <= plane_index < self.num_planes):
+            raise GeometryError(f"plane {plane_index} out of range")
+        if not (0 <= block < self.blocks_per_plane):
+            raise GeometryError(f"block {block} out of range")
+        if not (0 <= page < self.pages_per_block):
+            raise GeometryError(f"page {page} out of range")
+        return (plane_index * self.blocks_per_plane + block) * self.pages_per_block + page
+
+    def check_ppn(self, ppn: int) -> None:
+        """Raise :class:`GeometryError` when ``ppn`` is out of range."""
+        if not (0 <= ppn < self.num_pages):
+            raise GeometryError(f"PPN {ppn} outside device of {self.num_pages} pages")
+
+    # -- unpacking -----------------------------------------------------
+    def plane_of_ppn(self, ppn: int) -> int:
+        """Linear plane index containing the page."""
+        return ppn // self.pages_per_plane
+
+    def block_of_ppn(self, ppn: int) -> int:
+        """Global block index (plane-major) of a PPN."""
+        return ppn // self.pages_per_block
+
+    def block_in_plane(self, ppn: int) -> int:
+        """Block index within its plane."""
+        return (ppn // self.pages_per_block) % self.blocks_per_plane
+
+    def page_in_block(self, ppn: int) -> int:
+        """Page index within its block."""
+        return ppn % self.pages_per_block
+
+    def chip_of_plane(self, plane_index: int) -> int:
+        """Global chip index hosting the plane."""
+        return plane_index // self.planes_per_chip
+
+    def chip_of_ppn(self, ppn: int) -> int:
+        """Global chip index hosting the page (contention target)."""
+        return self.plane_of_ppn(ppn) // self.planes_per_chip
+
+    def channel_of_chip(self, chip: int) -> int:
+        """Channel the chip hangs off."""
+        return chip // self.cfg.chips_per_channel
+
+    def decode(self, ppn: int) -> PhysAddr:
+        """Full decode of a PPN into its hierarchy coordinates."""
+        self.check_ppn(ppn)
+        page = self.page_in_block(ppn)
+        block = self.block_in_plane(ppn)
+        plane_index = self.plane_of_ppn(ppn)
+        plane = plane_index % self.cfg.planes_per_die
+        die = (plane_index // self.cfg.planes_per_die) % self.cfg.dies_per_chip
+        chip_global = plane_index // self.planes_per_chip
+        chip = chip_global % self.cfg.chips_per_channel
+        channel = chip_global // self.cfg.chips_per_channel
+        return PhysAddr(channel, chip, die, plane, block, page)
+
+    def encode(self, addr: PhysAddr) -> int:
+        """Inverse of :meth:`decode`."""
+        cfg = self.cfg
+        if not (0 <= addr.channel < cfg.channels):
+            raise GeometryError(f"channel {addr.channel} out of range")
+        if not (0 <= addr.chip < cfg.chips_per_channel):
+            raise GeometryError(f"chip {addr.chip} out of range")
+        if not (0 <= addr.die < cfg.dies_per_chip):
+            raise GeometryError(f"die {addr.die} out of range")
+        if not (0 <= addr.plane < cfg.planes_per_die):
+            raise GeometryError(f"plane {addr.plane} out of range")
+        plane_index = (
+            (addr.channel * cfg.chips_per_channel + addr.chip) * cfg.dies_per_chip
+            + addr.die
+        ) * cfg.planes_per_die + addr.plane
+        return self.ppn(plane_index, addr.block, addr.page)
+
+    # -- block-level helpers --------------------------------------------
+    def first_ppn_of_block(self, global_block: int) -> int:
+        """PPN of the block's page 0."""
+        if not (0 <= global_block < self.num_blocks):
+            raise GeometryError(f"block {global_block} out of range")
+        return global_block * self.pages_per_block
+
+    def plane_of_block(self, global_block: int) -> int:
+        """Linear plane index containing the block."""
+        return global_block // self.blocks_per_plane

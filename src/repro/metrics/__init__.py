@@ -1,0 +1,19 @@
+"""Measurement infrastructure: flash-operation counters, latency
+recording, and report assembly/normalisation for the paper's figures."""
+
+from .counters import FlashOpCounters, OpKind
+from .latency import LatencyRecorder, LatencySummary
+from .report import SimulationReport, geomean, normalize, render_table
+from .timeline import RequestLog
+
+__all__ = [
+    "FlashOpCounters",
+    "OpKind",
+    "LatencyRecorder",
+    "LatencySummary",
+    "SimulationReport",
+    "normalize",
+    "geomean",
+    "render_table",
+    "RequestLog",
+]

@@ -1,0 +1,143 @@
+"""Flash-operation and DRAM-access counters.
+
+The paper's Figures 10-12 are built from exactly these counts: flash
+reads and writes split into *Data* (user payload) and *Map* (mapping
+table pages spilled to / fetched from flash), erase counts (Fig. 11),
+and DRAM access counts (Fig. 12b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class OpKind(str, Enum):
+    """Why a flash operation happened — the Data/Map/GC split."""
+
+    DATA = "data"       # user payload I/O
+    MAP = "map"         # mapping-table page I/O (CMT miss/evict)
+    GC = "gc"           # valid-page migration during garbage collection
+    AGING = "aging"     # device pre-conditioning (excluded from results)
+
+
+@dataclass
+class FlashOpCounters:
+    """Mutable tally of every flash and DRAM operation in a run."""
+
+    reads: dict[OpKind, int] = field(
+        default_factory=lambda: {k: 0 for k in OpKind}
+    )
+    writes: dict[OpKind, int] = field(
+        default_factory=lambda: {k: 0 for k in OpKind}
+    )
+    erases: int = 0
+    aging_erases: int = 0
+    #: DRAM mapping-structure accesses (Fig. 12b).
+    dram_accesses: int = 0
+    #: Write-buffer hits that avoided a flash read.
+    cache_hits: int = 0
+    #: Flash reads performed only to complete a read-modify-write of a
+    #: partial page update (the update-induced reads of §4.2.2).
+    update_reads: int = 0
+    #: Flash reads performed by Across-FTL merged reads (§4.2.1).
+    merged_reads: int = 0
+
+    # -- increments ------------------------------------------------------
+    def count_read(self, kind: OpKind, n: int = 1) -> None:
+        """Tally ``n`` flash page reads of the given kind."""
+        self.reads[kind] += n
+
+    def count_write(self, kind: OpKind, n: int = 1) -> None:
+        """Tally ``n`` flash page programs of the given kind."""
+        self.writes[kind] += n
+
+    def count_erase(self, aging: bool = False) -> None:
+        """Tally one block erase (aging erases are kept separate)."""
+        if aging:
+            self.aging_erases += 1
+        else:
+            self.erases += 1
+
+    def count_dram(self, n: int = 1) -> None:
+        """Tally ``n`` DRAM mapping-structure touches (Fig. 12b)."""
+        self.dram_accesses += n
+
+    # -- aggregates ------------------------------------------------------
+    @property
+    def data_reads(self) -> int:
+        return self.reads[OpKind.DATA]
+
+    @property
+    def data_writes(self) -> int:
+        return self.writes[OpKind.DATA]
+
+    @property
+    def map_reads(self) -> int:
+        return self.reads[OpKind.MAP]
+
+    @property
+    def map_writes(self) -> int:
+        return self.writes[OpKind.MAP]
+
+    @property
+    def gc_reads(self) -> int:
+        return self.reads[OpKind.GC]
+
+    @property
+    def gc_writes(self) -> int:
+        return self.writes[OpKind.GC]
+
+    @property
+    def total_reads(self) -> int:
+        """All measured flash reads (aging excluded)."""
+        return sum(v for k, v in self.reads.items() if k is not OpKind.AGING)
+
+    @property
+    def total_writes(self) -> int:
+        """All measured flash writes (aging excluded)."""
+        return sum(v for k, v in self.writes.items() if k is not OpKind.AGING)
+
+    def map_write_share(self) -> float:
+        """Fraction of flash writes that are mapping-table writes
+        (paper reports 36.9% for MRSM, 2.6% for Across-FTL)."""
+        t = self.total_writes
+        return self.map_writes / t if t else 0.0
+
+    def map_read_share(self) -> float:
+        """Fraction of flash reads that are mapping-table reads
+        (paper reports 34.4% for MRSM, 0.74% for Across-FTL)."""
+        t = self.total_reads
+        return self.map_reads / t if t else 0.0
+
+    def snapshot(self) -> dict:
+        """Plain-dict copy for reports / JSON."""
+        return {
+            "data_reads": self.data_reads,
+            "data_writes": self.data_writes,
+            "map_reads": self.map_reads,
+            "map_writes": self.map_writes,
+            "gc_reads": self.gc_reads,
+            "gc_writes": self.gc_writes,
+            "total_reads": self.total_reads,
+            "total_writes": self.total_writes,
+            "erases": self.erases,
+            "dram_accesses": self.dram_accesses,
+            "cache_hits": self.cache_hits,
+            "update_reads": self.update_reads,
+            "merged_reads": self.merged_reads,
+        }
+
+    def merged_with(self, other: "FlashOpCounters") -> "FlashOpCounters":
+        """Element-wise sum (used when aggregating multi-trace runs)."""
+        out = FlashOpCounters()
+        for k in OpKind:
+            out.reads[k] = self.reads[k] + other.reads[k]
+            out.writes[k] = self.writes[k] + other.writes[k]
+        out.erases = self.erases + other.erases
+        out.aging_erases = self.aging_erases + other.aging_erases
+        out.dram_accesses = self.dram_accesses + other.dram_accesses
+        out.cache_hits = self.cache_hits + other.cache_hits
+        out.update_reads = self.update_reads + other.update_reads
+        out.merged_reads = self.merged_reads + other.merged_reads
+        return out

@@ -1,0 +1,149 @@
+"""Per-request latency recording and summarisation.
+
+Requests are classified the way the paper's motivation study does
+(Fig. 4): *across-page* vs *normal*, separately for reads and writes.
+Latencies are accumulated in growable numpy buffers so recording a
+million samples costs amortised O(1) python work per sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class _Samples:
+    """Growable float64 sample buffer with paired sector sizes."""
+
+    __slots__ = ("_lat", "_sectors", "_n")
+
+    def __init__(self, capacity: int = 1024):
+        self._lat = np.empty(capacity, dtype=np.float64)
+        self._sectors = np.empty(capacity, dtype=np.int64)
+        self._n = 0
+
+    def append(self, latency_ms: float, sectors: int) -> None:
+        if self._n == len(self._lat):
+            self._lat = np.resize(self._lat, self._n * 2)
+            self._sectors = np.resize(self._sectors, self._n * 2)
+        self._lat[self._n] = latency_ms
+        self._sectors[self._n] = sectors
+        self._n += 1
+
+    @property
+    def latencies(self) -> np.ndarray:
+        return self._lat[: self._n]
+
+    @property
+    def sectors(self) -> np.ndarray:
+        return self._sectors[: self._n]
+
+    def __len__(self) -> int:
+        return self._n
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Aggregate statistics for one request class."""
+
+    count: int
+    total_ms: float
+    mean_ms: float
+    p50_ms: float
+    p99_ms: float
+    max_ms: float
+    #: Mean latency divided by mean sector count — the per-sector-size
+    #: metric of Fig. 4.
+    per_sector_ms: float
+
+    @classmethod
+    def empty(cls) -> "LatencySummary":
+        return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+
+def _summarize(samples: _Samples) -> LatencySummary:
+    n = len(samples)
+    if n == 0:
+        return LatencySummary.empty()
+    lat = samples.latencies
+    total = float(lat.sum())
+    total_sectors = int(samples.sectors.sum())
+    return LatencySummary(
+        count=n,
+        total_ms=total,
+        mean_ms=total / n,
+        p50_ms=float(np.percentile(lat, 50)),
+        p99_ms=float(np.percentile(lat, 99)),
+        max_ms=float(lat.max()),
+        per_sector_ms=total / total_sectors if total_sectors else 0.0,
+    )
+
+
+class LatencyRecorder:
+    """Collects request latencies split by (op, across-page) class."""
+
+    #: class keys
+    READ_NORMAL = "read_normal"
+    READ_ACROSS = "read_across"
+    WRITE_NORMAL = "write_normal"
+    WRITE_ACROSS = "write_across"
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._buckets: dict[str, _Samples] = {
+            k: _Samples()
+            for k in (
+                self.READ_NORMAL,
+                self.READ_ACROSS,
+                self.WRITE_NORMAL,
+                self.WRITE_ACROSS,
+            )
+        }
+        # Totals are kept even when sample recording is disabled, so the
+        # overall I/O time metric (Fig. 9c) is always available.
+        self.total_ms = 0.0
+        self.read_ms = 0.0
+        self.write_ms = 0.0
+        self.read_count = 0
+        self.write_count = 0
+
+    def record(
+        self, is_write: bool, is_across: bool, latency_ms: float, sectors: int
+    ) -> None:
+        """Record one completed request."""
+        self.total_ms += latency_ms
+        if is_write:
+            self.write_ms += latency_ms
+            self.write_count += 1
+        else:
+            self.read_ms += latency_ms
+            self.read_count += 1
+        if not self.enabled:
+            return
+        if is_write:
+            key = self.WRITE_ACROSS if is_across else self.WRITE_NORMAL
+        else:
+            key = self.READ_ACROSS if is_across else self.READ_NORMAL
+        self._buckets[key].append(latency_ms, sectors)
+
+    # -- summaries -------------------------------------------------------
+    def summary(self, key: str) -> LatencySummary:
+        """Aggregate statistics for one request class."""
+        return _summarize(self._buckets[key])
+
+    def summaries(self) -> dict[str, LatencySummary]:
+        """Summaries for all four (op, across) classes."""
+        return {k: _summarize(s) for k, s in self._buckets.items()}
+
+    @property
+    def mean_read_ms(self) -> float:
+        return self.read_ms / self.read_count if self.read_count else 0.0
+
+    @property
+    def mean_write_ms(self) -> float:
+        return self.write_ms / self.write_count if self.write_count else 0.0
+
+    @property
+    def request_count(self) -> int:
+        return self.read_count + self.write_count

@@ -1,0 +1,163 @@
+"""Run reports, normalisation and ASCII table rendering.
+
+:class:`SimulationReport` is what :func:`repro.experiments.runner.run_trace`
+returns — everything needed to rebuild each paper figure.  The paper
+presents results *normalised to the baseline FTL*; :func:`normalize`
+implements exactly that, and :func:`render_table` prints the aligned
+tables used by the benchmark harness and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from .counters import FlashOpCounters
+from .latency import LatencyRecorder, LatencySummary
+
+
+@dataclass
+class SimulationReport:
+    """Everything measured in one (trace, scheme) simulation run."""
+
+    scheme: str
+    trace_name: str
+    requests: int
+    counters: FlashOpCounters
+    latency: LatencyRecorder
+    #: Scheme-specific statistics, e.g. Across-FTL write-class counts
+    #: (Fig. 8) or MRSM region metrics.
+    extra: dict[str, Any] = field(default_factory=dict)
+    #: Mapping-table footprint in bytes (Fig. 12a).
+    mapping_table_bytes: int = 0
+    wall_seconds: float = 0.0
+
+    # -- headline metrics used by the figures ----------------------------
+    @property
+    def total_io_ms(self) -> float:
+        """Overall I/O time (Fig. 9c / Fig. 14a)."""
+        return self.latency.total_ms
+
+    @property
+    def mean_read_ms(self) -> float:
+        return self.latency.mean_read_ms
+
+    @property
+    def mean_write_ms(self) -> float:
+        return self.latency.mean_write_ms
+
+    @property
+    def erase_count(self) -> int:
+        return self.counters.erases
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable summary of the run (for archiving sweeps)."""
+        lat = self.latency
+        return {
+            "scheme": self.scheme,
+            "trace": self.trace_name,
+            "requests": self.requests,
+            "counters": self.counters.snapshot(),
+            "latency": {
+                "total_ms": lat.total_ms,
+                "mean_read_ms": lat.mean_read_ms,
+                "mean_write_ms": lat.mean_write_ms,
+                "reads": lat.read_count,
+                "writes": lat.write_count,
+            },
+            "mapping_table_bytes": self.mapping_table_bytes,
+            "extra": {
+                k: v
+                for k, v in self.extra.items()
+                if isinstance(v, (int, float, str, bool))
+            },
+            "wall_seconds": self.wall_seconds,
+        }
+
+    def to_json(self, **kw) -> str:
+        """JSON string of :meth:`to_dict` (kwargs go to json.dumps)."""
+        import json
+
+        return json.dumps(self.to_dict(), **kw)
+
+    def metric(self, name: str) -> float:
+        """Look up a metric by dotted name (used by generic benches)."""
+        direct = {
+            "total_io_ms": self.total_io_ms,
+            "mean_read_ms": self.mean_read_ms,
+            "mean_write_ms": self.mean_write_ms,
+            "erase_count": float(self.erase_count),
+            "flash_reads": float(self.counters.total_reads),
+            "flash_writes": float(self.counters.total_writes),
+            "map_reads": float(self.counters.map_reads),
+            "map_writes": float(self.counters.map_writes),
+            "dram_accesses": float(self.counters.dram_accesses),
+            "mapping_table_bytes": float(self.mapping_table_bytes),
+            "update_reads": float(self.counters.update_reads),
+        }
+        if name in direct:
+            return direct[name]
+        if name in self.extra:
+            return float(self.extra[name])
+        raise KeyError(f"unknown metric {name!r}")
+
+
+def normalize(
+    values: Mapping[str, float], baseline: str = "ftl"
+) -> dict[str, float]:
+    """Divide every scheme's value by the baseline scheme's value.
+
+    This is the presentation used by Figs. 9, 10, 11, 12b and 14.  A
+    zero baseline yields 0 for zero values and ``inf`` otherwise, which
+    keeps degenerate unit-test workloads from raising.
+    """
+    base = values[baseline]
+    out = {}
+    for k, v in values.items():
+        if base == 0:
+            out[k] = 0.0 if v == 0 else float("inf")
+        else:
+            out[k] = v / base
+    return out
+
+
+def render_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Mapping[str, Sequence[Any]],
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render an aligned ASCII table.
+
+    ``rows`` maps a row label (e.g. a trace name) to one value per
+    column.  Numbers are formatted with ``float_fmt``; everything else
+    with ``str``.
+    """
+
+    def fmt(v: Any) -> str:
+        if isinstance(v, float):
+            return float_fmt.format(v)
+        return str(v)
+
+    header = [""] + list(columns)
+    body = [[label] + [fmt(v) for v in vals] for label, vals in rows.items()]
+    widths = [
+        max(len(r[i]) for r in [header] + body) for i in range(len(header))
+    ]
+    lines = [title]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for r in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean, the right average for normalised ratios."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    prod = 1.0
+    for v in vals:
+        prod *= v
+    return prod ** (1.0 / len(vals))

@@ -1,0 +1,105 @@
+"""Per-request event log.
+
+When enabled (``SimConfig.record_requests``), the engine appends one
+row per serviced request: arrival time, op, across-page flag, latency,
+and the flash programs the request induced.  The arrays support the
+analyses the paper's figures summarise — per-class percentiles
+(Fig. 4), latency-over-time, burst drain behaviour — without re-running
+the simulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RequestLog:
+    """Columnar per-request log with amortised O(1) appends."""
+
+    __slots__ = ("_time", "_op", "_across", "_latency", "_flush", "_n")
+
+    def __init__(self, capacity: int = 4096):
+        self._time = np.empty(capacity, dtype=np.float64)
+        self._op = np.empty(capacity, dtype=np.uint8)
+        self._across = np.empty(capacity, dtype=bool)
+        self._latency = np.empty(capacity, dtype=np.float64)
+        self._flush = np.empty(capacity, dtype=np.int32)
+        self._n = 0
+
+    def append(
+        self, time: float, op: int, across: bool, latency: float, flush: int
+    ) -> None:
+        """Record one serviced request."""
+        if self._n == len(self._time):
+            new = self._n * 2
+            self._time = np.resize(self._time, new)
+            self._op = np.resize(self._op, new)
+            self._across = np.resize(self._across, new)
+            self._latency = np.resize(self._latency, new)
+            self._flush = np.resize(self._flush, new)
+        i = self._n
+        self._time[i] = time
+        self._op[i] = op
+        self._across[i] = across
+        self._latency[i] = latency
+        self._flush[i] = flush
+        self._n += 1
+
+    def __len__(self) -> int:
+        return self._n
+
+    # -- column views ----------------------------------------------------
+    @property
+    def time(self) -> np.ndarray:
+        return self._time[: self._n]
+
+    @property
+    def op(self) -> np.ndarray:
+        return self._op[: self._n]
+
+    @property
+    def across(self) -> np.ndarray:
+        return self._across[: self._n]
+
+    @property
+    def latency(self) -> np.ndarray:
+        return self._latency[: self._n]
+
+    @property
+    def flush(self) -> np.ndarray:
+        return self._flush[: self._n]
+
+    # -- analyses ----------------------------------------------------------
+    def percentile(
+        self, q: float, *, op: int | None = None, across: bool | None = None
+    ) -> float:
+        """Latency percentile, optionally filtered by op and class."""
+        lat = self.latency
+        mask = np.ones(len(lat), dtype=bool)
+        if op is not None:
+            mask &= self.op == op
+        if across is not None:
+            mask &= self.across == across
+        sel = lat[mask]
+        return float(np.percentile(sel, q)) if len(sel) else 0.0
+
+    def latency_series(self, bucket_ms: float) -> tuple[np.ndarray, np.ndarray]:
+        """(bucket start times, mean latency per bucket) — latency over
+        time, e.g. to see burst drain behaviour."""
+        if self._n == 0 or bucket_ms <= 0:
+            return np.empty(0), np.empty(0)
+        t = self.time
+        buckets = ((t - t[0]) // bucket_ms).astype(np.int64)
+        n_buckets = int(buckets.max()) + 1
+        sums = np.bincount(buckets, weights=self.latency, minlength=n_buckets)
+        counts = np.bincount(buckets, minlength=n_buckets)
+        valid = counts > 0
+        starts = t[0] + np.arange(n_buckets)[valid] * bucket_ms
+        return starts, sums[valid] / counts[valid]
+
+    def tail_ratio(self, q: float = 99.0) -> float:
+        """pXX / median — the long-tail indicator GC pressure drives."""
+        p50 = self.percentile(50.0)
+        if p50 <= 0:
+            return 0.0
+        return self.percentile(q) / p50

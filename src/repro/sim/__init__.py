@@ -1,0 +1,7 @@
+"""Trace-driven simulation: the engine, device aging, and the
+sector-version oracle used to prove data correctness end-to-end."""
+
+from .engine import Simulator
+from .oracle import SectorOracle
+
+__all__ = ["Simulator", "SectorOracle"]

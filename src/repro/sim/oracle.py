@@ -1,0 +1,67 @@
+"""Sector-version oracle.
+
+Ground truth for data correctness: every written sector gets a fresh
+monotone version stamp; the stamps travel through the FTL inside page
+metadata, survive merges, rollbacks and GC migrations, and every read
+must return exactly the newest stamp for each sector it covers.  Any
+divergence raises :class:`OracleMismatch` with a precise description —
+this is the contract all three schemes are tested against.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+
+
+class OracleMismatch(ReproError):
+    """An FTL returned stale, foreign or missing data."""
+
+
+class SectorOracle:
+    """Monotone version stamps per absolute sector."""
+
+    def __init__(self):
+        self._versions: dict[int, int] = {}
+        self._counter = 0
+        self.writes_stamped = 0
+        self.reads_verified = 0
+
+    def stamp_write(self, offset: int, size: int) -> dict[int, int]:
+        """Assign fresh stamps to ``[offset, offset+size)``; returns the
+        stamps dict handed to the FTL write path."""
+        self._counter += 1
+        v = self._counter
+        stamps = {}
+        for sec in range(offset, offset + size):
+            self._versions[sec] = v
+            stamps[sec] = v
+        self.writes_stamped += 1
+        return stamps
+
+    def trim(self, offset: int, size: int) -> None:
+        """Forget stamps for a trimmed extent: subsequent reads must
+        return nothing for these sectors."""
+        for sec in range(offset, offset + size):
+            self._versions.pop(sec, None)
+
+    def verify(self, offset: int, size: int, found: dict | None) -> None:
+        """Check a read result against ground truth."""
+        found = found or {}
+        for sec in range(offset, offset + size):
+            expected = self._versions.get(sec)
+            got = found.get(sec)
+            if expected is None:
+                if got is not None:
+                    raise OracleMismatch(
+                        f"sector {sec}: never written but read returned "
+                        f"stamp {got}"
+                    )
+            elif got != expected:
+                raise OracleMismatch(
+                    f"sector {sec}: expected stamp {expected}, got {got}"
+                )
+        self.reads_verified += 1
+
+    def written_sectors(self) -> int:
+        """Number of distinct sectors currently holding live data."""
+        return len(self._versions)

@@ -1,0 +1,83 @@
+"""Trace characterisation: the metrics of Table 2 and Figs. 2/13.
+
+Everything is vectorised over the trace arrays; characterising a
+million-request trace takes milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..units import SECTOR_BYTES, sectors_per_page
+from .model import OP_WRITE, Trace
+
+
+def _across_mask(
+    offsets: np.ndarray, sizes: np.ndarray, spp: int
+) -> np.ndarray:
+    """Vectorised across-page predicate (paper §1): size <= one page and
+    the extent spans exactly two logical pages."""
+    first = offsets // spp
+    last = (offsets + sizes - 1) // spp
+    return (sizes <= spp) & (last - first == 1)
+
+
+def across_page_ratio(trace: Trace, page_size_bytes: int) -> float:
+    """Fraction of requests that are across-page at ``page_size_bytes``
+    (Fig. 2 / Fig. 13 / Table 2 "Across R")."""
+    if not len(trace):
+        return 0.0
+    spp = sectors_per_page(page_size_bytes)
+    return float(_across_mask(trace.offsets, trace.sizes, spp).mean())
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """One row of Table 2 plus a few extras."""
+
+    name: str
+    requests: int
+    write_ratio: float
+    mean_write_kb: float
+    mean_read_kb: float
+    across_ratio: float
+    across_write_ratio: float
+    across_read_ratio: float
+    unaligned_ratio: float
+    footprint_mb: float
+
+    def table2_row(self) -> tuple:
+        """(# of Req., Write R, Write SZ, Across R) as in Table 2."""
+        return (
+            self.requests,
+            f"{self.write_ratio:.1%}",
+            f"{self.mean_write_kb:.1f}KB",
+            f"{self.across_ratio:.1%}",
+        )
+
+
+def characterize(trace: Trace, page_size_bytes: int) -> TraceStats:
+    """Compute the full statistics row for a trace at a page size."""
+    n = len(trace)
+    if n == 0:
+        return TraceStats(trace.name, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    spp = sectors_per_page(page_size_bytes)
+    writes = trace.ops == OP_WRITE
+    across = _across_mask(trace.offsets, trace.sizes, spp)
+    aligned = (trace.offsets % spp == 0) & ((trace.offsets + trace.sizes) % spp == 0)
+    wsz = trace.sizes[writes]
+    rsz = trace.sizes[~writes]
+    return TraceStats(
+        name=trace.name,
+        requests=n,
+        write_ratio=float(writes.mean()),
+        mean_write_kb=float(wsz.mean() * SECTOR_BYTES / 1024) if len(wsz) else 0.0,
+        mean_read_kb=float(rsz.mean() * SECTOR_BYTES / 1024) if len(rsz) else 0.0,
+        across_ratio=float(across.mean()),
+        across_write_ratio=float(across[writes].mean()) if writes.any() else 0.0,
+        across_read_ratio=float(across[~writes].mean()) if (~writes).any() else 0.0,
+        unaligned_ratio=float((~aligned).mean()),
+        footprint_mb=trace.footprint_sectors * SECTOR_BYTES / (1024 * 1024),
+    )

@@ -1,0 +1,109 @@
+"""Unit constants and sector/page arithmetic helpers.
+
+Throughout the library, I/O request offsets and sizes are expressed in
+**sectors** (512 bytes), which is the granularity of the SYSTOR'17 block
+traces the paper replays.  Flash operations are expressed in **pages**
+(``SSDConfig.page_size_bytes``), the basic NAND program/read unit.
+
+The across-page predicate used everywhere is :func:`is_across_page`: a
+request is *across-page* when its size is **at most** one page but its
+sector range spans **exactly two** logical pages (paper §1, Figure 1).
+"""
+
+from __future__ import annotations
+
+SECTOR_BYTES = 512
+"""Bytes per disk sector — the trace-level addressing unit."""
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+MS = 1.0
+"""All simulator timestamps and latencies are in milliseconds."""
+
+US = 1e-3
+NS = 1e-6
+
+
+def sectors_per_page(page_size_bytes: int) -> int:
+    """Number of 512-byte sectors in one flash page.
+
+    >>> sectors_per_page(8192)
+    16
+    """
+    if page_size_bytes % SECTOR_BYTES != 0:
+        raise ValueError(
+            f"page size {page_size_bytes} is not a multiple of {SECTOR_BYTES}"
+        )
+    return page_size_bytes // SECTOR_BYTES
+
+
+def lpn_of_sector(sector: int, spp: int) -> int:
+    """Logical page number containing ``sector`` (``spp`` sectors/page)."""
+    return sector // spp
+
+
+def lpn_range(offset: int, size: int, spp: int) -> tuple[int, int]:
+    """Inclusive-exclusive LPN span ``[first, last)`` of a sector extent.
+
+    ``offset`` and ``size`` are in sectors; ``size`` must be positive.
+
+    >>> lpn_range(8, 12, 16)   # write(4K, 6K) with 8K pages
+    (0, 2)
+    """
+    if size <= 0:
+        raise ValueError(f"extent size must be positive, got {size}")
+    first = offset // spp
+    last = (offset + size - 1) // spp + 1
+    return first, last
+
+
+def spans_pages(offset: int, size: int, spp: int) -> int:
+    """Number of logical pages touched by a sector extent."""
+    first, last = lpn_range(offset, size, spp)
+    return last - first
+
+
+def is_across_page(offset: int, size: int, spp: int) -> bool:
+    """True when the extent is an *across-page* request (paper §1).
+
+    The extent must (a) be no larger than one page and (b) span exactly
+    two consecutive logical pages.
+
+    >>> is_across_page(8, 12, 16)    # 6K at 4K offset, 8K page: across
+    True
+    >>> is_across_page(0, 16, 16)    # perfectly aligned page write
+    False
+    >>> is_across_page(8, 24, 16)    # larger than a page: merely unaligned
+    False
+    """
+    return size <= spp and spans_pages(offset, size, spp) == 2
+
+
+def is_aligned(offset: int, size: int, spp: int) -> bool:
+    """True when the extent starts and ends on page boundaries."""
+    return offset % spp == 0 and (offset + size) % spp == 0
+
+
+def split_extent(offset: int, size: int, spp: int):
+    """Split a sector extent into per-LPN pieces.
+
+    Yields ``(lpn, sector_offset_in_page, sector_count)`` tuples covering
+    the extent in LPN order.  This is how the simulator turns a macro
+    request into page-level sub-requests (paper §2.1).
+
+    >>> list(split_extent(8, 20, 16))
+    [(0, 8, 8), (1, 0, 12)]
+    """
+    first, last = lpn_range(offset, size, spp)
+    for lpn in range(first, last):
+        page_start = lpn * spp
+        lo = max(offset, page_start)
+        hi = min(offset + size, page_start + spp)
+        yield lpn, lo - page_start, hi - lo
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division for non-negative operands."""
+    return -(-a // b)

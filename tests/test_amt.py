@@ -1,0 +1,76 @@
+"""Across-page mapping table bookkeeping (repro.core.amt)."""
+
+import pytest
+
+from repro.core.amt import AcrossMappingTable
+from repro.errors import MappingError
+
+
+@pytest.fixture
+def amt():
+    return AcrossMappingTable()
+
+
+class TestCreate:
+    def test_create_returns_entry(self, amt):
+        e = amt.create(10, 168, 12, 500)
+        assert e.lpn0 == 10 and e.start == 168 and e.size == 12
+        assert e.appn == 500
+        assert e.end == 180
+        assert e.lpns == (10, 11)
+
+    def test_indices_dense(self, amt):
+        a = amt.create(0, 8, 4, 1)
+        b = amt.create(2, 40, 4, 2)
+        assert {a.aidx, b.aidx} == {0, 1}
+
+    def test_total_created_counts(self, amt):
+        amt.create(0, 8, 4, 1)
+        amt.create(2, 40, 4, 2)
+        amt.release(0)
+        amt.create(4, 72, 4, 3)
+        assert amt.total_created == 3
+
+    def test_peak_live(self, amt):
+        amt.create(0, 8, 4, 1)
+        amt.create(2, 40, 4, 2)
+        amt.release(0)
+        assert amt.peak_live == 2
+
+
+class TestRelease:
+    def test_release_then_reuse_index(self, amt):
+        a = amt.create(0, 8, 4, 1)
+        amt.release(a.aidx)
+        b = amt.create(2, 40, 4, 2)
+        assert b.aidx == a.aidx  # recycled
+        assert amt.index_space == 1
+
+    def test_double_release_rejected(self, amt):
+        a = amt.create(0, 8, 4, 1)
+        amt.release(a.aidx)
+        with pytest.raises(MappingError):
+            amt.release(a.aidx)
+
+    def test_get_released_rejected(self, amt):
+        a = amt.create(0, 8, 4, 1)
+        amt.release(a.aidx)
+        with pytest.raises(MappingError):
+            amt.get(a.aidx)
+
+
+class TestLookup:
+    def test_get(self, amt):
+        a = amt.create(5, 88, 6, 9)
+        assert amt.get(a.aidx) is a
+
+    def test_contains(self, amt):
+        a = amt.create(5, 88, 6, 9)
+        assert a.aidx in amt
+        assert 99 not in amt
+
+    def test_len_and_iter(self, amt):
+        amt.create(0, 8, 4, 1)
+        amt.create(2, 40, 4, 2)
+        assert len(amt) == 2
+        assert len(list(amt.entries())) == 2

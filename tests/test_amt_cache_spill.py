@@ -1,0 +1,63 @@
+"""AMT mapping-cache spill behaviour (the source of Across-FTL's small
+Map flash traffic — paper Fig. 10's 2.6%/0.74% shares).
+
+An AMT translation page holds page_size/16 = 512 entries, so spill
+requires the live-area index space to exceed one translation page while
+the DRAM budget holds only one — hence the 600-area workloads here.
+"""
+
+import pytest
+
+from conftest import build_ftl
+
+N_AREAS = 600  # spans two AMT translation pages (512 entries each)
+
+
+def make_areas(ftl, n=N_AREAS):
+    """Create ``n`` disjoint across areas at boundaries 1, 3, 5, ..."""
+    for i in range(n):
+        b = (2 * i + 1) * 16
+        ftl.write(b - 3, 6, 0.0)
+
+
+class TestAMTSpill:
+    def test_tiny_amt_cache_produces_map_traffic(self, tiny_cfg):
+        svc, ftl = build_ftl("across", tiny_cfg, amt_cache_entries=512)
+        make_areas(ftl)
+        assert ftl.amt.index_space > 512  # needs 2 translation pages
+        # re-touch the oldest areas: their AMT page was evicted dirty
+        for i in range(40):
+            b = (2 * i + 1) * 16
+            ftl.write(b - 3, 6, 0.0)
+        assert svc.counters.map_writes > 0
+
+    def test_large_amt_cache_no_traffic(self, tiny_cfg):
+        svc, ftl = build_ftl("across", tiny_cfg, amt_cache_entries=100_000)
+        make_areas(ftl)
+        for i in range(40):
+            ftl.write((2 * i + 1) * 16 - 3, 6, 0.0)
+        assert svc.counters.map_writes == 0
+
+    def test_unlimited_amt_cache(self, tiny_cfg):
+        svc, ftl = build_ftl("across", tiny_cfg, amt_cache_entries=None)
+        make_areas(ftl, 100)
+        assert svc.counters.map_writes == 0
+        assert ftl._amt_cache.misses == 0
+
+    def test_spill_read_blocks(self, tiny_cfg):
+        svc, ftl = build_ftl("across", tiny_cfg, amt_cache_entries=512)
+        make_areas(ftl)
+        # reading area 0's data needs its evicted-and-flushed AMT page
+        # back from flash, which gates the read
+        before = svc.counters.map_reads
+        t, _ = ftl.read(1 * 16 - 3, 6, 10_000.0)
+        if svc.counters.map_reads > before:
+            assert t > 10_000.0 + ftl.cfg.timing.read_ms - 1e-9
+
+    def test_stats_expose_amt_cache(self, tiny_cfg):
+        svc, ftl = build_ftl("across", tiny_cfg, amt_cache_entries=512)
+        make_areas(ftl)
+        s = ftl.stats()
+        assert s["amt_cache_misses"] > 0
+        assert s["amt_live"] == len(ftl.amt) == N_AREAS
+        assert s["amt_peak_live"] == N_AREAS

@@ -1,0 +1,191 @@
+"""BAST hybrid log-block FTL (library extension)."""
+
+import numpy as np
+import pytest
+
+from repro.config import SSDConfig
+from repro.errors import ConfigError, MappingError
+from repro.flash.service import FlashService
+from repro.ftl.bast import BASTFTL
+from conftest import build_ftl
+
+
+def stamps_for(offset, size, v):
+    return {s: v for s in range(offset, offset + size)}
+
+
+@pytest.fixture
+def ftl_pair(tiny_cfg):
+    return build_ftl("bast", tiny_cfg)
+
+
+class TestBasics:
+    def test_constructible_via_factory(self, tiny_cfg):
+        svc, ftl = build_ftl("bast", tiny_cfg)
+        assert ftl.name == "bast"
+
+    def test_needs_log_blocks(self, tiny_cfg):
+        svc = FlashService(tiny_cfg)
+        with pytest.raises(ConfigError):
+            BASTFTL(svc, log_blocks=1)
+
+    def test_write_goes_to_log_block(self, ftl_pair):
+        svc, ftl = ftl_pair
+        ftl.write(0, 16, 0.0, stamps_for(0, 16, 1))
+        assert len(ftl.logs) == 1
+        assert svc.counters.data_writes == 1
+        assert ftl.block_map[0] == -1  # no data block until a merge
+
+    def test_read_back(self, ftl_pair):
+        svc, ftl = ftl_pair
+        ftl.write(0, 16, 0.0, stamps_for(0, 16, 1))
+        _, found = ftl.read(0, 16, 1.0)
+        assert all(found[s] == 1 for s in range(16))
+
+    def test_partial_write_rmw(self, ftl_pair):
+        svc, ftl = ftl_pair
+        ftl.write(0, 16, 0.0, stamps_for(0, 16, 1))
+        ftl.write(4, 4, 1.0, stamps_for(4, 4, 2))
+        assert svc.counters.update_reads == 1
+        _, found = ftl.read(0, 16, 2.0)
+        assert found[0] == 1 and found[5] == 2 and found[12] == 1
+
+    def test_across_page_write_two_programs(self, ftl_pair):
+        svc, ftl = ftl_pair
+        ftl.write(8, 16, 0.0, stamps_for(8, 16, 1))
+        assert svc.counters.data_writes == 2  # block mapping can't help
+
+    def test_read_unwritten(self, ftl_pair):
+        svc, ftl = ftl_pair
+        t, found = ftl.read(512, 16, 5.0)
+        assert found == {} and t == 5.0
+
+
+class TestMerges:
+    def test_log_overflow_triggers_merge(self, ftl_pair):
+        svc, ftl = ftl_pair
+        ppb = ftl.ppb
+        spp = ftl.spp
+        # overwrite one page repeatedly to fill its log block
+        for v in range(ppb + 1):
+            ftl.write(0, spp, 0.0, stamps_for(0, spp, v))
+        assert ftl.full_merges >= 1
+        assert svc.counters.erases >= 1
+        assert ftl.block_map[0] >= 0
+        _, found = ftl.read(0, spp, 0.0)
+        assert all(x == ppb for x in found.values())
+
+    def test_switch_merge_on_sequential_fill(self, ftl_pair):
+        svc, ftl = ftl_pair
+        ppb = ftl.ppb
+        spp = ftl.spp
+        # write every page of logical block 0 exactly once, in order,
+        # then one more write to trigger the (switch) merge
+        for off in range(ppb):
+            ftl.write(off * spp, spp, 0.0, stamps_for(off * spp, spp, off))
+        ftl.write(0, spp, 0.0, stamps_for(0, spp, 99))
+        assert ftl.switch_merges == 1
+        assert ftl.full_merges == 0
+        _, found = ftl.read(0, spp, 0.0)
+        assert all(x == 99 for x in found.values())
+        _, found = ftl.read(spp, spp, 0.0)
+        assert all(x == 1 for x in found.values())
+
+    def test_log_pool_eviction(self, tiny_cfg):
+        svc, ftl = build_ftl("bast", tiny_cfg, log_blocks=4)
+        spp = ftl.spp
+        ppb = ftl.ppb
+        # touch more logical blocks than there are log blocks
+        for lbn in range(8):
+            ftl.write(lbn * ppb * spp, spp, 0.0,
+                      stamps_for(lbn * ppb * spp, spp, lbn))
+        assert len(ftl.logs) <= 4
+        # every block's data is still readable (merged or logged)
+        for lbn in range(8):
+            _, found = ftl.read(lbn * ppb * spp, spp, 0.0)
+            assert all(x == lbn for x in found.values()), lbn
+
+    def test_data_block_holes_handled(self, ftl_pair):
+        svc, ftl = ftl_pair
+        ppb = ftl.ppb
+        spp = ftl.spp
+        # write only offsets 3 and 7, then force a merge via overwrites
+        ftl.write(3 * spp, spp, 0.0, stamps_for(3 * spp, spp, 1))
+        ftl.write(7 * spp, spp, 0.0, stamps_for(7 * spp, spp, 2))
+        for v in range(ppb):
+            ftl.write(3 * spp, spp, 0.0, stamps_for(3 * spp, spp, 10 + v))
+        assert ftl.full_merges >= 1
+        _, found = ftl.read(3 * spp, spp, 0.0)
+        assert all(x == 10 + ppb - 2 or x >= 10 for x in found.values())
+        _, found = ftl.read(7 * spp, spp, 0.0)
+        assert all(x == 2 for x in found.values())
+        ftl.check_invariants()
+        svc.array.check_invariants()
+
+
+class TestOracleWorkload:
+    def test_random_workload_correct(self, tiny_cfg):
+        svc, ftl = build_ftl("bast", tiny_cfg, log_blocks=8)
+        rng = np.random.default_rng(4)
+        spp = ftl.spp
+        max_page = 200
+        versions = {}
+        v = 0
+        for _ in range(500):
+            kind = rng.integers(3)
+            if kind == 0:
+                b = int(rng.integers(1, max_page)) * spp
+                off = b - int(rng.integers(1, 4))
+                size = (b - off) + int(rng.integers(1, 4))
+            elif kind == 1:
+                p = int(rng.integers(max_page))
+                size = int(rng.integers(1, spp))
+                off = p * spp + int(rng.integers(0, spp - size + 1))
+            else:
+                p = int(rng.integers(max_page - 3))
+                off, size = p * spp, int(rng.integers(1, 2 * spp))
+            v += 1
+            st = stamps_for(off, size, v)
+            versions.update(st)
+            ftl.write(off, size, 0.0, st)
+        for sec, expect in list(versions.items())[::7]:
+            _, found = ftl.read(sec, 1, 0.0)
+            assert found.get(sec) == expect, sec
+        ftl.check_invariants()
+        svc.array.check_invariants()
+
+    def test_trim(self, ftl_pair):
+        svc, ftl = ftl_pair
+        ftl.write(0, 16, 0.0, stamps_for(0, 16, 1))
+        ftl.trim(0, 16, 1.0)
+        _, found = ftl.read(0, 16, 2.0)
+        assert found == {}
+
+    def test_rebuild_unsupported(self, ftl_pair):
+        svc, ftl = ftl_pair
+        with pytest.raises(MappingError):
+            ftl.rebuild_from_flash()
+
+
+class TestComparison:
+    def test_bast_pays_for_across_heavy_traffic(self, tiny_cfg):
+        """The motivating comparison: on an across-page-heavy workload
+        BAST burns far more erases than any page-mapped scheme."""
+        from repro import SimConfig, SyntheticSpec, generate_trace, run_trace
+
+        spec = SyntheticSpec(
+            "hybrid",
+            2_500,
+            write_ratio=0.8,
+            across_ratio=0.3,
+            mean_write_kb=8.0,
+            footprint_sectors=int(tiny_cfg.logical_sectors * 0.5),
+            seed=6,
+        )
+        trace = generate_trace(spec)
+        bast = run_trace("bast", trace, tiny_cfg, SimConfig(check_oracle=True))
+        ftl = run_trace("ftl", trace, tiny_cfg, SimConfig(check_oracle=True))
+        assert bast.erase_count > ftl.erase_count
+        assert bast.counters.total_writes > ftl.counters.total_writes
+        # ... while its mapping table is far smaller
+        assert bast.mapping_table_bytes < ftl.mapping_table_bytes

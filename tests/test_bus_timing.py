@@ -1,0 +1,70 @@
+"""Optional channel-bus transfer contention in the timing model."""
+
+import pytest
+
+from repro.config import SSDConfig, TimingConfig
+from repro.errors import ConfigError
+from repro.flash.timing import ChipTimeline
+
+
+@pytest.fixture
+def tl():
+    # 4 chips, 2 per channel, 0.02 ms transfer
+    return ChipTimeline(4, TimingConfig(transfer_ms=0.02), chips_per_channel=2)
+
+
+class TestTransferDisabled:
+    def test_zero_transfer_same_as_before(self):
+        tl = ChipTimeline(2, TimingConfig(), chips_per_channel=2)
+        assert tl.program(0, 0.0) == pytest.approx(2.0)
+        assert tl.read(0, 10.0) == pytest.approx(10.075)
+
+
+class TestProgramTransfer:
+    def test_program_includes_transfer(self, tl):
+        assert tl.program(0, 0.0) == pytest.approx(2.02)
+
+    def test_same_channel_serialises_transfers(self, tl):
+        # chips 0 and 1 share channel 0: second transfer waits
+        a = tl.program(0, 0.0)
+        b = tl.program(1, 0.0)
+        assert a == pytest.approx(2.02)
+        assert b == pytest.approx(0.02 + 0.02 + 2.0)  # bus wait + tr + cell
+
+    def test_other_channel_unaffected(self, tl):
+        tl.program(0, 0.0)
+        c = tl.program(2, 0.0)  # channel 1
+        assert c == pytest.approx(2.02)
+
+
+class TestReadTransfer:
+    def test_read_includes_transfer(self, tl):
+        assert tl.read(0, 0.0) == pytest.approx(0.095)
+
+    def test_read_transfer_waits_for_bus(self, tl):
+        tl.program(0, 0.0)   # bus 0 busy until 0.02
+        t = tl.read(1, 0.0)  # cell done at 0.075 > 0.02: no wait
+        assert t == pytest.approx(0.095)
+
+    def test_reads_on_shared_channel_serialise_transfer_only(self, tl):
+        a = tl.read(0, 0.0)
+        b = tl.read(1, 0.0)
+        assert a == pytest.approx(0.095)
+        # cell reads overlap; second transfer queues behind the first
+        assert b == pytest.approx(0.095 + 0.02)
+
+
+class TestIntegration:
+    def test_service_uses_channel_config(self):
+        from repro.flash.service import FlashService
+
+        cfg = SSDConfig.tiny().replace(
+            timing=TimingConfig(transfer_ms=0.02)
+        )
+        svc = FlashService(cfg)
+        t = svc.program_page(0, None, 0.0)
+        assert t == pytest.approx(2.02)
+
+    def test_negative_transfer_rejected(self):
+        with pytest.raises(ConfigError):
+            TimingConfig(transfer_ms=-1).validate()

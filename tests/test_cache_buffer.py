@@ -1,0 +1,78 @@
+"""DRAM data cache (repro.cache.buffer)."""
+
+import pytest
+
+from repro.cache.buffer import DataCache
+
+
+@pytest.fixture
+def cache():
+    return DataCache(capacity_pages=4, spp=16)
+
+
+def stamps_for(offset, size, v):
+    return {s: v for s in range(offset, offset + size)}
+
+
+class TestPutAndHit:
+    def test_full_hit_after_put(self, cache):
+        cache.put(0, 16, stamps_for(0, 16, 1))
+        assert cache.full_hit(0, 16)
+        assert cache.full_hit(4, 8)
+
+    def test_miss_when_uncached(self, cache):
+        assert not cache.full_hit(0, 4)
+
+    def test_partial_coverage_is_miss(self, cache):
+        cache.put(0, 8, stamps_for(0, 8, 1))
+        assert not cache.full_hit(0, 16)
+        assert cache.full_hit(0, 8)
+
+    def test_across_page_extent(self, cache):
+        cache.put(8, 16, stamps_for(8, 16, 1))
+        assert cache.full_hit(8, 16)
+        assert cache.full_hit(12, 8)
+        assert not cache.full_hit(0, 8)
+
+    def test_stamps_returned(self, cache):
+        cache.put(0, 16, stamps_for(0, 16, 7))
+        got = cache.get_stamps(4, 4)
+        assert got == {4: 7, 5: 7, 6: 7, 7: 7}
+
+    def test_newer_write_overwrites_stamps(self, cache):
+        cache.put(0, 16, stamps_for(0, 16, 1))
+        cache.put(4, 4, stamps_for(4, 4, 2))
+        got = cache.get_stamps(0, 16)
+        assert got[4] == 2 and got[0] == 1
+
+    def test_none_stamps_supported(self, cache):
+        cache.put(0, 16, None)
+        assert cache.full_hit(0, 16)
+        assert cache.get_stamps(0, 16) == {}
+
+
+class TestEviction:
+    def test_lru_eviction(self, cache):
+        for lpn in range(5):  # capacity 4
+            cache.put(lpn * 16, 16, None)
+        assert not cache.full_hit(0, 16)   # LPN 0 evicted
+        assert cache.full_hit(4 * 16, 16)
+
+    def test_touch_refreshes_lru(self, cache):
+        for lpn in range(4):
+            cache.put(lpn * 16, 16, None)
+        cache.get_stamps(0, 16)      # touch LPN 0
+        cache.put(4 * 16, 16, None)  # evicts LPN 1, not 0
+        assert cache.full_hit(0, 16)
+        assert not cache.full_hit(16, 16)
+
+    def test_eviction_counted(self, cache):
+        for lpn in range(6):
+            cache.put(lpn * 16, 16, None)
+        assert cache.evictions == 2
+        assert len(cache) == 4
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        DataCache(0, 16)

@@ -1,0 +1,127 @@
+"""SVG chart rendering (repro.experiments.charts)."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.experiments.charts import (
+    chart_section,
+    grouped_bar_svg,
+    legend_html,
+    table_html,
+)
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+@pytest.fixture
+def series():
+    return {
+        "ftl": [1.0, 1.0],
+        "mrsm": [1.2, 1.1],
+        "across": [0.9, 0.85],
+    }
+
+
+class TestGroupedBar:
+    def test_valid_xml(self, series):
+        root = parse(grouped_bar_svg(["lun1", "lun2"], series))
+        assert root.tag.endswith("svg")
+
+    def test_one_bar_per_series_per_group(self, series):
+        root = parse(grouped_bar_svg(["lun1", "lun2"], series, baseline=1.0))
+        bars = root.findall(f"{SVG_NS}path")
+        assert len(bars) == 6  # 2 groups x 3 series
+
+    def test_bars_have_tooltips(self, series):
+        root = parse(grouped_bar_svg(["lun1", "lun2"], series))
+        titles = root.findall(f"{SVG_NS}path/{SVG_NS}title")
+        assert len(titles) == 6
+        assert "lun1" in titles[0].text and "ftl" in titles[0].text
+
+    def test_scheme_colors_fixed_regardless_of_subset(self):
+        # "across" keeps slot 3 even when it is the only series shown
+        root = parse(grouped_bar_svg(["a"], {"across": [0.5]}))
+        fills = [p.get("fill") for p in root.findall(f"{SVG_NS}path")]
+        assert fills == ["var(--series-3)"]
+
+    def test_gridlines_recessive(self, series):
+        svg = grouped_bar_svg(["a", "b"], series)
+        assert 'stroke="var(--grid)"' in svg
+        assert "dasharray" not in svg.replace('stroke-dasharray="none"', "")
+
+    def test_labels_use_text_tokens_not_series_colors(self, series):
+        root = parse(grouped_bar_svg(["a", "b"], series))
+        for text in root.findall(f"{SVG_NS}text"):
+            assert text.get("fill") == "var(--text-secondary)"
+
+    def test_bar_width_capped(self):
+        import re
+
+        svg = grouped_bar_svg(["only"], {"ftl": [1.0]}, width=720)
+        root = parse(svg)
+        path_d = root.find(f"{SVG_NS}path").get("d")
+        xs = [float(x) for x in re.findall(r"[MQH]([\d.]+)", path_d)]
+        assert xs, path_d
+        assert max(xs) - min(xs) <= 24.0 + 1e-6
+
+
+class TestLegendAndTable:
+    def test_legend_present_for_multi_series(self, series):
+        html = legend_html(list(series))
+        assert html.count("<span>") == 3
+        assert "--series-2" in html
+
+    def test_no_legend_for_single_series(self):
+        assert legend_html(["across"]) == ""
+
+    def test_table_contains_all_values(self, series):
+        html = table_html(["lun1", "lun2"], series)
+        assert "1.200" in html and "0.850" in html
+        assert html.count("<tr>") == 3  # header handled separately
+
+    def test_section_combines_everything(self, series):
+        html = chart_section("T", "note", ["a", "b"], series, baseline=1.0)
+        assert "<h2>T</h2>" in html
+        assert "<svg" in html and "viz-table" in html and "viz-legend" in html
+
+    def test_escaping(self):
+        html = chart_section(
+            "<script>", "x & y", ["<cat>"], {"ftl": [1.0]}
+        )
+        assert "<script>" not in html
+        assert "&lt;script&gt;" in html
+
+
+class TestReport:
+    def test_report_on_micro_context(self):
+        from repro.config import SimConfig, SSDConfig
+        from repro.experiments.charts import render_report_html
+        from repro.experiments.runner import ExperimentContext
+
+        cfg = SSDConfig(
+            channels=2,
+            chips_per_channel=2,
+            dies_per_chip=1,
+            planes_per_die=2,
+            blocks_per_plane=32,
+            pages_per_block=16,
+            page_size_bytes=8 * 1024,
+            write_buffer_bytes=512 * 1024,
+        )
+        ctx = ExperimentContext(
+            cfg=cfg,
+            sim_cfg=SimConfig(aged_used=0.5, aged_valid=0.3),
+            scale=0.002,
+        )
+        html = render_report_html(ctx)
+        assert "<!doctype html>" in html
+        assert html.count("<svg") == 6
+        assert "prefers-color-scheme: dark" in html
+        assert "Fig. 11" in html
+        # every chart ships its table (relief rule)
+        assert html.count("viz-table") >= 6

@@ -1,0 +1,150 @@
+"""Command-line interface (repro.cli)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.traces.model import OP_READ, OP_WRITE, Trace
+from repro.traces.systor import save_systor
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    rng = np.random.default_rng(3)
+    n = 400
+    t = Trace(
+        "clitrace",
+        np.sort(rng.uniform(0, 4000, n)),
+        rng.integers(0, 2, n).astype(np.uint8),
+        (rng.integers(0, 4000, n) * 4).astype(np.int64),
+        rng.integers(1, 32, n).astype(np.int64),
+    )
+    p = tmp_path / "cli.csv"
+    save_systor(t, p)
+    return p
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scheme", "bogus"])
+
+    def test_figures_accepts_names(self):
+        args = build_parser().parse_args(["figures", "fig13", "table2"])
+        assert args.names == ["fig13", "table2"]
+
+
+class TestCharacterize:
+    def test_on_file(self, trace_file, capsys):
+        assert main(["characterize", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "across R" in out and "cli" in out
+
+    def test_synthetic_default(self, capsys):
+        assert main(["characterize", "--scale", "0.001"]) == 0
+        out = capsys.readouterr().out
+        assert "lun1" in out and "lun6" in out
+
+
+class TestRunAndCompare:
+    def test_run_on_file(self, trace_file, capsys):
+        rc = main([
+            "run", "--scheme", "across", "--trace", str(trace_file),
+            "--aged-used", "0", "--aged-valid", "0",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "across on" in out
+        assert "erases" in out
+
+    def test_compare_on_file(self, trace_file, capsys):
+        rc = main([
+            "compare", "--trace", str(trace_file),
+            "--aged-used", "0", "--aged-valid", "0",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for scheme in ("ftl", "mrsm", "across"):
+            assert scheme in out
+
+    def test_unknown_lun(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--lun", "lun99", "--aged-used", "0",
+                  "--aged-valid", "0"])
+
+    def test_run_on_workload_spec(self, tmp_path, capsys):
+        import json
+
+        spec = {
+            "name": "cli-workload",
+            "requests": 300,
+            "phases": [
+                {"weight": 1, "op": "write", "pattern": "boundary",
+                 "size_kb": [2, 4]},
+                {"weight": 2, "op": "write", "pattern": "random"},
+            ],
+        }
+        p = tmp_path / "w.json"
+        p.write_text(json.dumps(spec))
+        rc = main([
+            "run", "--scheme", "across", "--workload", str(p),
+            "--aged-used", "0", "--aged-valid", "0",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "across on cli-workload" in out
+
+
+class TestLint:
+    def test_lint_clean_file(self, trace_file, capsys):
+        rc = main(["lint", str(trace_file)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "across-ratio" in out
+
+    def test_lint_exit_code_on_error(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.traces.model import OP_WRITE, Trace
+        from repro.traces.systor import save_systor
+
+        t = Trace(
+            "bad",
+            np.array([0.0]),
+            np.array([OP_WRITE], np.uint8),
+            np.array([10**12], np.int64),  # far outside any device
+            np.array([8], np.int64),
+        )
+        p = tmp_path / "bad.csv"
+        save_systor(t, p)
+        rc = main(["lint", str(p), "--check-range"])
+        assert rc == 1
+        assert "out-of-range" in capsys.readouterr().out
+
+
+class TestFigures:
+    def test_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            main(["figures", "fig99"])
+
+    def test_summary_parser(self):
+        args = build_parser().parse_args(["summary", "fig13", "--scale", "0.001"])
+        assert args.names == ["fig13"]
+
+    def test_report_parser(self):
+        args = build_parser().parse_args(["report", "--out", "x.html"])
+        assert args.out == "x.html"
+
+    @pytest.mark.slow
+    def test_fig13_to_dir(self, tmp_path, capsys):
+        rc = main([
+            "figures", "fig13", "--scale", "0.001",
+            "--out", str(tmp_path / "figs"),
+            "--aged-used", "0", "--aged-valid", "0",
+        ])
+        assert rc == 0
+        assert (tmp_path / "figs" / "fig13.txt").exists()

@@ -1,0 +1,51 @@
+"""Exception hierarchy and doctest execution."""
+
+import doctest
+
+import pytest
+
+import repro.units
+from repro.errors import (
+    ConfigError,
+    FlashProtocolError,
+    GeometryError,
+    MappingError,
+    OutOfSpaceError,
+    ReproError,
+    SimulationError,
+    TraceFormatError,
+)
+from repro.sim.oracle import OracleMismatch
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConfigError,
+            GeometryError,
+            FlashProtocolError,
+            OutOfSpaceError,
+            MappingError,
+            TraceFormatError,
+            SimulationError,
+            OracleMismatch,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_catching_base_does_not_hide_programming_errors(self):
+        with pytest.raises(TypeError):
+            try:
+                raise TypeError("not ours")
+            except ReproError:  # pragma: no cover - must not trigger
+                pytest.fail("ReproError must not catch TypeError")
+
+
+def test_units_doctests():
+    results = doctest.testmod(repro.units)
+    assert results.failed == 0
+    assert results.attempted >= 4  # the examples actually ran

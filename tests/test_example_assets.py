@@ -1,0 +1,45 @@
+"""The example workload specs and scripts stay well-formed."""
+
+import ast
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.traces.workload_spec import compile_workload, validate_spec
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+SPEC_FILES = sorted((EXAMPLES / "workloads").glob("*.json"))
+SCRIPTS = sorted(EXAMPLES.glob("*.py"))
+
+
+@pytest.mark.parametrize("path", SPEC_FILES, ids=lambda p: p.name)
+def test_workload_specs_valid(path):
+    doc = json.loads(path.read_text())
+    spec = validate_spec(doc)
+    trace = compile_workload(spec, 256 * 1024)
+    assert len(trace) == doc["requests"]
+
+
+def test_spec_files_present():
+    assert len(SPEC_FILES) >= 2
+
+
+@pytest.mark.parametrize("path", SCRIPTS, ids=lambda p: p.name)
+def test_example_scripts_parse_and_document(path):
+    tree = ast.parse(path.read_text())
+    doc = ast.get_docstring(tree)
+    assert doc and len(doc) > 80, f"{path.name}: missing real docstring"
+    assert "Run:" in doc or "python examples/" in doc, path.name
+    # every example is runnable as a script
+    has_main_guard = any(
+        isinstance(node, ast.If)
+        and isinstance(node.test, ast.Compare)
+        and getattr(node.test.left, "id", "") == "__name__"
+        for node in tree.body
+    )
+    assert has_main_guard, path.name
+
+
+def test_example_count():
+    assert len(SCRIPTS) >= 10

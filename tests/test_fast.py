@@ -1,0 +1,152 @@
+"""FAST fully-associative log-block FTL (library extension)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, MappingError
+from repro.flash.service import FlashService
+from repro.ftl.fast import FASTFTL
+from conftest import build_ftl
+
+
+def stamps_for(offset, size, v):
+    return {s: v for s in range(offset, offset + size)}
+
+
+@pytest.fixture
+def ftl_pair(tiny_cfg):
+    return build_ftl("fast", tiny_cfg, log_blocks=4)
+
+
+class TestBasics:
+    def test_factory(self, tiny_cfg):
+        svc, ftl = build_ftl("fast", tiny_cfg)
+        assert ftl.name == "fast"
+
+    def test_min_log_blocks(self, tiny_cfg):
+        with pytest.raises(ConfigError):
+            FASTFTL(FlashService(tiny_cfg), log_blocks=1)
+
+    def test_writes_share_one_log_block(self, ftl_pair):
+        svc, ftl = ftl_pair
+        # pages from DIFFERENT logical blocks land in the same log block
+        ftl.write(0, 16, 0.0, stamps_for(0, 16, 1))
+        far = 5 * ftl.ppb * ftl.spp
+        ftl.write(far, 16, 0.0, stamps_for(far, 16, 2))
+        assert len(ftl.log_blocks) == 1
+        lbns = next(iter(ftl.log_blocks.values()))
+        assert lbns == {0, 5}
+
+    def test_read_back(self, ftl_pair):
+        svc, ftl = ftl_pair
+        ftl.write(0, 16, 0.0, stamps_for(0, 16, 1))
+        ftl.write(4, 4, 1.0, stamps_for(4, 4, 2))
+        _, found = ftl.read(0, 16, 2.0)
+        assert found[0] == 1 and found[5] == 2 and found[12] == 1
+        ftl.check_invariants()
+
+
+class TestMergeStorm:
+    def test_log_retirement_merges_all_touched_lbns(self, tiny_cfg):
+        svc, ftl = build_ftl("fast", tiny_cfg, log_blocks=2)
+        spp, ppb = ftl.spp, ftl.ppb
+        # scatter single-page updates over many logical blocks so the
+        # shared log fills with a mix — the retirement merge storm
+        versions = {}
+        for i in range(3 * ppb):
+            lbn = i % 7
+            lpn = lbn * ppb + (i % ppb)
+            versions[lpn] = i
+            ftl.write(lpn * spp, spp, 0.0,
+                      stamps_for(lpn * spp, spp, i))
+        assert ftl.log_retirements >= 1
+        assert ftl.full_merges >= 1
+        for lpn, v in versions.items():
+            _, found = ftl.read(lpn * spp, spp, 0.0)
+            assert all(x == v for x in found.values()), lpn
+        ftl.check_invariants()
+        svc.array.check_invariants()
+
+    def test_erases_counted(self, tiny_cfg):
+        svc, ftl = build_ftl("fast", tiny_cfg, log_blocks=2)
+        spp, ppb = ftl.spp, ftl.ppb
+        for i in range(4 * ppb):
+            ftl.write(((i * 3) % (5 * ppb)) * spp, spp, 0.0)
+        assert svc.counters.erases > 0
+
+    def test_sequential_whole_block_roundtrip(self, ftl_pair):
+        svc, ftl = ftl_pair
+        spp, ppb = ftl.spp, ftl.ppb
+        for off in range(ppb):
+            ftl.write(off * spp, spp, 0.0, stamps_for(off * spp, spp, off))
+        # force merges by overflowing the pool with other blocks
+        for lbn in range(1, 8):
+            ftl.write(lbn * ppb * spp, spp, 0.0,
+                      stamps_for(lbn * ppb * spp, spp, 100 + lbn))
+        for off in range(ppb):
+            _, found = ftl.read(off * spp, spp, 0.0)
+            assert all(x == off for x in found.values()), off
+        ftl.check_invariants()
+
+
+class TestOracleWorkload:
+    def test_random_workload_correct(self, tiny_cfg):
+        svc, ftl = build_ftl("fast", tiny_cfg, log_blocks=6)
+        rng = np.random.default_rng(9)
+        spp = ftl.spp
+        max_page = 150
+        versions = {}
+        v = 0
+        for _ in range(500):
+            kind = rng.integers(3)
+            if kind == 0:
+                b = int(rng.integers(1, max_page)) * spp
+                off = b - int(rng.integers(1, 4))
+                size = (b - off) + int(rng.integers(1, 4))
+            elif kind == 1:
+                p = int(rng.integers(max_page))
+                size = int(rng.integers(1, spp))
+                off = p * spp + int(rng.integers(0, spp - size + 1))
+            else:
+                p = int(rng.integers(max_page - 3))
+                off, size = p * spp, int(rng.integers(1, 2 * spp))
+            v += 1
+            st = stamps_for(off, size, v)
+            versions.update(st)
+            ftl.write(off, size, 0.0, st)
+        for sec, expect in list(versions.items())[::5]:
+            _, found = ftl.read(sec, 1, 0.0)
+            assert found.get(sec) == expect, sec
+        ftl.check_invariants()
+        svc.array.check_invariants()
+
+    def test_trim(self, ftl_pair):
+        svc, ftl = ftl_pair
+        ftl.write(0, 16, 0.0, stamps_for(0, 16, 1))
+        ftl.trim(0, 16, 1.0)
+        _, found = ftl.read(0, 16, 2.0)
+        assert found == {}
+
+    def test_rebuild_unsupported(self, ftl_pair):
+        svc, ftl = ftl_pair
+        with pytest.raises(MappingError):
+            ftl.rebuild_from_flash()
+
+
+class TestVsBAST:
+    def test_fast_beats_bast_on_scattered_updates(self, tiny_cfg):
+        """FAST's raison d'etre: scattered single-page updates thrash
+        BAST's per-block logs but share FAST's pool."""
+
+        def run(scheme):
+            svc, ftl = build_ftl(scheme, tiny_cfg, log_blocks=4)
+            spp, ppb = ftl.spp, ftl.ppb
+            for i in range(2 * ppb):
+                lbn = i % 12
+                ftl.write((lbn * ppb) * spp, spp, 0.0)
+            return svc.counters.erases, svc.counters.total_writes
+
+        bast_erases, bast_writes = run("bast")
+        fast_erases, fast_writes = run("fast")
+        assert fast_erases <= bast_erases
+        assert fast_writes <= bast_writes

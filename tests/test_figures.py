@@ -1,0 +1,111 @@
+"""Figure-reproduction functions on a micro context.
+
+These validate structure and internal consistency of every figure
+function; the full-scale shape comparison against the paper lives in
+the benchmark harness (benchmarks/) and EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.config import SCHEMES, SimConfig, SSDConfig
+from repro.experiments import figures as F
+from repro.experiments.runner import ExperimentContext
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    cfg = SSDConfig(
+        channels=2,
+        chips_per_channel=2,
+        dies_per_chip=1,
+        planes_per_die=2,
+        blocks_per_plane=32,
+        pages_per_block=16,
+        page_size_bytes=8 * 1024,
+        write_buffer_bytes=512 * 1024,
+    )
+    return ExperimentContext(
+        cfg=cfg,
+        sim_cfg=SimConfig(aged_used=0.6, aged_valid=0.3),
+        scale=0.002,
+    )
+
+
+def test_fig2(ctx):
+    r = F.fig2(ctx, count=8)
+    assert len(r.series["ratios"]) == 8
+    assert all(0.0 <= x <= 0.5 for x in r.series["ratios"])
+    assert "Fig. 2" in r.rendered
+
+
+def test_table2(ctx):
+    r = F.table2(ctx)
+    assert set(r.series["rows"]) == {f"lun{i}" for i in range(1, 7)}
+
+
+def test_fig4(ctx):
+    r = F.fig4(ctx)
+    for name, vals in r.series["rows"].items():
+        assert len(vals) == 6
+    # across-page requests must cost more flushes per sector
+    assert float(r.paper_vs_measured["flush ratio"][1]) > 1.0
+
+
+def test_fig8(ctx):
+    r = F.fig8(ctx)
+    for vals in r.series["rows"].values():
+        rollback, direct, prof, unprof, merged = vals
+        assert 0 <= rollback <= 1
+        assert direct + prof + unprof == pytest.approx(1.0, abs=1e-6)
+        assert 0 <= merged <= 1
+
+
+def test_fig9(ctx):
+    r = F.fig9(ctx)
+    for key in ("read", "write", "io"):
+        rows = r.series[key]
+        for name, vals in rows.items():
+            assert vals["ftl"] == pytest.approx(1.0)
+            assert all(v > 0 for v in vals.values())
+
+
+def test_fig10(ctx):
+    r = F.fig10(ctx)
+    for name, vals in r.series["writes"].items():
+        assert vals[SCHEMES.index("ftl")] == pytest.approx(1.0)
+
+
+def test_fig11(ctx):
+    r = F.fig11(ctx)
+    for name, vals in r.series.items():
+        assert vals["ftl"] == pytest.approx(1.0)
+
+
+def test_fig12(ctx):
+    r = F.fig12(ctx)
+    # MRSM's table is the largest, across is between ftl and mrsm
+    for name, sizes in r.series["size_mib"].items():
+        ftl_sz, mrsm_sz, across_sz = sizes
+        assert across_sz >= ftl_sz * 0.9
+    for name, vals in r.series["dram"].items():
+        assert vals[SCHEMES.index("mrsm")] > vals[SCHEMES.index("ftl")]
+
+
+def test_fig13(ctx):
+    r = F.fig13(ctx)
+    for name, vals in r.series.items():
+        assert len(vals) == 3
+
+
+def test_fig14_structure(ctx):
+    r = F.fig14(ctx)
+    assert set(r.series) == {"4KB", "8KB", "16KB"}
+    for label, d in r.series.items():
+        assert set(d) == {"io", "erase"}
+
+
+def test_all_figures_registry():
+    assert set(F.ALL_FIGURES) == {
+        "fig2", "fig4", "table2", "fig8", "fig9", "fig10", "fig11",
+        "fig12", "fig13", "fig14",
+    }

@@ -1,0 +1,93 @@
+"""Numeric consistency of figure functions against the raw reports."""
+
+import pytest
+
+from repro.config import SCHEMES, SimConfig, SSDConfig
+from repro.experiments import figures as F
+from repro.experiments.runner import ExperimentContext
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    cfg = SSDConfig(
+        channels=2,
+        chips_per_channel=2,
+        dies_per_chip=1,
+        planes_per_die=2,
+        blocks_per_plane=32,
+        pages_per_block=16,
+        page_size_bytes=8 * 1024,
+        write_buffer_bytes=512 * 1024,
+    )
+    return ExperimentContext(
+        cfg=cfg,
+        sim_cfg=SimConfig(aged_used=0.5, aged_valid=0.3),
+        scale=0.002,
+    )
+
+
+def test_fig9_matches_raw_reports(ctx):
+    rows = F.fig9(ctx).series["io"]
+    for name in ctx.lun_names():
+        base = ctx.run(name, "ftl").total_io_ms
+        for s in SCHEMES:
+            expect = ctx.run(name, s).total_io_ms / base
+            assert rows[name][s] == pytest.approx(expect)
+
+
+def test_fig11_matches_raw_reports(ctx):
+    rows = F.fig11(ctx).series
+    for name in ctx.lun_names():
+        base = ctx.run(name, "ftl").erase_count
+        for s in SCHEMES:
+            got = rows[name][s]
+            if base:
+                assert got == pytest.approx(
+                    ctx.run(name, s).erase_count / base
+                )
+
+
+def test_fig10_split_sums(ctx):
+    """Map + Data + GC shares of any report cover all flash writes."""
+    for name in ctx.lun_names():
+        for s in SCHEMES:
+            c = ctx.run(name, s).counters
+            assert (
+                c.data_writes + c.map_writes + c.gc_writes == c.total_writes
+            ), (name, s)
+            assert (
+                c.data_reads + c.map_reads + c.gc_reads == c.total_reads
+            ), (name, s)
+
+
+def test_fig8_classes_partition_across_writes(ctx):
+    for name in ctx.lun_names():
+        e = ctx.run(name, "across").extra
+        total = (
+            e["across_direct_writes"]
+            + e["across_profitable_amerge"]
+            + e["across_unprofitable_amerge"]
+        )
+        assert total >= e["across_direct_writes"] > 0
+        # rollback ratio uses measured-run area creations
+        assert 0 <= e["across_rollback_ratio"] <= 1.0
+
+
+def test_fig13_equals_stats_module(ctx):
+    from repro.traces.stats import across_page_ratio
+
+    rows = F.fig13(ctx).series
+    for name in ctx.lun_names():
+        trace = ctx.lun_trace(name)
+        expect = [
+            across_page_ratio(trace, p) for p in (4096, 8192, 16384)
+        ]
+        assert rows[name] == pytest.approx(expect)
+
+
+def test_paper_vs_measured_fields_populated(ctx):
+    for fig_fn in (F.fig8, F.fig9, F.fig11, F.fig12):
+        result = fig_fn(ctx)
+        assert result.paper_vs_measured, result.figure
+        for quantity, pair in result.paper_vs_measured.items():
+            assert len(pair) == 2, (result.figure, quantity)

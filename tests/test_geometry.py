@@ -1,0 +1,101 @@
+"""Physical address packing/unpacking."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SSDConfig
+from repro.errors import GeometryError
+from repro.geometry import FlashGeometry, PhysAddr
+
+
+@pytest.fixture(scope="module")
+def geom():
+    return FlashGeometry(SSDConfig.tiny())
+
+
+class TestPacking:
+    def test_first_ppn(self, geom):
+        assert geom.ppn(0, 0, 0) == 0
+
+    def test_sequential_within_block(self, geom):
+        assert geom.ppn(0, 0, 1) == 1
+
+    def test_blocks_contiguous(self, geom):
+        assert geom.ppn(0, 1, 0) == geom.cfg.pages_per_block
+
+    def test_planes_contiguous(self, geom):
+        assert geom.ppn(1, 0, 0) == geom.pages_per_plane
+
+    def test_out_of_range(self, geom):
+        with pytest.raises(GeometryError):
+            geom.ppn(geom.num_planes, 0, 0)
+        with pytest.raises(GeometryError):
+            geom.ppn(0, geom.blocks_per_plane, 0)
+        with pytest.raises(GeometryError):
+            geom.ppn(0, 0, geom.pages_per_block)
+
+
+class TestDecode:
+    def test_decode_zero(self, geom):
+        a = geom.decode(0)
+        assert a == PhysAddr(0, 0, 0, 0, 0, 0)
+
+    def test_decode_encode_roundtrip_exhaustive_corners(self, geom):
+        for ppn in (0, 1, geom.num_pages - 1, geom.pages_per_plane,
+                    geom.pages_per_block):
+            assert geom.encode(geom.decode(ppn)) == ppn
+
+    def test_check_ppn_rejects(self, geom):
+        with pytest.raises(GeometryError):
+            geom.check_ppn(geom.num_pages)
+        with pytest.raises(GeometryError):
+            geom.check_ppn(-1)
+
+    def test_encode_bad_addr(self, geom):
+        with pytest.raises(GeometryError):
+            geom.encode(PhysAddr(99, 0, 0, 0, 0, 0))
+
+
+class TestHierarchy:
+    def test_chip_of_plane_grouping(self, geom):
+        per_chip = geom.planes_per_chip
+        for plane in range(geom.num_planes):
+            assert geom.chip_of_plane(plane) == plane // per_chip
+
+    def test_chip_of_ppn_matches_decode(self, geom):
+        cfg = geom.cfg
+        for ppn in range(0, geom.num_pages, geom.num_pages // 37 + 1):
+            a = geom.decode(ppn)
+            chip_global = a.channel * cfg.chips_per_channel + a.chip
+            assert geom.chip_of_ppn(ppn) == chip_global
+
+    def test_block_of_ppn(self, geom):
+        ppb = geom.pages_per_block
+        assert geom.block_of_ppn(ppb * 3 + 5) == 3
+        assert geom.page_in_block(ppb * 3 + 5) == 5
+
+    def test_plane_of_block(self, geom):
+        assert geom.plane_of_block(geom.blocks_per_plane) == 1
+
+    def test_first_ppn_of_block(self, geom):
+        assert geom.first_ppn_of_block(2) == 2 * geom.pages_per_block
+        with pytest.raises(GeometryError):
+            geom.first_ppn_of_block(geom.num_blocks)
+
+
+@given(ppn=st.integers(min_value=0))
+@settings(max_examples=200)
+def test_roundtrip_property(ppn):
+    geom = FlashGeometry(SSDConfig.tiny())
+    ppn = ppn % geom.num_pages
+    addr = geom.decode(ppn)
+    assert geom.encode(addr) == ppn
+    # decoded coordinates are in range
+    cfg = geom.cfg
+    assert 0 <= addr.channel < cfg.channels
+    assert 0 <= addr.chip < cfg.chips_per_channel
+    assert 0 <= addr.die < cfg.dies_per_chip
+    assert 0 <= addr.plane < cfg.planes_per_die
+    assert 0 <= addr.block < cfg.blocks_per_plane
+    assert 0 <= addr.page < cfg.pages_per_block

@@ -1,0 +1,93 @@
+"""Corner cases shared by the hybrid log-block schemes (BAST/FAST)."""
+
+import pytest
+
+from repro.config import SimConfig, SSDConfig
+from repro.flash.service import FlashService
+from repro.ftl import make_ftl
+from repro.sim.engine import Simulator
+from repro.traces.model import OP_READ, OP_TRIM, OP_WRITE
+from conftest import build_ftl
+
+
+def stamps_for(offset, size, v):
+    return {s: v for s in range(offset, offset + size)}
+
+
+@pytest.mark.parametrize("scheme", ["bast", "fast"])
+class TestSharedEdges:
+    def test_last_logical_block_partial(self, scheme, tiny_cfg):
+        """The logical space need not be a whole number of blocks."""
+        svc, ftl = build_ftl(scheme, tiny_cfg)
+        spp = ftl.spp
+        last_lpn = ftl.logical_pages - 1
+        ftl.write(last_lpn * spp, spp, 0.0,
+                  stamps_for(last_lpn * spp, spp, 7))
+        _, found = ftl.read(last_lpn * spp, spp, 0.0)
+        assert all(v == 7 for v in found.values())
+        ftl.check_invariants()
+
+    def test_trim_then_rewrite_through_merges(self, scheme, tiny_cfg):
+        svc, ftl = build_ftl(scheme, tiny_cfg, log_blocks=2)
+        spp, ppb = ftl.spp, ftl.ppb
+        for i in range(2 * ppb):  # force merges
+            ftl.write(((i * 5) % (4 * ppb)) * spp, spp, 0.0,
+                      stamps_for(((i * 5) % (4 * ppb)) * spp, spp, i))
+        ftl.trim(0, ppb * spp, 0.0)  # whole first logical block
+        _, found = ftl.read(0, ppb * spp, 0.0)
+        assert found == {}
+        ftl.write(0, spp, 1.0, stamps_for(0, spp, 999))
+        _, found = ftl.read(0, spp, 2.0)
+        assert all(v == 999 for v in found.values())
+        ftl.check_invariants()
+
+    def test_engine_run_with_oracle(self, scheme, tiny_cfg):
+        import numpy as np
+
+        from repro.traces.model import Trace
+
+        svc = FlashService(tiny_cfg)
+        sim = Simulator(
+            make_ftl(scheme, svc, log_blocks=4),
+            SimConfig(check_oracle=True),
+        )
+        rng = np.random.default_rng(12)
+        n = 250
+        trace = Trace(
+            "hyb",
+            np.sort(rng.uniform(0, 1000, n)),
+            rng.choice([OP_WRITE, OP_WRITE, OP_READ, OP_TRIM], n).astype(
+                np.uint8
+            ),
+            (rng.integers(0, 600, n) * 8).astype(np.int64),
+            rng.integers(1, 40, n).astype(np.int64),
+        )
+        rep = sim.run(trace)
+        assert rep.requests == n
+
+    def test_aging_through_hybrid(self, scheme, tiny_cfg):
+        svc = FlashService(tiny_cfg)
+        sim = Simulator(
+            make_ftl(scheme, svc, log_blocks=8),
+            SimConfig(aged_used=0.4, aged_valid=0.3, aging_style="aligned"),
+        )
+        sim.age_device()
+        assert svc.counters.total_writes == 0  # aging excluded
+        assert (svc.timeline.busy_until == 0).all()
+
+    def test_mapping_table_tiny_in_steady_state(self, scheme, tiny_cfg):
+        """The hybrids' selling point: once merges fold logs into data
+        blocks, the table is far smaller than page-level mapping (only
+        the bounded log pool stays page-granular)."""
+        svc, ftl = build_ftl(scheme, tiny_cfg, log_blocks=4)
+        svc2, page_ftl = build_ftl("ftl", tiny_cfg)
+        spp = ftl.spp
+        n = 512  # 32 whole logical blocks, written sequentially
+        for lpn in range(n):
+            ftl.write(lpn * spp, spp, 0.0)
+            page_ftl.write(lpn * spp, spp, 0.0)
+        # another pass forces the logs through merges
+        for lpn in range(0, n, 16):
+            ftl.write(lpn * spp, spp, 0.0)
+            page_ftl.write(lpn * spp, spp, 0.0)
+        assert ftl.mapping_table_bytes() < page_ftl.mapping_table_bytes() / 2

@@ -1,0 +1,116 @@
+"""Cross-scheme integration tests on a realistic (small) workload.
+
+These assert the *relationships* the paper's evaluation is built on —
+who issues fewer flash ops, who erases more, who touches DRAM more —
+rather than absolute values, using a calibrated synthetic trace with
+aging and GC pressure, with the oracle verifying data correctness the
+whole way.
+"""
+
+import pytest
+
+from repro.config import SCHEMES, SimConfig, SSDConfig
+from repro.experiments.runner import compare_schemes
+from repro.traces.synthetic import SyntheticSpec, generate_trace
+
+
+@pytest.fixture(scope="module")
+def reports():
+    cfg = SSDConfig(
+        channels=2,
+        chips_per_channel=2,
+        dies_per_chip=1,
+        planes_per_die=2,
+        blocks_per_plane=48,
+        pages_per_block=32,
+        page_size_bytes=8 * 1024,
+        write_buffer_bytes=1024 * 1024,
+    )
+    spec = SyntheticSpec(
+        "integration",
+        6_000,
+        write_ratio=0.6,
+        across_ratio=0.25,
+        mean_write_kb=9.0,
+        footprint_sectors=int(cfg.logical_sectors * 0.8),
+        seed=2023,
+    )
+    trace = generate_trace(spec)
+    sim_cfg = SimConfig(aged_used=0.85, aged_valid=0.40, check_oracle=True)
+    return compare_schemes(trace, cfg, sim_cfg)
+
+
+class TestOracleHeldEverywhere:
+    def test_every_scheme_verified(self, reports):
+        for s in SCHEMES:
+            assert reports[s].extra["oracle_reads_verified"] > 500
+
+
+class TestFlashOpOrdering:
+    def test_across_fewest_writes(self, reports):
+        w = {s: reports[s].counters.total_writes for s in SCHEMES}
+        assert w["across"] < w["ftl"] < w["mrsm"]
+
+    def test_across_fewest_reads(self, reports):
+        r = {s: reports[s].counters.total_reads for s in SCHEMES}
+        assert r["across"] < r["ftl"]
+        assert r["across"] < r["mrsm"]
+
+    def test_across_reduces_update_reads(self, reports):
+        assert (
+            reports["across"].counters.update_reads
+            < reports["ftl"].counters.update_reads
+        )
+
+    def test_mrsm_has_map_traffic_others_negligible(self, reports):
+        assert reports["mrsm"].counters.map_write_share() > 0.02
+        assert reports["ftl"].counters.map_write_share() < 0.02
+        assert reports["across"].counters.map_write_share() < 0.05
+
+
+class TestEnduranceOrdering:
+    def test_erase_ordering(self, reports):
+        e = {s: reports[s].erase_count for s in SCHEMES}
+        assert e["across"] <= e["ftl"]
+        assert e["ftl"] <= e["mrsm"]
+        assert e["across"] < e["mrsm"]
+
+    def test_gc_ran_everywhere(self, reports):
+        for s in SCHEMES:
+            assert reports[s].erase_count > 0, s
+
+
+class TestOverheadOrdering:
+    def test_dram_accesses(self, reports):
+        d = {s: reports[s].counters.dram_accesses for s in SCHEMES}
+        assert d["mrsm"] > 3 * d["ftl"]
+        assert d["across"] < 2 * d["ftl"]
+
+    def test_mapping_table_sizes(self, reports):
+        sz = {s: reports[s].mapping_table_bytes for s in SCHEMES}
+        assert sz["ftl"] < sz["across"] < sz["mrsm"]
+        # across ratio near the paper's 1.4x-1.5x
+        assert 1.2 < sz["across"] / sz["ftl"] < 1.8
+
+
+class TestLatencyOrdering:
+    def test_across_fastest_overall(self, reports):
+        io = {s: reports[s].total_io_ms for s in SCHEMES}
+        assert io["across"] < io["ftl"]
+        assert io["across"] < io["mrsm"]
+
+    def test_mrsm_reads_slowest(self, reports):
+        rd = {s: reports[s].mean_read_ms for s in SCHEMES}
+        assert rd["mrsm"] > rd["ftl"]
+
+
+class TestAcrossActivity:
+    def test_across_stats_populated(self, reports):
+        e = reports["across"].extra
+        assert e["across_direct_writes"] > 100
+        assert e["across_profitable_amerge"] > 10
+        assert e["amt_created"] >= e["across_rollbacks"]
+        assert e["across_rollback_ratio"] < 0.25
+
+    def test_direct_reads_happen(self, reports):
+        assert reports["across"].extra["across_direct_reads"] > 0

@@ -1,0 +1,149 @@
+"""Counters, latency recording, report normalisation, table rendering."""
+
+import pytest
+
+from repro.metrics.counters import FlashOpCounters, OpKind
+from repro.metrics.latency import LatencyRecorder, LatencySummary
+from repro.metrics.report import geomean, normalize, render_table
+
+
+class TestCounters:
+    def test_shares(self):
+        c = FlashOpCounters()
+        c.count_write(OpKind.DATA, 70)
+        c.count_write(OpKind.MAP, 30)
+        assert c.map_write_share() == pytest.approx(0.3)
+
+    def test_empty_shares(self):
+        assert FlashOpCounters().map_write_share() == 0.0
+        assert FlashOpCounters().map_read_share() == 0.0
+
+    def test_aging_not_in_totals(self):
+        c = FlashOpCounters()
+        c.count_write(OpKind.AGING, 100)
+        c.count_read(OpKind.AGING, 100)
+        assert c.total_writes == 0 and c.total_reads == 0
+
+    def test_snapshot_keys(self):
+        snap = FlashOpCounters().snapshot()
+        for key in ("data_reads", "map_writes", "erases", "dram_accesses"):
+            assert key in snap
+
+    def test_merge(self):
+        a, b = FlashOpCounters(), FlashOpCounters()
+        a.count_write(OpKind.DATA, 5)
+        b.count_write(OpKind.DATA, 7)
+        b.count_erase()
+        m = a.merged_with(b)
+        assert m.data_writes == 12 and m.erases == 1
+
+
+class TestLatencyRecorder:
+    def test_classification(self):
+        r = LatencyRecorder()
+        r.record(True, True, 2.0, 10)
+        r.record(True, False, 1.0, 16)
+        r.record(False, True, 0.5, 8)
+        assert r.summary(r.WRITE_ACROSS).count == 1
+        assert r.summary(r.WRITE_NORMAL).count == 1
+        assert r.summary(r.READ_ACROSS).count == 1
+        assert r.summary(r.READ_NORMAL).count == 0
+
+    def test_totals_without_sampling(self):
+        r = LatencyRecorder(enabled=False)
+        r.record(True, False, 2.0, 16)
+        r.record(False, False, 1.0, 16)
+        assert r.total_ms == pytest.approx(3.0)
+        assert r.mean_write_ms == pytest.approx(2.0)
+        assert r.mean_read_ms == pytest.approx(1.0)
+        assert r.summary(r.WRITE_NORMAL).count == 0  # sampling off
+
+    def test_per_sector_metric(self):
+        r = LatencyRecorder()
+        r.record(True, True, 2.0, 10)
+        r.record(True, True, 4.0, 10)
+        s = r.summary(r.WRITE_ACROSS)
+        assert s.per_sector_ms == pytest.approx(6.0 / 20)
+
+    def test_percentiles(self):
+        r = LatencyRecorder()
+        for i in range(100):
+            r.record(False, False, float(i), 1)
+        s = r.summary(r.READ_NORMAL)
+        assert s.p50_ms == pytest.approx(49.5)
+        assert s.max_ms == 99.0
+
+    def test_empty_summary(self):
+        assert LatencySummary.empty().count == 0
+
+    def test_growth_beyond_initial_capacity(self):
+        r = LatencyRecorder()
+        for i in range(5000):
+            r.record(True, False, 1.0, 4)
+        assert r.summary(r.WRITE_NORMAL).count == 5000
+
+
+class TestReportExport:
+    def _report(self):
+        from repro.metrics.report import SimulationReport
+        from repro.metrics.counters import FlashOpCounters
+
+        rec = LatencyRecorder()
+        rec.record(True, False, 2.0, 16)
+        return SimulationReport(
+            scheme="across",
+            trace_name="t",
+            requests=1,
+            counters=FlashOpCounters(),
+            latency=rec,
+            extra={"across_rollbacks": 3, "unjsonable": object()},
+            mapping_table_bytes=128,
+        )
+
+    def test_to_dict_roundtrips_json(self):
+        import json
+
+        rep = self._report()
+        d = json.loads(rep.to_json())
+        assert d["scheme"] == "across"
+        assert d["latency"]["mean_write_ms"] == 2.0
+        assert d["extra"]["across_rollbacks"] == 3
+        assert "unjsonable" not in d["extra"]
+
+    def test_metric_lookup(self):
+        rep = self._report()
+        assert rep.metric("mapping_table_bytes") == 128.0
+        assert rep.metric("across_rollbacks") == 3.0
+
+
+class TestNormalize:
+    def test_basic(self):
+        n = normalize({"ftl": 10.0, "across": 8.0})
+        assert n["ftl"] == 1.0 and n["across"] == pytest.approx(0.8)
+
+    def test_zero_baseline(self):
+        n = normalize({"ftl": 0.0, "across": 2.0})
+        assert n["ftl"] == 0.0 and n["across"] == float("inf")
+
+
+class TestGeomean:
+    def test_value(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_ignores_nonpositive(self):
+        assert geomean([0.0, 2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+
+class TestRenderTable:
+    def test_contains_all_cells(self):
+        s = render_table("T", ["a", "b"], {"r1": [1.5, 2], "r2": [3.25, "x"]})
+        assert "T" in s and "r1" in s and "1.500" in s and "x" in s
+
+    def test_alignment(self):
+        s = render_table("T", ["col"], {"long_row_name": [1.0], "r": [2.0]})
+        lines = s.splitlines()
+        # header separator spans the widest label
+        assert len(lines[2]) >= len("long_row_name")

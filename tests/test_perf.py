@@ -1,0 +1,75 @@
+"""Throughput guardrails: the simulator must stay fast enough that the
+full benchmark sweep remains a minutes-scale job.
+
+Bounds are deliberately loose (5-10x headroom) so they only trip on
+genuine algorithmic regressions — e.g. something turning O(pages
+touched) into O(device size) per request.
+"""
+
+import time
+
+import pytest
+
+from repro.config import SimConfig, SSDConfig
+from repro.experiments.runner import run_trace
+from repro.traces.synthetic import SyntheticSpec, generate_trace
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("scheme", ["ftl", "across"])
+def test_replay_throughput(scheme):
+    cfg = SSDConfig.bench_default()
+    spec = SyntheticSpec(
+        "perf",
+        8_000,
+        0.6,
+        0.25,
+        9.0,
+        footprint_sectors=int(cfg.logical_sectors * 0.5),
+        seed=1,
+    )
+    trace = generate_trace(spec)
+    t0 = time.perf_counter()
+    rep = run_trace(scheme, trace, cfg)  # no aging: measure the replay
+    dt = time.perf_counter() - t0
+    rate = len(trace) / dt
+    assert rate > 4_000, f"{scheme}: {rate:.0f} requests/s"
+
+
+@pytest.mark.slow
+def test_aging_throughput():
+    cfg = SSDConfig.bench_default()
+    from repro.flash.service import FlashService
+    from repro.ftl import make_ftl
+    from repro.sim.engine import Simulator
+
+    svc = FlashService(cfg)
+    sim = Simulator(
+        make_ftl("ftl", svc), SimConfig(aged_used=0.5, aged_valid=0.3)
+    )
+    t0 = time.perf_counter()
+    sim.age_device()
+    dt = time.perf_counter() - t0
+    pages = int(0.5 * cfg.num_pages)
+    assert pages / dt > 10_000, f"{pages / dt:.0f} aging pages/s"
+
+
+def test_request_cost_scales_with_extent_not_device():
+    """A one-sector request must not scan device-sized structures."""
+    small = SSDConfig.tiny()
+    large = SSDConfig.bench_default()
+    times = {}
+    for name, cfg in (("small", small), ("large", large)):
+        rep_cfg = cfg.replace(write_buffer_bytes=0)
+        from repro.flash.service import FlashService
+        from repro.ftl import make_ftl
+
+        svc = FlashService(rep_cfg)
+        ftl = make_ftl("across", svc)
+        t0 = time.perf_counter()
+        for i in range(2_000):
+            ftl.write((i % 500) * 16, 4, 0.0)
+        times[name] = time.perf_counter() - t0
+    # a 250x larger device may cost more (bigger numpy arrays to touch)
+    # but must stay within a small constant factor
+    assert times["large"] < times["small"] * 5 + 0.5, times

@@ -1,0 +1,71 @@
+"""Property-based tests on sector/page arithmetic and masks."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ftl.base import iter_bits, mask_range
+from repro.units import (
+    is_across_page,
+    lpn_range,
+    spans_pages,
+    split_extent,
+)
+
+spps = st.sampled_from([8, 16, 32])
+offsets = st.integers(min_value=0, max_value=10_000)
+sizes = st.integers(min_value=1, max_value=200)
+
+
+@given(offsets, sizes, spps)
+def test_split_extent_partitions(offset, size, spp):
+    pieces = list(split_extent(offset, size, spp))
+    # pieces tile the extent exactly, in order, without overlap
+    cursor = offset
+    for lpn, rel, count in pieces:
+        assert count >= 1
+        assert lpn * spp + rel == cursor
+        assert rel + count <= spp
+        cursor += count
+    assert cursor == offset + size
+    assert len(pieces) == spans_pages(offset, size, spp)
+
+
+@given(offsets, sizes, spps)
+def test_lpn_range_consistent(offset, size, spp):
+    first, last = lpn_range(offset, size, spp)
+    assert first == offset // spp
+    assert last - first >= 1
+    # every sector of the extent falls inside [first, last)
+    assert (offset + size - 1) // spp == last - 1
+
+
+@given(offsets, sizes, spps)
+def test_across_page_definition(offset, size, spp):
+    expected = size <= spp and spans_pages(offset, size, spp) == 2
+    assert is_across_page(offset, size, spp) == expected
+
+
+@given(offsets, sizes, spps)
+def test_across_implies_two_pieces_each_partial(offset, size, spp):
+    if is_across_page(offset, size, spp):
+        pieces = list(split_extent(offset, size, spp))
+        assert len(pieces) == 2
+        # neither piece can be a full page unless size == spp exactly
+        assert pieces[0][2] < spp and pieces[1][2] < spp or size == spp
+
+
+@given(st.integers(0, 63), st.integers(0, 63))
+def test_mask_range_bits(lo, hi):
+    if lo > hi:
+        lo, hi = hi, lo
+    m = mask_range(lo, hi)
+    assert bin(m).count("1") == hi - lo
+    assert list(iter_bits(m)) == list(range(lo, hi))
+
+
+@given(st.integers(min_value=0, max_value=2**64 - 1))
+@settings(max_examples=200)
+def test_iter_bits_matches_binary(mask):
+    bits = list(iter_bits(mask))
+    assert bits == [i for i in range(64) if mask >> i & 1]
+    assert bits == sorted(bits)

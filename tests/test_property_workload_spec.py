@@ -1,0 +1,69 @@
+"""Property tests: any valid workload spec compiles to a valid trace."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces.model import OP_READ, OP_TRIM, OP_WRITE
+from repro.traces.workload_spec import compile_workload, validate_spec
+
+FOOTPRINT = 128 * 1024
+
+phase_strategy = st.fixed_dictionaries(
+    {
+        "weight": st.floats(0.1, 10.0),
+        "pattern": st.sampled_from(
+            ["random", "sequential", "boundary", "hotspot"]
+        ),
+        "op": st.sampled_from(["read", "write", "trim"]),
+        "size_kb": st.lists(
+            st.floats(0.5, 64.0), min_size=1, max_size=4
+        ),
+        "align_kb": st.sampled_from([0.5, 4.0, 8.0]),
+        "region": st.tuples(
+            st.floats(0.0, 0.4), st.floats(0.6, 1.0)
+        ),
+        "zones": st.integers(1, 64),
+        "zipf_s": st.floats(0.5, 2.0),
+    }
+)
+
+spec_strategy = st.fixed_dictionaries(
+    {
+        "name": st.just("prop"),
+        "requests": st.integers(1, 400),
+        "interarrival_ms": st.floats(0.1, 10.0),
+        "seed": st.integers(0, 2**16),
+        "phases": st.lists(phase_strategy, min_size=1, max_size=4),
+    }
+)
+
+
+@given(doc=spec_strategy)
+@settings(max_examples=60, deadline=None)
+def test_compiled_trace_is_well_formed(doc):
+    spec = validate_spec(doc)
+    trace = compile_workload(spec, FOOTPRINT)
+    assert len(trace) == doc["requests"]
+    # every request stays inside the footprint with positive size
+    assert (trace.sizes >= 1).all()
+    assert (trace.offsets >= 0).all()
+    assert int((trace.offsets + trace.sizes).max()) <= FOOTPRINT
+    # arrivals are sorted
+    import numpy as np
+
+    assert (np.diff(trace.times) >= 0).all()
+    # ops only from the declared set
+    assert set(trace.ops.tolist()) <= {OP_READ, OP_WRITE, OP_TRIM}
+
+
+@given(doc=spec_strategy)
+@settings(max_examples=20, deadline=None)
+def test_compile_is_deterministic(doc):
+    import numpy as np
+
+    spec = validate_spec(doc)
+    a = compile_workload(spec, FOOTPRINT)
+    b = compile_workload(spec, FOOTPRINT)
+    assert np.array_equal(a.offsets, b.offsets)
+    assert np.array_equal(a.sizes, b.sizes)
+    assert np.array_equal(a.ops, b.ops)

@@ -1,0 +1,70 @@
+"""Host queue-depth (NCQ) limit in the engine."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimConfig, SSDConfig
+from repro.errors import ConfigError
+from repro.flash.service import FlashService
+from repro.ftl import make_ftl
+from repro.sim.engine import Simulator
+from repro.traces.model import OP_WRITE, Trace
+
+
+def burst_trace(n=32):
+    """All requests arrive at t=0 against the same few chips."""
+    return Trace(
+        "burst",
+        np.zeros(n),
+        np.full(n, OP_WRITE, dtype=np.uint8),
+        (np.arange(n) * 16).astype(np.int64),
+        np.full(n, 16, dtype=np.int64),
+    )
+
+
+def run(qd):
+    svc = FlashService(SSDConfig.tiny())
+    sim = Simulator(make_ftl("ftl", svc), SimConfig(queue_depth=qd))
+    rep = sim.run(burst_trace())
+    return rep
+
+
+class TestQueueDepth:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SimConfig(queue_depth=0).validate()
+
+    def test_unlimited_by_default(self):
+        rep = run(None)
+        assert rep.requests == 32
+
+    def test_depth_one_serialises(self):
+        rep1 = run(1)
+        repN = run(None)
+        # with QD=1 each request waits for the previous one: mean
+        # latency strictly larger than the unlimited replay
+        assert rep1.mean_write_ms > repN.mean_write_ms
+
+    def test_latency_includes_host_wait(self):
+        # tiny device: 4 chips; 32 writes at t=0 with QD=4 must finish
+        # no earlier than 32 programs / 4 chips * 2ms for the last one
+        rep = run(4)
+        assert rep.latency.summaries()["write_normal"].max_ms >= 16.0 - 1e-6
+
+    def test_monotone_in_depth(self):
+        lat = [run(qd).mean_write_ms for qd in (1, 4, 16)]
+        assert lat[0] >= lat[1] >= lat[2]
+
+    def test_data_correct_under_queue_limit(self):
+        svc = FlashService(SSDConfig.tiny())
+        sim = Simulator(
+            make_ftl("across", svc),
+            SimConfig(queue_depth=2, check_oracle=True),
+        )
+        n = 40
+        rng = np.random.default_rng(8)
+        ops = rng.integers(0, 2, n).astype(np.uint8)
+        offsets = (rng.integers(0, 500, n) * 4).astype(np.int64)
+        sizes = rng.integers(1, 24, n).astype(np.int64)
+        times = np.sort(rng.uniform(0, 10, n))
+        sim.run(Trace("q", times, ops, offsets, sizes))

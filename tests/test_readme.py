@@ -1,0 +1,44 @@
+"""The README's python examples must actually run."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+README = Path(__file__).parent.parent / "README.md"
+
+
+def python_blocks():
+    text = README.read_text()
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+def test_readme_exists_with_key_sections():
+    text = README.read_text()
+    for section in ("## Install", "## Quickstart", "## Architecture",
+                    "## Reproducing the paper", "## Examples"):
+        assert section in text, section
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("idx", range(len(python_blocks())))
+def test_readme_python_blocks_execute(idx):
+    code = python_blocks()[idx]
+    # shrink any workload knobs so the doc snippet runs in seconds
+    code = code.replace("8_000", "800")
+    namespace: dict = {}
+    exec(compile(code, f"README-block-{idx}", "exec"), namespace)
+
+
+def test_docstring_quickstart_runs():
+    import repro
+
+    doc = repro.__doc__
+    m = re.search(r"Quickstart::\n\n(.*?)(?:\n\S|\Z)", doc, flags=re.DOTALL)
+    assert m, "package docstring lost its quickstart"
+    code = "\n".join(
+        line[4:] if line.startswith("    ") else line
+        for line in m.group(1).splitlines()
+    )
+    code = code.replace("5_000", "500")
+    exec(compile(code, "repro-docstring", "exec"), {})

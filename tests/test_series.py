@@ -1,0 +1,93 @@
+"""Counter snapshot series (repro.metrics.series) and engine hookup."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimConfig, SSDConfig
+from repro.errors import ConfigError
+from repro.flash.service import FlashService
+from repro.ftl import make_ftl
+from repro.metrics.counters import FlashOpCounters, OpKind
+from repro.metrics.series import CounterSeries, Snapshot
+from repro.sim.engine import Simulator
+from repro.traces.synthetic import SyntheticSpec, generate_trace
+
+
+class TestSeriesMath:
+    def _series(self):
+        s = CounterSeries()
+        c = FlashOpCounters()
+        for i in range(1, 6):
+            c.count_write(OpKind.DATA, 10)
+            if i >= 3:
+                c.count_write(OpKind.GC, 5)
+                c.count_erase()
+            s.append(Snapshot.capture(i * 100, i * 1000.0, c))
+        return s
+
+    def test_interval_waf(self):
+        s = self._series()
+        waf = s.interval_write_amplification()
+        assert waf[0] == pytest.approx(1.0)   # no GC yet
+        assert waf[2] == pytest.approx(1.5)   # 10 data + 5 gc
+        assert len(waf) == 5
+
+    def test_interval_erases(self):
+        s = self._series()
+        er = s.interval_erases()
+        assert list(er) == [0, 0, 1, 1, 1]
+
+    def test_gc_onset(self):
+        s = self._series()
+        assert s.gc_onset_request() == 300
+
+    def test_no_gc_onset(self):
+        s = CounterSeries()
+        c = FlashOpCounters()
+        c.count_write(OpKind.DATA, 10)
+        s.append(Snapshot.capture(10, 1.0, c))
+        assert s.gc_onset_request() is None
+
+    def test_summary(self):
+        s = self._series()
+        summ = s.summary()
+        assert summ["snapshots"] == 5
+        assert summ["final_erases"] == 3
+        assert summ["peak_interval_waf"] == pytest.approx(1.5)
+
+    def test_empty_summary(self):
+        assert CounterSeries().summary() == {"snapshots": 0}
+
+
+class TestEngineHookup:
+    def test_snapshots_collected(self):
+        cfg = SSDConfig.tiny()
+        svc = FlashService(cfg)
+        sim = Simulator(
+            make_ftl("ftl", svc), SimConfig(snapshot_every=50)
+        )
+        spec = SyntheticSpec(
+            "series",
+            400,
+            0.7,
+            0.2,
+            8.0,
+            footprint_sectors=int(cfg.logical_sectors * 0.5),
+            seed=3,
+        )
+        rep = sim.run(generate_trace(spec))
+        assert sim.series is not None
+        # 400/50 periodic + 1 final
+        assert len(sim.series) == 9
+        assert rep.extra["series_snapshots"] == 9
+        waf = sim.series.interval_write_amplification()
+        assert np.nanmin(waf) >= 1.0 - 1e-9
+
+    def test_off_by_default(self):
+        svc = FlashService(SSDConfig.tiny())
+        sim = Simulator(make_ftl("ftl", svc))
+        assert sim.series is None
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SimConfig(snapshot_every=-1).validate()

@@ -1,0 +1,78 @@
+"""Trace characterisation (repro.traces.stats) vs a scalar reference."""
+
+import numpy as np
+import pytest
+
+from repro.traces.model import OP_READ, OP_WRITE, Trace
+from repro.traces.stats import across_page_ratio, characterize
+from repro.units import is_across_page
+
+
+def make_trace(extents, ops=None):
+    n = len(extents)
+    offsets = np.array([e[0] for e in extents], np.int64)
+    sizes = np.array([e[1] for e in extents], np.int64)
+    ops = np.array(ops if ops is not None else [OP_WRITE] * n, np.uint8)
+    return Trace("t", np.arange(n, dtype=float), ops, offsets, sizes)
+
+
+class TestAcrossRatio:
+    def test_matches_scalar_predicate(self):
+        rng = np.random.default_rng(0)
+        extents = [
+            (int(rng.integers(0, 1000)), int(rng.integers(1, 40)))
+            for _ in range(500)
+        ]
+        t = make_trace(extents)
+        expect = sum(is_across_page(o, s, 16) for o, s in extents) / 500
+        assert across_page_ratio(t, 8192) == pytest.approx(expect)
+
+    def test_empty_trace(self):
+        t = Trace("e", np.empty(0), np.empty(0, np.uint8),
+                  np.empty(0, np.int64), np.empty(0, np.int64))
+        assert across_page_ratio(t, 8192) == 0.0
+
+    def test_page_size_dependence(self):
+        # 12 sectors at offset 10: across at 8K (16 spp), not at 16K
+        t = make_trace([(10, 12)])
+        assert across_page_ratio(t, 8192) == 1.0
+        assert across_page_ratio(t, 16384) == 0.0
+
+
+class TestCharacterize:
+    def test_table2_metrics(self):
+        t = make_trace(
+            [(0, 16), (8, 16), (0, 8), (100, 4)],
+            ops=[OP_WRITE, OP_WRITE, OP_READ, OP_READ],
+        )
+        st = characterize(t, 8192)
+        assert st.requests == 4
+        assert st.write_ratio == pytest.approx(0.5)
+        assert st.mean_write_kb == pytest.approx(8.0)
+        assert st.mean_read_kb == pytest.approx(3.0)
+        assert st.across_ratio == pytest.approx(0.25)
+        assert st.across_write_ratio == pytest.approx(0.5)
+        assert st.across_read_ratio == 0.0
+
+    def test_unaligned_ratio(self):
+        t = make_trace([(0, 16), (4, 4)])
+        st = characterize(t, 8192)
+        assert st.unaligned_ratio == pytest.approx(0.5)
+
+    def test_footprint_mb(self):
+        t = make_trace([(2048 - 8, 8)])
+        st = characterize(t, 8192)
+        assert st.footprint_mb == pytest.approx(1.0)
+
+    def test_table2_row_format(self):
+        t = make_trace([(0, 16), (8, 12)])
+        row = characterize(t, 8192).table2_row()
+        assert row[0] == 2
+        assert row[1].endswith("%")
+        assert row[2].endswith("KB")
+
+    def test_empty(self):
+        t = Trace("e", np.empty(0), np.empty(0, np.uint8),
+                  np.empty(0, np.int64), np.empty(0, np.int64))
+        st = characterize(t, 8192)
+        assert st.requests == 0 and st.across_ratio == 0.0

@@ -1,0 +1,43 @@
+"""EXPERIMENTS.md generator (repro.experiments.summary)."""
+
+import pytest
+
+from repro.config import SimConfig, SSDConfig
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.summary import headline_table, render_experiments_md
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    cfg = SSDConfig(
+        channels=2,
+        chips_per_channel=2,
+        dies_per_chip=1,
+        planes_per_die=2,
+        blocks_per_plane=32,
+        pages_per_block=16,
+        page_size_bytes=8 * 1024,
+        write_buffer_bytes=512 * 1024,
+    )
+    return ExperimentContext(
+        cfg=cfg,
+        sim_cfg=SimConfig(aged_used=0.5, aged_valid=0.3),
+        scale=0.002,
+    )
+
+
+def test_render_selected_figures(ctx):
+    md = render_experiments_md(ctx, figures=["table2", "fig13"])
+    assert "# Paper vs measured" in md
+    assert "### table2" in md and "### fig13" in md
+    assert "| Experiment | Quantity | Paper | Measured |" in md
+    assert "lun1" in md
+
+
+def test_headline_table_collects_scalars(ctx):
+    from repro.experiments import figures as F
+
+    results = {"fig13": F.fig13(ctx)}
+    table = headline_table(results)
+    assert "monotone decreasing" in table
+    assert table.count("|") >= 12

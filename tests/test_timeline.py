@@ -1,0 +1,77 @@
+"""Per-request event log (repro.metrics.timeline) and its engine hookup."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimConfig, SSDConfig
+from repro.flash.service import FlashService
+from repro.ftl import make_ftl
+from repro.metrics.timeline import RequestLog
+from repro.sim.engine import Simulator
+from repro.traces.model import OP_READ, OP_WRITE
+
+
+class TestRequestLog:
+    def test_append_and_views(self):
+        log = RequestLog(capacity=2)
+        for i in range(10):  # force growth
+            log.append(float(i), OP_WRITE, i % 2 == 0, 1.0 + i, i)
+        assert len(log) == 10
+        assert list(log.time) == [float(i) for i in range(10)]
+        assert log.flush[3] == 3
+
+    def test_percentile_filters(self):
+        log = RequestLog()
+        for i in range(100):
+            log.append(float(i), OP_WRITE if i % 2 else OP_READ,
+                       i % 4 == 0, float(i), 1)
+        p_all = log.percentile(50)
+        p_writes = log.percentile(50, op=OP_WRITE)
+        assert p_all == pytest.approx(49.5)
+        assert p_writes == pytest.approx(50.0)
+        assert log.percentile(50, across=True) < p_all
+
+    def test_percentile_empty_selection(self):
+        log = RequestLog()
+        log.append(0.0, OP_READ, False, 1.0, 0)
+        assert log.percentile(99, op=OP_WRITE) == 0.0
+
+    def test_latency_series(self):
+        log = RequestLog()
+        for i in range(20):
+            log.append(i * 10.0, OP_WRITE, False, float(i), 1)
+        starts, means = log.latency_series(bucket_ms=50.0)
+        assert len(starts) == len(means) == 4
+        assert means[0] == pytest.approx(np.mean([0, 1, 2, 3, 4]))
+
+    def test_latency_series_empty(self):
+        starts, means = RequestLog().latency_series(10.0)
+        assert len(starts) == 0
+
+    def test_tail_ratio(self):
+        log = RequestLog()
+        for i in range(99):
+            log.append(float(i), OP_WRITE, False, 1.0, 1)
+        log.append(99.0, OP_WRITE, False, 100.0, 1)
+        assert log.tail_ratio(99) > 1.0
+
+
+class TestEngineHookup:
+    def test_log_disabled_by_default(self):
+        svc = FlashService(SSDConfig.tiny())
+        sim = Simulator(make_ftl("ftl", svc))
+        assert sim.request_log is None
+
+    def test_log_records_requests(self):
+        svc = FlashService(SSDConfig.tiny())
+        sim = Simulator(make_ftl("across", svc), SimConfig(record_requests=True))
+        sim.process(OP_WRITE, 8, 16, 0.0)   # across
+        sim.process(OP_WRITE, 0, 16, 5.0)   # normal, overwrites part
+        sim.process(OP_READ, 0, 8, 9.0)
+        log = sim.request_log
+        assert len(log) == 3
+        assert bool(log.across[0]) is True
+        assert bool(log.across[1]) is False
+        assert log.op[2] == OP_READ
+        assert (log.flush[:2] >= 1).all()
+        assert log.flush[2] == 0

@@ -1,0 +1,68 @@
+"""Chip timeline contention model (repro.flash.timing)."""
+
+import pytest
+
+from repro.config import TimingConfig
+from repro.errors import SimulationError
+from repro.flash.timing import ChipTimeline
+
+
+@pytest.fixture
+def tl():
+    return ChipTimeline(4, TimingConfig())
+
+
+class TestOccupancy:
+    def test_idle_chip_starts_immediately(self, tl):
+        assert tl.read(0, 10.0) == pytest.approx(10.075)
+
+    def test_busy_chip_queues(self, tl):
+        t1 = tl.program(0, 0.0)
+        assert t1 == pytest.approx(2.0)
+        t2 = tl.program(0, 0.5)  # issued while busy
+        assert t2 == pytest.approx(4.0)
+
+    def test_different_chips_overlap(self, tl):
+        a = tl.program(0, 0.0)
+        b = tl.program(1, 0.0)
+        assert a == pytest.approx(2.0)
+        assert b == pytest.approx(2.0)
+
+    def test_erase_duration(self, tl):
+        assert tl.erase(2, 0.0) == pytest.approx(3.5)
+
+    def test_late_arrival_after_idle(self, tl):
+        tl.program(0, 0.0)
+        # arrives long after the chip freed up
+        assert tl.read(0, 100.0) == pytest.approx(100.075)
+
+    def test_next_free(self, tl):
+        tl.program(0, 0.0)
+        assert tl.next_free(0, 0.5) == pytest.approx(2.0)
+        assert tl.next_free(0, 5.0) == pytest.approx(5.0)
+
+
+class TestAccounting:
+    def test_busy_time_accumulates(self, tl):
+        tl.program(0, 0.0)
+        tl.read(0, 0.0)
+        assert tl.busy_time[0] == pytest.approx(2.075)
+        assert tl.op_count[0] == 2
+
+    def test_utilization(self, tl):
+        tl.program(0, 0.0)
+        u = tl.utilization(4.0)
+        assert u[0] == pytest.approx(0.5)
+        assert u[1] == 0.0
+
+    def test_utilization_capped(self, tl):
+        tl.program(0, 0.0)
+        assert tl.utilization(1.0)[0] == 1.0
+
+    def test_zero_horizon(self, tl):
+        assert (tl.utilization(0.0) == 0).all()
+
+
+def test_requires_chips():
+    with pytest.raises(SimulationError):
+        ChipTimeline(0, TimingConfig())

@@ -1,0 +1,165 @@
+"""Trace container semantics (repro.traces.model)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.traces.model import OP_READ, OP_WRITE, Trace
+
+
+def make(times, ops, offsets, sizes, name="t"):
+    return Trace(name, np.array(times, float), np.array(ops, np.uint8),
+                 np.array(offsets, np.int64), np.array(sizes, np.int64))
+
+
+class TestValidation:
+    def test_mismatched_lengths(self):
+        with pytest.raises(TraceFormatError):
+            make([0.0], [0, 1], [0, 8], [4, 4])
+
+    def test_nonpositive_size(self):
+        with pytest.raises(TraceFormatError):
+            make([0.0], [0], [0], [0])
+
+    def test_negative_offset(self):
+        with pytest.raises(TraceFormatError):
+            make([0.0], [0], [-4], [4])
+
+    def test_unknown_op(self):
+        with pytest.raises(TraceFormatError):
+            make([0.0], [3], [0], [4])
+
+    def test_trim_op_accepted(self):
+        t = make([0.0], [2], [0], [4])
+        assert t.ops[0] == 2
+
+    def test_unsorted_times_get_sorted(self):
+        t = make([5.0, 1.0], [OP_READ, OP_WRITE], [0, 8], [4, 4])
+        assert list(t.times) == [1.0, 5.0]
+        assert t.ops[0] == OP_WRITE
+        assert t.offsets[0] == 8
+
+    def test_empty_trace(self):
+        t = make([], [], [], [])
+        assert len(t) == 0
+        assert t.write_ratio == 0.0
+        assert t.footprint_sectors == 0
+
+
+class TestProperties:
+    def test_write_ratio(self):
+        t = make([0, 1, 2, 3], [1, 1, 1, 0], [0] * 4, [4] * 4)
+        assert t.write_ratio == pytest.approx(0.75)
+
+    def test_footprint(self):
+        t = make([0, 1], [1, 1], [100, 4], [8, 4])
+        assert t.footprint_sectors == 108
+
+    def test_duration(self):
+        t = make([2.0, 10.0], [1, 1], [0, 8], [4, 4])
+        assert t.duration_ms() == pytest.approx(8.0)
+
+    def test_iteration(self):
+        t = make([0.0, 1.0], [OP_WRITE, OP_READ], [0, 16], [4, 8])
+        rows = list(t)
+        assert rows == [(OP_WRITE, 0, 4, 0.0), (OP_READ, 16, 8, 1.0)]
+
+
+class TestTransforms:
+    def test_head(self):
+        t = make([0, 1, 2], [1, 1, 1], [0, 16, 32], [4, 4, 4])
+        h = t.head(2)
+        assert len(h) == 2
+        assert list(h.offsets) == [0, 16]
+
+    def test_clamp_wraps_offsets(self):
+        t = make([0.0], [1], [1000], [8])
+        c = t.clamped_to(512)
+        assert c.offsets[0] + c.sizes[0] <= 512
+        assert c.offsets[0] >= 0
+
+    def test_clamp_drops_oversized(self):
+        t = make([0.0, 1.0], [1, 1], [0, 0], [4, 600])
+        c = t.clamped_to(512)
+        assert len(c) == 1
+
+    def test_clamp_preserves_fitting_requests(self):
+        t = make([0.0], [1], [100], [8])
+        c = t.clamped_to(512)
+        assert c.offsets[0] == 100 and c.sizes[0] == 8
+
+    def test_clamp_bad_space(self):
+        t = make([0.0], [1], [0], [4])
+        with pytest.raises(TraceFormatError):
+            t.clamped_to(0)
+
+    def test_from_lists(self):
+        t = Trace.from_lists("x", [(OP_WRITE, 0, 4, 0.0), (OP_READ, 8, 4, 1.0)])
+        assert len(t) == 2 and t.name == "x"
+
+    def test_from_lists_empty(self):
+        t = Trace.from_lists("x", [])
+        assert len(t) == 0
+
+    def test_scaled_time(self):
+        t = make([0.0, 10.0], [1, 1], [0, 16], [4, 4])
+        s = t.scaled_time(2.0)
+        assert list(s.times) == [0.0, 20.0]
+        with pytest.raises(TraceFormatError):
+            t.scaled_time(0.0)
+
+    def test_filtered_ops(self):
+        t = make([0, 1, 2], [OP_WRITE, OP_READ, OP_WRITE], [0, 16, 32],
+                 [4, 4, 4])
+        w = t.filtered_ops({OP_WRITE})
+        assert len(w) == 2
+        assert (w.ops == OP_WRITE).all()
+
+    def test_window(self):
+        t = make([0.0, 5.0, 10.0], [1, 1, 1], [0, 16, 32], [4, 4, 4])
+        mid = t.window(4.0, 9.0)
+        assert len(mid) == 1 and mid.offsets[0] == 16
+
+    def test_concat(self):
+        a = make([0.0, 5.0], [1, 1], [0, 16], [4, 4], name="a")
+        b = make([0.0], [0], [32], [8], name="b")
+        c = Trace.concat([a, b])
+        assert len(c) == 3
+        assert c.times[2] > c.times[1]  # b shifted past a
+        assert c.offsets[2] == 32
+
+    def test_concat_empty(self):
+        assert len(Trace.concat([])) == 0
+
+    def test_interleave_sorts_by_time(self):
+        a = make([0.0, 10.0], [1, 1], [0, 16], [4, 4], name="a")
+        b = make([5.0], [0], [32], [8], name="b")
+        m = Trace.interleave([a, b])
+        assert list(m.times) == [0.0, 5.0, 10.0]
+        assert m.ops[1] == OP_READ  # b's read landed in the middle
+
+    def test_interleave_partitions_addresses(self):
+        a = make([0.0], [1], [0], [16], name="a")
+        b = make([1.0], [1], [0], [16], name="b")
+        m = Trace.interleave([a, b])
+        assert len(set(m.offsets.tolist())) == 2  # disjoint slices
+
+    def test_interleave_shared_addresses(self):
+        a = make([0.0], [1], [0], [16], name="a")
+        b = make([1.0], [1], [0], [16], name="b")
+        m = Trace.interleave([a, b], partitioned=False)
+        assert set(m.offsets.tolist()) == {0}
+
+    def test_interleave_empty(self):
+        assert len(Trace.interleave([])) == 0
+
+    def test_interleaved_tenants_simulate(self):
+        from repro import SimConfig, SSDConfig, run_trace
+
+        cfg = SSDConfig.tiny()
+        rng_a = make([0.0, 2.0, 4.0], [1, 1, 0], [0, 16, 0], [16, 8, 16],
+                     name="a")
+        rng_b = make([1.0, 3.0], [1, 0], [0, 0], [12, 12], name="b")
+        merged = Trace.interleave([rng_a, rng_b])
+        rep = run_trace("across", merged, cfg, SimConfig(check_oracle=True))
+        assert rep.requests == 5

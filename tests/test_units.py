@@ -1,0 +1,138 @@
+"""Unit tests for sector/page arithmetic (repro.units)."""
+
+import pytest
+
+from repro.units import (
+    ceil_div,
+    is_across_page,
+    is_aligned,
+    lpn_of_sector,
+    lpn_range,
+    sectors_per_page,
+    spans_pages,
+    split_extent,
+)
+
+
+class TestSectorsPerPage:
+    def test_8k_page(self):
+        assert sectors_per_page(8192) == 16
+
+    def test_4k_page(self):
+        assert sectors_per_page(4096) == 8
+
+    def test_16k_page(self):
+        assert sectors_per_page(16384) == 32
+
+    def test_non_multiple_rejected(self):
+        with pytest.raises(ValueError):
+            sectors_per_page(1000)
+
+
+class TestLpnRange:
+    def test_single_page(self):
+        assert lpn_range(0, 16, 16) == (0, 1)
+
+    def test_two_pages(self):
+        assert lpn_range(8, 12, 16) == (0, 2)
+
+    def test_exact_boundary_end(self):
+        # ends exactly on the boundary: still one page
+        assert lpn_range(8, 8, 16) == (0, 1)
+
+    def test_starts_on_boundary(self):
+        assert lpn_range(16, 4, 16) == (1, 2)
+
+    def test_many_pages(self):
+        assert lpn_range(5, 100, 16) == (0, 7)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            lpn_range(0, 0, 16)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            spans_pages(0, -1, 16)
+
+
+class TestIsAcrossPage:
+    """Paper Figure 1's three cases."""
+
+    def test_paper_figure1_across(self):
+        # write(1028K, 8K) with 8K pages: sectors 2056..2072
+        assert is_across_page(2056, 16, 16)
+
+    def test_paper_figure1_aligned(self):
+        # write(1024K, 24K): aligned, multi-page
+        assert not is_across_page(2048, 48, 16)
+
+    def test_paper_figure1_unaligned_large(self):
+        # write(1028K, 20K): larger than a page -> merely unaligned
+        assert not is_across_page(2056, 40, 16)
+
+    def test_one_sector_never_across(self):
+        for off in range(0, 64):
+            assert not is_across_page(off, 1, 16)
+
+    def test_full_page_aligned_not_across(self):
+        assert not is_across_page(16, 16, 16)
+
+    def test_full_page_shifted_is_across(self):
+        assert is_across_page(8, 16, 16)
+
+    def test_two_sectors_straddling(self):
+        assert is_across_page(15, 2, 16)
+
+    def test_sub_page_within_page(self):
+        assert not is_across_page(2, 6, 16)
+
+    def test_exactly_touching_boundary_not_across(self):
+        # [8, 16) ends at the boundary without crossing it
+        assert not is_across_page(8, 8, 16)
+
+
+class TestIsAligned:
+    def test_aligned(self):
+        assert is_aligned(16, 32, 16)
+
+    def test_unaligned_start(self):
+        assert not is_aligned(8, 24, 16)
+
+    def test_unaligned_end(self):
+        assert not is_aligned(16, 20, 16)
+
+
+class TestSplitExtent:
+    def test_paper_example(self):
+        assert list(split_extent(8, 20, 16)) == [(0, 8, 8), (1, 0, 12)]
+
+    def test_single_piece(self):
+        assert list(split_extent(4, 4, 16)) == [(0, 4, 4)]
+
+    def test_full_pages(self):
+        assert list(split_extent(16, 32, 16)) == [(1, 0, 16), (2, 0, 16)]
+
+    def test_pieces_cover_extent_exactly(self):
+        pieces = list(split_extent(13, 55, 16))
+        covered = sum(c for _, _, c in pieces)
+        assert covered == 55
+        # contiguity
+        cursor = 13
+        for lpn, rel, count in pieces:
+            assert lpn * 16 + rel == cursor
+            cursor += count
+
+    def test_lpn_of_sector(self):
+        assert lpn_of_sector(15, 16) == 0
+        assert lpn_of_sector(16, 16) == 1
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(32, 16) == 2
+
+    def test_round_up(self):
+        assert ceil_div(33, 16) == 3
+
+    def test_zero(self):
+        assert ceil_div(0, 16) == 0

@@ -1,0 +1,143 @@
+"""Declarative workload compiler (repro.traces.workload_spec)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.traces.model import OP_READ, OP_TRIM, OP_WRITE
+from repro.traces.stats import across_page_ratio
+from repro.traces.workload_spec import (
+    Phase,
+    WorkloadSpec,
+    compile_workload,
+    validate_spec,
+)
+
+FOOTPRINT = 256 * 1024  # sectors
+
+
+def doc(**kw):
+    base = {
+        "name": "t",
+        "requests": 2_000,
+        "seed": 3,
+        "phases": [
+            {"weight": 1, "pattern": "random", "op": "write",
+             "size_kb": [4, 8]},
+        ],
+    }
+    base.update(kw)
+    return base
+
+
+class TestParsing:
+    def test_from_dict(self):
+        spec = validate_spec(doc())
+        assert spec.name == "t" and len(spec.phases) == 1
+
+    def test_from_json(self):
+        spec = WorkloadSpec.from_json(json.dumps(doc()))
+        assert spec.requests == 2_000
+
+    def test_missing_phases(self):
+        with pytest.raises(ConfigError):
+            validate_spec({"name": "x"})
+
+    def test_bad_pattern(self):
+        with pytest.raises(ConfigError):
+            validate_spec(doc(phases=[{"pattern": "zigzag"}]))
+
+    def test_bad_op(self):
+        with pytest.raises(ConfigError):
+            validate_spec(doc(phases=[{"op": "append"}]))
+
+    def test_bad_region(self):
+        with pytest.raises(ConfigError):
+            validate_spec(doc(phases=[{"region": [0.7, 0.2]}]))
+
+    def test_bad_weight(self):
+        with pytest.raises(ConfigError):
+            validate_spec(doc(phases=[{"weight": 0}]))
+
+
+class TestCompilation:
+    def test_basic_compile(self):
+        t = compile_workload(doc(), FOOTPRINT)
+        assert len(t) == 2_000
+        assert (t.ops == OP_WRITE).all()
+        assert int((t.offsets + t.sizes).max()) <= FOOTPRINT
+
+    def test_deterministic(self):
+        a = compile_workload(doc(), FOOTPRINT)
+        b = compile_workload(doc(), FOOTPRINT)
+        assert np.array_equal(a.offsets, b.offsets)
+
+    def test_mixed_ops(self):
+        d = doc(phases=[
+            {"weight": 1, "op": "write"},
+            {"weight": 1, "op": "read"},
+            {"weight": 1, "op": "trim"},
+        ])
+        t = compile_workload(d, FOOTPRINT)
+        kinds = set(t.ops.tolist())
+        assert kinds == {OP_READ, OP_WRITE, OP_TRIM}
+
+    def test_sequential_phase_walks(self):
+        d = doc(phases=[{"pattern": "sequential", "size_kb": [8],
+                         "region": [0.0, 0.25]}])
+        t = compile_workload(d, FOOTPRINT)
+        deltas = np.diff(t.offsets)
+        # mostly forward steps of the request size (wraps rarely)
+        assert (deltas == 16).mean() > 0.9
+        assert t.offsets.max() < FOOTPRINT * 0.25
+
+    def test_boundary_phase_is_across(self):
+        d = doc(phases=[{"pattern": "boundary", "size_kb": [2, 4, 6]}])
+        t = compile_workload(d, FOOTPRINT)
+        assert across_page_ratio(t, 8192) > 0.9
+
+    def test_region_respected(self):
+        d = doc(phases=[{"pattern": "random", "region": [0.5, 0.6]}])
+        t = compile_workload(d, FOOTPRINT)
+        assert t.offsets.min() >= FOOTPRINT * 0.5 - 16
+        assert (t.offsets + t.sizes).max() <= FOOTPRINT * 0.6 + 16
+
+    def test_hotspot_is_skewed(self):
+        d = doc(
+            requests=4_000,
+            phases=[{"pattern": "hotspot", "zones": 16, "zipf_s": 1.4}],
+        )
+        t = compile_workload(d, FOOTPRINT)
+        zone = t.offsets // (FOOTPRINT // 16)
+        counts = np.bincount(zone.astype(int), minlength=16)
+        assert counts.max() > 3 * np.median(counts[counts > 0])
+
+    def test_alignment(self):
+        d = doc(phases=[{"pattern": "random", "align_kb": 8, "size_kb": [8]}])
+        t = compile_workload(d, FOOTPRINT)
+        assert (t.offsets % 16 == 0).all()
+
+    def test_tiny_footprint_rejected(self):
+        with pytest.raises(ConfigError):
+            compile_workload(doc(), 100)
+
+
+class TestEndToEnd:
+    def test_compiled_workload_simulates(self, tiny_cfg):
+        from repro import SimConfig, run_trace
+
+        d = doc(
+            requests=600,
+            phases=[
+                {"weight": 2, "op": "write", "pattern": "hotspot"},
+                {"weight": 1, "op": "write", "pattern": "boundary",
+                 "size_kb": [2, 4]},
+                {"weight": 1, "op": "read", "pattern": "random"},
+            ],
+        )
+        t = compile_workload(d, int(tiny_cfg.logical_sectors * 0.6))
+        rep = run_trace("across", t, tiny_cfg, SimConfig(check_oracle=True))
+        assert rep.requests == 600
+        assert rep.extra["across_direct_writes"] > 0
