@@ -18,6 +18,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Optional
 
+from ..obs.events import BufferEvict
 from ..units import split_extent
 
 
@@ -35,6 +36,9 @@ class DataCache:
         self.misses = 0
         self.insertions = 0
         self.evictions = 0
+        #: observability event bus, installed by the engine (the buffer
+        #: has no clock, so events are stamped with the bus's ``now``)
+        self.obs = None
 
     # ------------------------------------------------------------------
     def put(self, offset: int, size: int, stamps: Optional[dict]) -> None:
@@ -58,8 +62,10 @@ class DataCache:
                     if sec in stamps:
                         entry[1][sec] = stamps[sec]
         while len(self._entries) > self.capacity_pages:
-            self._entries.popitem(last=False)
+            evicted, _ = self._entries.popitem(last=False)
             self.evictions += 1
+            if self.obs is not None:
+                self.obs.emit(BufferEvict(self.obs.now, evicted))
 
     def put_found(self, offset: int, size: int, found: Optional[dict]) -> None:
         """Read-allocate: cache the sectors a flash read returned."""
@@ -72,10 +78,13 @@ class DataCache:
         for lpn, rel_lo, count in split_extent(offset, size, self.spp):
             entry = self._entries.get(lpn)
             if entry is None:
+                self.misses += 1
                 return False
             mask = ((1 << count) - 1) << rel_lo
             if entry[0] & mask != mask:
+                self.misses += 1
                 return False
+        self.hits += 1
         return True
 
     def get_stamps(self, offset: int, size: int) -> dict:

@@ -66,7 +66,11 @@ def _device(args) -> SSDConfig:
 
 
 def _sim_cfg(args) -> SimConfig:
-    return SimConfig(aged_used=args.aged_used, aged_valid=args.aged_valid)
+    return SimConfig(
+        aged_used=args.aged_used,
+        aged_valid=args.aged_valid,
+        progress=getattr(args, "progress", False),
+    )
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -85,6 +89,8 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                    help="use the full Table 1 geometry (slow)")
     p.add_argument("--aged-used", type=float, default=0.90)
     p.add_argument("--aged-valid", type=float, default=0.398)
+    p.add_argument("--progress", action="store_true",
+                   help="print a throttled progress line to stderr")
 
 
 def cmd_characterize(args) -> int:
@@ -140,10 +146,51 @@ def cmd_run(args) -> int:
             f"R {rep.counters.map_read_share():.2%}",
             f"DRAM {rep.counters.dram_accesses}",
         ],
+        "health": [
+            f"cache hits {rep.cache_hits}",
+            f"GC stalls {rep.gc_stalls}",
+            "",
+        ],
     }
     print(render_table("results", ["", "", ""], rows))
     for k in sorted(rep.extra):
         print(f"  {k}: {rep.extra[k]}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """``repro trace``: replay a workload with full observability on and
+    dump the artifacts (Chrome trace, span JSONL, Prometheus snapshot,
+    counter/series JSON) to ``--out``."""
+    from .flash.service import FlashService
+    from .ftl import make_ftl
+    from .sim.engine import Simulator
+
+    cfg = _device(args)
+    trace = _load_trace(args, cfg)
+    sim_cfg = _sim_cfg(args).replace_observability(
+        enabled=True,
+        trace=True,
+        sample_interval_ms=args.sample_interval_ms,
+    )
+    service = FlashService(cfg)
+    ftl = make_ftl(args.scheme, service)
+    sim = Simulator(ftl, sim_cfg)
+    rep = sim.run(trace)
+    paths = sim.obs.write_artifacts(args.out, rep.counters, rep.extra)
+    print(f"{rep.scheme} on {rep.trace_name}: {rep.requests} requests, "
+          f"{sim.obs.bus.events_emitted} events, "
+          f"{len(sim.obs.recorder)} spans "
+          f"in {rep.wall_seconds:.1f}s wall time")
+    hist = sim.obs.recorder.path_histogram()
+    if hist:
+        print("FTL paths: " + ", ".join(
+            f"{k}={v}" for k, v in sorted(hist.items())
+        ))
+    for kind, path in paths.items():
+        print(f"  {kind}: {path}")
+    print("open the Chrome trace at https://ui.perfetto.dev "
+          "or chrome://tracing")
     return 0
 
 
@@ -291,6 +338,18 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("compare", help="all three schemes on one trace")
     _add_common(p)
     p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser(
+        "trace",
+        help="replay with tracing on and dump observability artifacts",
+    )
+    p.add_argument("--scheme", choices=SCHEMES, default="across")
+    _add_common(p)
+    p.add_argument("--out", default="obs-out",
+                   help="artifact output directory")
+    p.add_argument("--sample-interval-ms", type=float, default=10.0,
+                   help="sampler tick in simulated ms (0 disables)")
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("figures", help="regenerate paper figures")
     p.add_argument("names", nargs="*", help="figure ids (fig2..fig14, table2) or 'all'")

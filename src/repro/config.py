@@ -267,6 +267,46 @@ class SSDConfig:
 
 
 @dataclass(frozen=True)
+class ObservabilityConfig:
+    """Instrumentation options (the :mod:`repro.obs` subsystem).
+
+    All off by default: a normal run pays one branch per instrumented
+    hot-path hook and allocates nothing.  ``enabled`` turns on the
+    event bus; ``trace`` additionally records per-request spans
+    (exportable as Chrome-trace JSON / JSONL); a positive
+    ``sample_interval_ms`` collects chip-utilisation, queue-depth,
+    free-block and AMT-occupancy time series on that simulated-time
+    tick.
+    """
+
+    #: master switch: build the event bus and wire the hooks
+    enabled: bool = False
+    #: record per-request spans (needs ``enabled``)
+    trace: bool = False
+    #: simulated-time sampling tick in ms, 0 = no sampling
+    #: (needs ``enabled``)
+    sample_interval_ms: float = 0.0
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on inconsistent settings."""
+        if self.sample_interval_ms < 0:
+            raise ConfigError("sample_interval_ms must be non-negative")
+        if not self.enabled and (self.trace or self.sample_interval_ms > 0):
+            raise ConfigError(
+                "observability.trace / sample_interval_ms require "
+                "observability.enabled"
+            )
+
+    @classmethod
+    def full(cls, sample_interval_ms: float = 10.0) -> "ObservabilityConfig":
+        """Everything on: bus + spans + samplers (``repro trace`` uses
+        this)."""
+        return cls(
+            enabled=True, trace=True, sample_interval_ms=sample_interval_ms
+        )
+
+
+@dataclass(frozen=True)
 class SimConfig:
     """Simulation-run options shared by all schemes."""
 
@@ -299,6 +339,13 @@ class SimConfig:
     #: later arrivals wait in the host queue (their latency includes the
     #: wait).  None = unlimited (the default, matching SSDsim replay).
     queue_depth: int | None = None
+    #: Instrumentation (event bus / spans / samplers); off by default.
+    observability: ObservabilityConfig = field(
+        default_factory=ObservabilityConfig
+    )
+    #: Print a throttled progress line (requests/s, % done, ETA) to
+    #: stderr during the replay loop (``--progress`` on the CLI).
+    progress: bool = False
 
     def validate(self) -> None:
         """Raise :class:`ConfigError` on inconsistent run options."""
@@ -312,11 +359,19 @@ class SimConfig:
             raise ConfigError("queue_depth must be positive or None")
         if self.snapshot_every < 0:
             raise ConfigError("snapshot_every must be non-negative")
+        self.observability.validate()
 
     @classmethod
     def paper_aging(cls, **kw) -> "SimConfig":
         """Paper §4.1 aging: 90% of capacity used, 39.8% valid."""
         return cls(aged_used=0.90, aged_valid=0.398, **kw)
+
+    def replace_observability(self, **kw) -> "SimConfig":
+        """Copy with observability-field overrides (validated)."""
+        obs = dataclasses.replace(self.observability, **kw)
+        cfg = replace(self, observability=obs)
+        cfg.validate()
+        return cfg
 
 
 SCHEMES = ("ftl", "mrsm", "across")

@@ -242,6 +242,8 @@ class AcrossFTL(BaseFTL):
                 for sec in range(offset, offset + size):
                     if sec in stamps:
                         payload[sec] = stamps[sec]
+        if self.service.obs is not None:
+            self._emit_decision("direct", l0, now)
         meta = AcrossPageMeta(-1, offset, size, payload)
         ppn, finish = self._program_page(meta, now, OpKind.DATA)
         entry = self.amt.create(l0, offset, size, ppn)
@@ -272,6 +274,8 @@ class AcrossFTL(BaseFTL):
         u_hi = max(entry.end, new_hi)
         if u_hi - u_lo > self.spp:
             raise MappingError("AMerge called with a union larger than a page")
+        if self.service.obs is not None:
+            self._emit_decision("amerge", entry.lpn0, now)
         finish = now
         t = self._amt_cache.access(entry.aidx, now, dirty=True, timed=self.timed)
         finish = max(finish, t)
@@ -327,6 +331,8 @@ class AcrossFTL(BaseFTL):
         across data (plus any triggering update data) back into the two
         normally-mapped pages and clear the area."""
         new_pieces = new_pieces or {}
+        if self.service.obs is not None:
+            self._emit_decision("arollback", entry.lpn0, now)
         t = self._amt_cache.access(entry.aidx, now, dirty=True, timed=self.timed)
         finish = max(now, t)
         # the across page's data is needed for every sector the update
@@ -432,6 +438,11 @@ class AcrossFTL(BaseFTL):
             else:
                 self.across_stats.merged_read_requests += 1
                 self.counters.merged_reads += normal_pages
+            if self.service.obs is not None:
+                self._emit_decision(
+                    "direct_read" if normal_pages == 0 else "merged_read",
+                    offset // self.spp, now,
+                )
         return finish, found
 
     # ==================================================================

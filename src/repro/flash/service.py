@@ -18,6 +18,7 @@ from typing import Any
 from ..config import SSDConfig
 from ..geometry import FlashGeometry
 from ..metrics.counters import FlashOpCounters, OpKind
+from ..obs.events import FlashOp
 from .array import FlashArray
 from .timing import ChipTimeline
 
@@ -34,6 +35,11 @@ class FlashService:
             self.geom.num_chips, cfg.timing, cfg.chips_per_channel
         )
         self.counters = counters if counters is not None else FlashOpCounters()
+        #: observability event bus (repro.obs.events.EventBus) — installed
+        #: by the engine when SimConfig.observability.enabled; FTL-side
+        #: components share this reference, so disabled runs pay one
+        #: `is None` branch per hook
+        self.obs = None
 
     # ------------------------------------------------------------------
     def read_page(
@@ -43,8 +49,16 @@ class FlashService:
         self.array.read(ppn)
         self.counters.count_read(kind)
         if not timed:
-            return now
-        return self.timeline.read(self.geom.chip_of_ppn(ppn), now)
+            finish = now
+        else:
+            finish = self.timeline.read(self.geom.chip_of_ppn(ppn), now)
+        obs = self.obs
+        if obs is not None:
+            obs.emit(FlashOp(
+                now, obs.current_request, "read", kind.value,
+                self.geom.chip_of_ppn(ppn), finish, ppn,
+            ))
+        return finish
 
     def program_page(
         self,
@@ -59,17 +73,33 @@ class FlashService:
         self.array.program(ppn, meta)
         self.counters.count_write(kind)
         if not timed:
-            return now
-        return self.timeline.program(self.geom.chip_of_ppn(ppn), now)
+            finish = now
+        else:
+            finish = self.timeline.program(self.geom.chip_of_ppn(ppn), now)
+        obs = self.obs
+        if obs is not None:
+            obs.emit(FlashOp(
+                now, obs.current_request, "program", kind.value,
+                self.geom.chip_of_ppn(ppn), finish, ppn,
+            ))
+        return finish
 
     def erase_block(self, block: int, now: float, *, aging: bool = False) -> float:
         """Erase a block; returns completion time (untimed when aging)."""
         self.array.erase(block, aging=aging)
         self.counters.count_erase(aging=aging)
-        if aging:
-            return now
         chip = self.geom.chip_of_plane(self.geom.plane_of_block(block))
-        return self.timeline.erase(chip, now)
+        if aging:
+            finish = now
+        else:
+            finish = self.timeline.erase(chip, now)
+        obs = self.obs
+        if obs is not None:
+            obs.emit(FlashOp(
+                now, obs.current_request, "erase",
+                "aging" if aging else "data", chip, finish, block,
+            ))
+        return finish
 
     def invalidate(self, ppn: int) -> None:
         """Mark a valid page stale (no timing cost: metadata only)."""

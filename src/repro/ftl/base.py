@@ -36,6 +36,7 @@ from ..config import SSDConfig
 from ..errors import MappingError
 from ..flash.service import FlashService
 from ..metrics.counters import OpKind
+from ..obs.events import FTLDecision
 from ..units import split_extent
 from .allocator import STREAM_GC, STREAM_USER, WriteAllocator
 from .gc import GarbageCollector
@@ -165,6 +166,9 @@ class BaseFTL(ABC):
         return {
             "gc_collections": self.gc.collections,
             "gc_migrated_pages": self.gc.migrated_pages,
+            # includes aging-time passes; the measured-run count is
+            # counters.gc_stalls
+            "gc_stall_passes": self.gc.stalls,
         }
 
     def flush_metadata(self, now: float) -> float:
@@ -180,6 +184,12 @@ class BaseFTL(ABC):
 
     def _kind(self, kind: OpKind) -> OpKind:
         return OpKind.AGING if self.aging else kind
+
+    def _emit_decision(self, path: str, lpn: int, now: float) -> None:
+        """Publish which servicing path was taken (no-op when
+        observability is off: the caller already paid the one branch)."""
+        obs = self.service.obs
+        obs.emit(FTLDecision(now, obs.current_request, path, lpn))
 
     # ------------------------------------------------------------------
     # programming & relocation
@@ -301,6 +311,7 @@ class BaseFTL(ABC):
             program_map_page=program,
             read_map_page=read,
             touches_fn=touches_fn,
+            table_id=table_id,
         )
 
     # ------------------------------------------------------------------
@@ -330,6 +341,11 @@ class BaseFTL(ABC):
         old_ppn = int(self.pmt[lpn])
         old_mask = int(self.pmt_mask[lpn])
         retained = old_mask & ~new_mask
+        if self.service.obs is not None:
+            self._emit_decision(
+                "rmw" if (retained and old_ppn >= 0) else "page_write",
+                lpn, now,
+            )
         finish = now
         payload: Optional[dict] = None
 

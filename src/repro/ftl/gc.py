@@ -19,6 +19,7 @@ from typing import Callable
 import numpy as np
 
 from ..flash.service import FlashService
+from ..obs.events import GCEvent, GCStall
 from .allocator import WriteAllocator
 
 #: relocate(old_ppn, now, timed) -> completion time
@@ -63,6 +64,10 @@ class GarbageCollector:
         self.collections = 0
         #: valid pages migrated over the run (write-amplification source)
         self.migrated_pages = 0
+        #: passes that ended with no block freed (mirrors the measured
+        #: ``FlashOpCounters.gc_stalls``, but also counts aging-time
+        #: stalls)
+        self.stalls = 0
 
     # ------------------------------------------------------------------
     def _candidates(self, plane: int):
@@ -122,6 +127,11 @@ class GarbageCollector:
         if victim is None:
             return now
         arr = self.service.array
+        obs = self.service.obs
+        if obs is not None:
+            obs.emit(GCEvent(
+                now, plane, victim, int(arr.valid_count[victim])
+            ))
         finish = now
         for ppn in list(arr.valid_ppns(victim)):
             finish = max(finish, self.relocate(ppn, now, timed))
@@ -144,7 +154,15 @@ class GarbageCollector:
                 before = self.service.array.free_block_count(plane)
                 finish = max(finish, self.collect_once(plane, now, timed=timed))
                 if self.service.array.free_block_count(plane) <= before:
-                    break  # no progress possible; let allocation fail upstream
+                    # no progress possible; let allocation fail upstream —
+                    # but make the starvation visible where it happens
+                    self.stalls += 1
+                    if timed:
+                        self.service.counters.gc_stalls += 1
+                    obs = self.service.obs
+                    if obs is not None:
+                        obs.emit(GCStall(now, plane, before))
+                    break
         finally:
             self._collecting = False
         return finish

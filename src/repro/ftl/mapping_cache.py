@@ -20,6 +20,7 @@ from typing import Callable
 
 from ..flash.service import FlashService
 from ..metrics.counters import OpKind
+from ..obs.events import CMTEvent
 
 #: program_map_page(tvpn, now, timed) -> completion time.  Provided by
 #: the owning FTL: it allocates a flash page, invalidates the previous
@@ -42,10 +43,12 @@ class MappingCache:
         program_map_page: ProgramMapFn,
         read_map_page: ReadMapFn,
         touches_fn: Callable[[], int] | None = None,
+        table_id: int = 0,
     ):
         if entries_per_page <= 0:
             raise ValueError("entries_per_page must be positive")
         self.service = service
+        self.table_id = table_id
         self.entries_per_page = entries_per_page
         self.unlimited = capacity_entries is None
         self.capacity_pages = (
@@ -73,8 +76,11 @@ class MappingCache:
         self.service.counters.count_dram(
             self._touches_fn() if self._touches_fn is not None else 1
         )
+        obs = self.service.obs
         if self.unlimited:
             self.hits += 1
+            if obs is not None:
+                obs.emit(CMTEvent(now, self.table_id, "hit", key))
             return now
         tvpn = key // self.entries_per_page
         finish = now
@@ -83,8 +89,12 @@ class MappingCache:
             self._cached.move_to_end(tvpn)
             if dirty:
                 self._cached[tvpn] = True
+            if obs is not None:
+                obs.emit(CMTEvent(now, self.table_id, "hit", key))
             return finish
         self.misses += 1
+        if obs is not None:
+            obs.emit(CMTEvent(now, self.table_id, "miss", key))
         if tvpn in self._on_flash:
             t = self._read(tvpn, now, timed)
             if not dirty:
@@ -108,6 +118,12 @@ class MappingCache:
         while len(self._cached) > self.capacity_pages:
             tvpn, was_dirty = self._cached.popitem(last=False)
             self.evictions += 1
+            obs = self.service.obs
+            if obs is not None:
+                obs.emit(CMTEvent(
+                    now, self.table_id,
+                    "spill" if was_dirty else "evict", tvpn,
+                ))
             if was_dirty:
                 self._program(tvpn, now, timed)
                 self._on_flash.add(tvpn)

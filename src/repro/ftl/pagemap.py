@@ -72,6 +72,8 @@ class PageMapFTL(BaseFTL):
             present = int(self.pmt_mask[lpn]) & wanted
             if not present:
                 continue  # nothing of this piece was ever written
+            if self.service.obs is not None:
+                self._emit_decision("page_read", lpn, now)
             ppn = int(self.pmt[lpn])
             t = self.service.read_page(
                 ppn, now, self._kind(OpKind.DATA), timed=self.timed

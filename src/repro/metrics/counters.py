@@ -42,6 +42,10 @@ class FlashOpCounters:
     update_reads: int = 0
     #: Flash reads performed by Across-FTL merged reads (§4.2.1).
     merged_reads: int = 0
+    #: GC passes that found no victim able to free a block — the plane
+    #: is starved and a later allocation will fail; surfaced so runs
+    #: show the stall where it happens rather than dying downstream.
+    gc_stalls: int = 0
 
     # -- increments ------------------------------------------------------
     def count_read(self, kind: OpKind, n: int = 1) -> None:
@@ -126,6 +130,7 @@ class FlashOpCounters:
             "cache_hits": self.cache_hits,
             "update_reads": self.update_reads,
             "merged_reads": self.merged_reads,
+            "gc_stalls": self.gc_stalls,
         }
 
     def merged_with(self, other: "FlashOpCounters") -> "FlashOpCounters":
@@ -140,4 +145,5 @@ class FlashOpCounters:
         out.cache_hits = self.cache_hits + other.cache_hits
         out.update_reads = self.update_reads + other.update_reads
         out.merged_reads = self.merged_reads + other.merged_reads
+        out.gc_stalls = self.gc_stalls + other.gc_stalls
         return out

@@ -50,6 +50,16 @@ class SimulationReport:
     def erase_count(self) -> int:
         return self.counters.erases
 
+    @property
+    def cache_hits(self) -> int:
+        """Write-buffer read hits served at DRAM speed."""
+        return self.counters.cache_hits
+
+    @property
+    def gc_stalls(self) -> int:
+        """GC passes that freed nothing (allocation-starvation precursor)."""
+        return self.counters.gc_stalls
+
     def to_dict(self) -> dict:
         """JSON-serialisable summary of the run (for archiving sweeps)."""
         lat = self.latency
@@ -94,6 +104,8 @@ class SimulationReport:
             "dram_accesses": float(self.counters.dram_accesses),
             "mapping_table_bytes": float(self.mapping_table_bytes),
             "update_reads": float(self.counters.update_reads),
+            "cache_hits": float(self.counters.cache_hits),
+            "gc_stalls": float(self.counters.gc_stalls),
         }
         if name in direct:
             return direct[name]

@@ -1,0 +1,158 @@
+"""Structured observability for the simulation pipeline.
+
+This package is the instrumentation substrate of the repository: a
+typed :class:`~repro.obs.events.EventBus` every simulator layer
+publishes to (:mod:`.events`), a span recorder that turns the event
+stream into per-request traces exportable to the Chrome trace viewer
+(:mod:`.trace`), tick-driven time-series samplers for chip utilisation
+and queue/occupancy gauges (:mod:`.samplers`), and Prometheus/JSON
+exporters (:mod:`.export`).
+
+Everything is **off by default**: the instrumented hot paths hold an
+``obs`` reference that stays ``None`` unless
+``SimConfig.observability.enabled`` is set, so a normal run pays one
+branch per hook.  See ``docs/observability.md`` for the event taxonomy
+and artifact formats, and ``repro trace --help`` for the CLI that
+replays a workload with tracing on.
+
+:class:`Observability` is the facade the engine owns: it builds the
+bus, recorder and samplers from the config block and knows how to dump
+the artifacts at end of run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .events import (
+    BufferEvict,
+    BufferLookup,
+    CMTEvent,
+    DECISION_PATHS,
+    Event,
+    EventBus,
+    FlashOp,
+    FTLDecision,
+    GCEvent,
+    GCStall,
+    RequestArrive,
+    RequestComplete,
+)
+from .export import (
+    json_snapshot,
+    prometheus_text,
+    write_json_snapshot,
+    write_prometheus,
+)
+from .samplers import ChipUtilizationSampler, GaugeSampler, SamplerSet
+from .trace import TraceRecorder, load_chrome
+
+__all__ = [
+    "BufferEvict",
+    "BufferLookup",
+    "CMTEvent",
+    "ChipUtilizationSampler",
+    "DECISION_PATHS",
+    "Event",
+    "EventBus",
+    "FTLDecision",
+    "FlashOp",
+    "GCEvent",
+    "GCStall",
+    "GaugeSampler",
+    "Observability",
+    "RequestArrive",
+    "RequestComplete",
+    "SamplerSet",
+    "TraceRecorder",
+    "json_snapshot",
+    "load_chrome",
+    "prometheus_text",
+    "write_json_snapshot",
+    "write_prometheus",
+]
+
+
+class Observability:
+    """Facade tying bus, recorder and samplers to one simulation.
+
+    Built by the engine from ``SimConfig.observability``; components
+    reach the bus through the references the engine installs
+    (``FlashService.obs``, ``DataCache.obs``), so nothing here imports
+    simulator code — the dependency points one way.
+    """
+
+    def __init__(self, config):
+        config.validate()
+        self.config = config
+        self.bus = EventBus()
+        self.recorder: TraceRecorder | None = (
+            TraceRecorder(self.bus) if config.trace else None
+        )
+        self.samplers: SamplerSet | None = (
+            SamplerSet(config.sample_interval_ms)
+            if config.sample_interval_ms > 0
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    def bind(self, *, timeline=None, array=None, ftl=None, inflight_fn=None):
+        """Install the standard samplers against live components.
+
+        Called by the engine once the device exists.  ``inflight_fn``
+        is a zero-arg callable returning the current outstanding
+        request count (the engine provides it).
+        """
+        if self.samplers is None:
+            return self
+        if timeline is not None:
+            self.samplers.add(ChipUtilizationSampler(timeline))
+        if inflight_fn is not None:
+            self.samplers.add(GaugeSampler("queue_depth", inflight_fn))
+        if array is not None:
+            self.samplers.add(
+                GaugeSampler("free_blocks", array.total_free_blocks)
+            )
+        if ftl is not None:
+            amt = getattr(ftl, "amt", None)
+            if amt is not None:
+                self.samplers.add(
+                    GaugeSampler("amt_occupancy", lambda: len(amt))
+                )
+        return self
+
+    def maybe_sample(self, now: float) -> None:
+        if self.samplers is not None:
+            self.samplers.maybe_sample(now)
+
+    def finish(self, now: float) -> None:
+        """End-of-run hook: take a final sample so every series has at
+        least one point even on very short traces."""
+        if self.samplers is not None:
+            self.samplers.force_sample(now)
+
+    # ------------------------------------------------------------------
+    def write_artifacts(self, outdir, counters, extra=None) -> dict[str, str]:
+        """Dump every configured artifact under ``outdir``.
+
+        Returns ``{artifact kind: written path}``; kinds are
+        ``chrome_trace``, ``spans_jsonl``, ``prometheus`` and
+        ``snapshot_json`` (the first two only when tracing was on).
+        """
+        outdir = Path(outdir)
+        outdir.mkdir(parents=True, exist_ok=True)
+        paths: dict[str, str] = {}
+        if self.recorder is not None:
+            chrome = outdir / "trace.json"
+            self.recorder.write_chrome(chrome)
+            paths["chrome_trace"] = str(chrome)
+            jsonl = outdir / "spans.jsonl"
+            self.recorder.write_jsonl(jsonl)
+            paths["spans_jsonl"] = str(jsonl)
+        prom = outdir / "metrics.prom"
+        write_prometheus(prom, counters, self.samplers)
+        paths["prometheus"] = str(prom)
+        snap = outdir / "snapshot.json"
+        write_json_snapshot(snap, counters, self.samplers, extra)
+        paths["snapshot_json"] = str(snap)
+        return paths

@@ -1,0 +1,123 @@
+"""Metric exporters: Prometheus text exposition and JSON snapshots.
+
+``prometheus_text`` renders :class:`~repro.metrics.counters.FlashOpCounters`
+(plus optional sampler gauges and per-chip utilisation) in the
+Prometheus text exposition format, so a run's final state — or a
+long-lived service wrapping the simulator — can be scraped or diffed
+with standard tooling.  ``json_snapshot`` captures the same data as a
+plain JSON-serialisable dict including the full sampler time series.
+
+All metric names carry the ``repro_`` prefix; counters end in
+``_total`` per Prometheus naming conventions.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..metrics.counters import FlashOpCounters, OpKind
+
+_HELP = {
+    "repro_flash_reads_total": "Flash page reads by cause",
+    "repro_flash_writes_total": "Flash page programs by cause",
+    "repro_flash_erases_total": "Block erases (measured run)",
+    "repro_dram_accesses_total": "DRAM mapping-structure touches",
+    "repro_cache_hits_total": "Write-buffer read hits served from DRAM",
+    "repro_update_reads_total": "RMW-induced flash reads",
+    "repro_merged_reads_total": "Across-FTL merged-read extra page reads",
+    "repro_gc_stalls_total": "GC passes that found no space-freeing victim",
+}
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def prometheus_text(
+    counters: FlashOpCounters,
+    samplers=None,
+    extra_gauges: dict[str, float] | None = None,
+) -> str:
+    """Render counters (and optional sampler state) as Prometheus text.
+
+    ``samplers`` is a :class:`~repro.obs.samplers.SamplerSet` (or None);
+    its gauge samplers export their latest value and any chip-utilisation
+    sampler exports one ``repro_chip_utilization`` gauge per chip.
+    """
+    lines: list[str] = []
+
+    def counter(name: str, value: int, labels: dict | None = None) -> None:
+        if _HELP.get(name):
+            help_line = f"# HELP {name} {_HELP[name]}"
+            if help_line not in lines:
+                lines.append(help_line)
+                lines.append(f"# TYPE {name} counter")
+        label = ""
+        if labels:
+            inner = ",".join(
+                f'{k}="{_escape(str(v))}"' for k, v in labels.items()
+            )
+            label = "{" + inner + "}"
+        lines.append(f"{name}{label} {value}")
+
+    for kind in OpKind:
+        counter("repro_flash_reads_total", counters.reads[kind],
+                {"kind": kind.value})
+    for kind in OpKind:
+        counter("repro_flash_writes_total", counters.writes[kind],
+                {"kind": kind.value})
+    counter("repro_flash_erases_total", counters.erases)
+    counter("repro_dram_accesses_total", counters.dram_accesses)
+    counter("repro_cache_hits_total", counters.cache_hits)
+    counter("repro_update_reads_total", counters.update_reads)
+    counter("repro_merged_reads_total", counters.merged_reads)
+    counter("repro_gc_stalls_total", counters.gc_stalls)
+
+    gauges: dict[str, float] = {}
+    chip_util = None
+    if samplers is not None:
+        gauges.update(samplers.latest_gauges())
+        for s in samplers.samplers:
+            if getattr(s, "name", "") == "chip_utilization":
+                chip_util = s
+    if extra_gauges:
+        gauges.update(extra_gauges)
+    for name, value in sorted(gauges.items()):
+        metric = f"repro_{name}"
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {value}")
+    if chip_util is not None and chip_util.latest() is not None:
+        lines.append("# TYPE repro_chip_utilization gauge")
+        for chip, util in enumerate(chip_util.latest()):
+            lines.append(f'repro_chip_utilization{{chip="{chip}"}} {util}')
+    return "\n".join(lines) + "\n"
+
+
+def json_snapshot(
+    counters: FlashOpCounters,
+    samplers=None,
+    extra: dict | None = None,
+) -> dict:
+    """JSON-serialisable snapshot: counters + full sampler series."""
+    snap: dict = {"counters": counters.snapshot()}
+    if samplers is not None:
+        snap["series"] = samplers.series()
+    if extra:
+        snap["extra"] = {
+            k: v
+            for k, v in extra.items()
+            if isinstance(v, (int, float, str, bool, list, dict))
+        }
+    return snap
+
+
+def write_prometheus(path, counters, samplers=None, extra_gauges=None) -> None:
+    """Write :func:`prometheus_text` output to ``path``."""
+    with open(path, "w") as fh:
+        fh.write(prometheus_text(counters, samplers, extra_gauges))
+
+
+def write_json_snapshot(path, counters, samplers=None, extra=None) -> None:
+    """Write :func:`json_snapshot` output to ``path`` as JSON."""
+    with open(path, "w") as fh:
+        json.dump(json_snapshot(counters, samplers, extra), fh, indent=1)

@@ -1,0 +1,145 @@
+"""Time-series samplers polled on a simulated-time tick.
+
+Counters answer "how much in total"; these samplers answer "when".
+Each sampler captures one signal as a ``(t, value)`` series on a
+configurable simulated-time interval
+(``SimConfig.observability.sample_interval_ms``):
+
+* :class:`ChipUtilizationSampler` — per-chip busy fraction within each
+  tick window (from the :class:`~repro.flash.timing.ChipTimeline` busy
+  accounting), the signal that shows GC monopolising a chip.
+* :class:`GaugeSampler` — any scalar probe: queue depth, free blocks,
+  AMT occupancy, mapping-cache residency...
+
+The engine drives :meth:`SamplerSet.maybe_sample` once per serviced
+request; sampling happens only when simulated time crossed the next
+tick boundary, so the cost is one comparison per request plus the
+probes on tick.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+
+class GaugeSampler:
+    """Samples ``fn()`` (a scalar) on every tick."""
+
+    def __init__(self, name: str, fn: Callable[[], float]):
+        self.name = name
+        self._fn = fn
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def sample(self, now: float) -> None:
+        """Record one (t, fn()) point."""
+        self.times.append(now)
+        self.values.append(float(self._fn()))
+
+    def latest(self) -> float | None:
+        """Most recent sampled value (None before the first tick)."""
+        return self.values[-1] if self.values else None
+
+    def series(self) -> dict:
+        """Export the full series as ``{"t_ms": [...], "values": [...]}``."""
+        return {"t_ms": list(self.times), "values": list(self.values)}
+
+
+class ChipUtilizationSampler:
+    """Per-chip busy fraction within each sampling window.
+
+    Utilisation of chip ``c`` over window ``[t0, t1]`` is the busy-time
+    the timeline accumulated for ``c`` in that window divided by the
+    window length — 1.0 means the chip never idled.
+    """
+
+    name = "chip_utilization"
+
+    def __init__(self, timeline):
+        self.timeline = timeline
+        self._last_busy = timeline.busy_time.copy()
+        self._last_t: float | None = None
+        self.times: list[float] = []
+        #: one per-chip utilisation vector per tick
+        self.utilization: list[list[float]] = []
+
+    def sample(self, now: float) -> None:
+        """Record the per-chip busy fraction since the previous tick."""
+        busy = self.timeline.busy_time
+        if self._last_t is None or now <= self._last_t:
+            util = np.zeros(len(busy))
+        else:
+            window = now - self._last_t
+            util = np.clip((busy - self._last_busy) / window, 0.0, 1.0)
+        self._last_busy = busy.copy()
+        self._last_t = now
+        self.times.append(now)
+        self.utilization.append([float(u) for u in util])
+
+    def latest(self) -> list[float] | None:
+        """Most recent per-chip utilisation vector (None before the
+        first tick)."""
+        return self.utilization[-1] if self.utilization else None
+
+    def mean_utilization(self) -> list[float]:
+        """Average utilisation per chip across all windows."""
+        if not self.utilization:
+            return []
+        return [float(v) for v in np.mean(self.utilization, axis=0)]
+
+    def series(self) -> dict:
+        """Export times, per-tick per-chip vectors and per-chip means."""
+        return {
+            "t_ms": list(self.times),
+            "per_chip": [list(row) for row in self.utilization],
+            "mean_per_chip": self.mean_utilization(),
+        }
+
+
+class SamplerSet:
+    """A group of samplers sharing one simulated-time tick."""
+
+    def __init__(self, interval_ms: float):
+        if interval_ms <= 0:
+            raise ValueError("interval_ms must be positive")
+        self.interval_ms = interval_ms
+        self._next_tick = interval_ms
+        self.samplers: list = []
+
+    def add(self, sampler) -> None:
+        """Register a sampler (anything with ``sample(now)``)."""
+        self.samplers.append(sampler)
+
+    def maybe_sample(self, now: float) -> bool:
+        """Sample every sampler if ``now`` crossed the next tick; the
+        tick then advances past ``now`` (sparse traces do not generate
+        catch-up samples for empty windows)."""
+        if now < self._next_tick:
+            return False
+        for s in self.samplers:
+            s.sample(now)
+        ticks = int((now - self._next_tick) // self.interval_ms) + 1
+        self._next_tick += ticks * self.interval_ms
+        return True
+
+    def force_sample(self, now: float) -> None:
+        """Unconditional end-of-run sample so short traces still get
+        at least one point per series."""
+        for s in self.samplers:
+            s.sample(now)
+
+    def series(self) -> dict[str, dict]:
+        """``{sampler name: series dict}`` for export."""
+        return {s.name: s.series() for s in self.samplers}
+
+    def latest_gauges(self) -> dict[str, float]:
+        """Latest scalar value of every gauge sampler (exporters)."""
+        out: dict[str, float] = {}
+        for s in self.samplers:
+            if isinstance(s, GaugeSampler):
+                v = s.latest()
+                if v is not None:
+                    out[s.name] = v
+        return out

@@ -15,6 +15,7 @@ counts per sector).
 
 from __future__ import annotations
 
+import sys
 import time as _time
 from typing import Optional
 
@@ -28,9 +29,32 @@ from ..metrics.latency import LatencyRecorder
 from ..metrics.report import SimulationReport
 from ..metrics.series import CounterSeries, Snapshot
 from ..metrics.timeline import RequestLog
+from ..obs import Observability
+from ..obs.events import BufferLookup, RequestArrive, RequestComplete
 from ..traces.model import OP_TRIM, OP_WRITE, Trace
 from ..units import is_across_page
 from .oracle import SectorOracle
+
+
+#: progress-line refresh interval in wall-clock seconds
+_PROGRESS_EVERY_S = 0.5
+
+
+def _print_progress(
+    name: str, done: int, total: int, elapsed: float, *, final: bool = False
+) -> None:
+    """Throttled replay progress on stderr (stdout stays machine-
+    readable): requests/s, % of trace, and an ETA from the current rate."""
+    rate = done / elapsed if elapsed > 0 else 0.0
+    pct = 100.0 * done / total if total else 100.0
+    eta = (total - done) / rate if rate > 0 else 0.0
+    sys.stderr.write(
+        f"\r[{name}] {done}/{total} ({pct:5.1f}%) "
+        f"{rate:8.0f} req/s  ETA {eta:6.1f}s"
+    )
+    if final:
+        sys.stderr.write("\n")
+    sys.stderr.flush()
 
 
 class Simulator:
@@ -67,6 +91,43 @@ class Simulator:
             CounterSeries() if self.sim_cfg.snapshot_every > 0 else None
         )
         self._aged = False
+        #: observability facade (SimConfig.observability); None when
+        #: disabled, so every hot-path hook is a single `is None` branch
+        self.obs: Optional[Observability] = None
+        self._bus = None
+        self._next_rid = 0
+        self._now = 0.0
+        if self.sim_cfg.observability.enabled:
+            self.obs = Observability(self.sim_cfg.observability)
+            self._bus = self.obs.bus
+            self.obs.bind(
+                timeline=ftl.service.timeline,
+                array=ftl.service.array,
+                ftl=ftl,
+                inflight_fn=self._inflight,
+            )
+            self._attach_obs()
+
+    # ------------------------------------------------------------------
+    # observability plumbing
+    # ------------------------------------------------------------------
+    def _attach_obs(self) -> None:
+        """Install the event bus on every instrumented component."""
+        self.ftl.service.obs = self._bus
+        if self.cache is not None:
+            self.cache.obs = self._bus
+
+    def _detach_obs(self) -> None:
+        """Silence the bus (device aging must not flood the trace)."""
+        self.ftl.service.obs = None
+        if self.cache is not None:
+            self.cache.obs = None
+
+    def _inflight(self) -> int:
+        """Requests issued but not yet complete at the current sim time
+        (bounded scan: good enough for a sampled gauge)."""
+        now = self._now
+        return sum(1 for c in self._completions[-128:] if c > now)
 
     # ------------------------------------------------------------------
     # device aging (paper §4.1)
@@ -86,6 +147,8 @@ class Simulator:
             self._aged = True
             return
         self.ftl.aging = True
+        if self._bus is not None:
+            self._detach_obs()
         try:
             if self.sim_cfg.aging_style == "vdi":
                 self._age_vdi(used)
@@ -93,6 +156,8 @@ class Simulator:
                 self._age_aligned(used, self.sim_cfg.aged_valid)
         finally:
             self.ftl.aging = False
+            if self._bus is not None:
+                self._attach_obs()
         self._aged = True
 
     def _age_aligned(self, used: float, valid: float) -> None:
@@ -119,6 +184,8 @@ class Simulator:
         if self._aged:
             return
         self.ftl.aging = True
+        if self._bus is not None:
+            self._detach_obs()
         try:
             limit = self.ftl.logical_pages * self.spp
             write = self.ftl.write
@@ -130,6 +197,8 @@ class Simulator:
                     write(offset, end - offset, 0.0, None)
         finally:
             self.ftl.aging = False
+            if self._bus is not None:
+                self._attach_obs()
         self._aged = True
 
     def _age_vdi(self, used: float) -> None:
@@ -207,6 +276,15 @@ class Simulator:
         cls = "across" if across else "normal"
         counters = self.ftl.counters
         writes_before = counters.total_writes
+        bus = self._bus
+        rid = -1
+        if bus is not None:
+            rid = self._next_rid
+            self._next_rid += 1
+            self._now = start
+            bus.now = start
+            bus.current_request = rid
+            bus.emit(RequestArrive(arrival, rid, op, offset, size, across))
 
         if op == OP_TRIM:
             finish = self.ftl.trim(offset, size, start)
@@ -216,6 +294,9 @@ class Simulator:
                 self.oracle.trim(offset, size)
             self.trim_count += 1
             self._completions.append(finish)
+            if bus is not None:
+                bus.emit(RequestComplete(finish, rid, finish - arrival))
+                self.obs.maybe_sample(finish)
             return finish - arrival
 
         if op == OP_WRITE:
@@ -229,9 +310,13 @@ class Simulator:
         else:
             if self.cache is not None and self.cache.full_hit(offset, size):
                 counters.cache_hits += 1
+                if bus is not None:
+                    bus.emit(BufferLookup(start, rid, True))
                 finish = start + self.cfg.timing.cache_access_ms
                 found = self.cache.get_stamps(offset, size) if self.oracle else None
             else:
+                if bus is not None and self.cache is not None:
+                    bus.emit(BufferLookup(start, rid, False))
                 finish, found = self.ftl.read(offset, size, start)
                 if self.cache is not None:
                     self.cache.put_found(offset, size, found)
@@ -247,6 +332,9 @@ class Simulator:
             self.flush_sectors[cls] += size
         if self.request_log is not None:
             self.request_log.append(arrival, op, across, latency, induced)
+        if bus is not None:
+            bus.emit(RequestComplete(finish, rid, latency))
+            self.obs.maybe_sample(finish)
         return latency
 
     # ------------------------------------------------------------------
@@ -261,6 +349,10 @@ class Simulator:
         process = self.process
         qd = self.sim_cfg.queue_depth
         completions = self._completions
+        progress = self.sim_cfg.progress
+        n = len(trace)
+        loop_t0 = _time.perf_counter()
+        next_prog = loop_t0 + _PROGRESS_EVERY_S
         for i, (op, offset, size, ts) in enumerate(
             zip(
                 trace.ops.tolist(),
@@ -283,7 +375,18 @@ class Simulator:
                 self.series.append(
                     Snapshot.capture(i + 1, ts, self.ftl.counters)
                 )
+            if progress:
+                wall = _time.perf_counter()
+                if wall >= next_prog:
+                    _print_progress(trace.name, i + 1, n, wall - loop_t0)
+                    next_prog = wall + _PROGRESS_EVERY_S
+        if progress:
+            _print_progress(
+                trace.name, n, n, _time.perf_counter() - loop_t0, final=True
+            )
         self.ftl.flush_metadata(last)
+        if self.obs is not None:
+            self.obs.finish(last)
 
         extra = dict(self.ftl.stats())
         extra["flush_writes_across"] = self.flush_writes["across"]
@@ -302,6 +405,10 @@ class Simulator:
             extra["cache_entries"] = len(self.cache)
         if self.oracle is not None:
             extra["oracle_reads_verified"] = self.oracle.reads_verified
+        if self.obs is not None:
+            extra["obs_events"] = self._bus.events_emitted
+            if self.obs.recorder is not None:
+                extra["obs_spans"] = len(self.obs.recorder)
         return SimulationReport(
             scheme=self.ftl.name,
             trace_name=trace.name,

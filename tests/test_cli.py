@@ -148,3 +148,57 @@ class TestFigures:
         ])
         assert rc == 0
         assert (tmp_path / "figs" / "fig13.txt").exists()
+
+
+class TestTrace:
+    def test_trace_parser_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.scheme == "across"
+        assert args.out == "obs-out"
+        assert args.sample_interval_ms == 10.0
+
+    def test_trace_writes_artifacts(self, trace_file, tmp_path, capsys):
+        out = tmp_path / "obs"
+        rc = main([
+            "trace", "--trace", str(trace_file), "--out", str(out),
+            "--aged-used", "0", "--aged-valid", "0",
+            "--sample-interval-ms", "5",
+        ])
+        assert rc == 0
+        stdout = capsys.readouterr().out
+        assert "trace.json" in stdout
+
+        # valid Chrome-trace JSON with request slices and chip rows
+        import json
+
+        doc = json.loads((out / "trace.json").read_text())
+        evs = doc["traceEvents"]
+        assert any(e["ph"] == "X" and e["pid"] == 1 for e in evs)
+        assert any(e["ph"] == "X" and e["pid"] == 2 for e in evs)
+
+        # one span per request in the JSONL
+        spans = (out / "spans.jsonl").read_text().splitlines()
+        assert len(spans) == 400
+
+        # Prometheus snapshot with the counter families
+        prom = (out / "metrics.prom").read_text()
+        assert "repro_flash_reads_total" in prom
+        assert "repro_chip_utilization{chip=" in prom
+
+        # per-chip utilisation series in the JSON snapshot
+        snap = json.loads((out / "snapshot.json").read_text())
+        series = snap["series"]["chip_utilization"]
+        assert len(series["t_ms"]) >= 1
+        n_chips = len(series["mean_per_chip"])
+        assert n_chips >= 1
+        assert all(len(row) == n_chips for row in series["per_chip"])
+        assert all(0.0 <= u <= 1.0 for row in series["per_chip"] for u in row)
+
+    def test_progress_flag_writes_stderr(self, trace_file, capsys):
+        rc = main([
+            "run", "--scheme", "ftl", "--trace", str(trace_file),
+            "--aged-used", "0", "--aged-valid", "0", "--progress",
+        ])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "req/s" in err and "100.0%" in err

@@ -1,0 +1,117 @@
+"""Event bus (repro.obs.events): dispatch order and disabled-mode cost."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimConfig, SSDConfig
+from repro.flash.service import FlashService
+from repro.ftl import make_ftl
+from repro.obs.events import (
+    DECISION_PATHS,
+    EventBus,
+    FlashOp,
+    FTLDecision,
+    GCStall,
+    RequestArrive,
+    RequestComplete,
+)
+from repro.sim.engine import Simulator
+from repro.traces.model import OP_READ, OP_WRITE, Trace
+
+
+def _bus_events():
+    return [
+        RequestArrive(0.0, 0, 1, 0, 8, False),
+        FTLDecision(0.1, 0, "page_write", 0),
+        RequestComplete(0.5, 0, 0.5),
+    ]
+
+
+class TestDispatch:
+    def test_typed_subscribers_see_only_their_type(self):
+        bus = EventBus()
+        got = []
+        bus.subscribe(FTLDecision, got.append)
+        for ev in _bus_events():
+            bus.emit(ev)
+        assert [type(e) for e in got] == [FTLDecision]
+        assert got[0].path == "page_write"
+
+    def test_wildcard_sees_everything_after_typed(self):
+        bus = EventBus()
+        order = []
+        bus.subscribe(RequestArrive, lambda e: order.append("typed"))
+        bus.subscribe(None, lambda e: order.append("any"))
+        bus.emit(RequestArrive(0.0, 0, 1, 0, 8, False))
+        assert order == ["typed", "any"]
+
+    def test_subscription_order_within_a_type(self):
+        bus = EventBus()
+        order = []
+        bus.subscribe(GCStall, lambda e: order.append("first"))
+        bus.subscribe(GCStall, lambda e: order.append("second"))
+        bus.emit(GCStall(1.0, 0, 2))
+        assert order == ["first", "second"]
+
+    def test_emit_counts_events(self):
+        bus = EventBus()
+        for ev in _bus_events():
+            bus.emit(ev)
+        assert bus.events_emitted == 3
+
+    def test_events_are_frozen(self):
+        ev = FlashOp(0.0, 3, "read", "data", 1, 0.05, 42)
+        with pytest.raises(AttributeError):
+            ev.chip = 2
+
+    def test_decision_paths_closed_vocabulary(self):
+        assert "direct" in DECISION_PATHS
+        assert "amerge" in DECISION_PATHS
+        assert len(set(DECISION_PATHS)) == len(DECISION_PATHS)
+
+
+def _small_trace(n=300, seed=7):
+    rng = np.random.default_rng(seed)
+    return Trace(
+        "obs-equiv",
+        np.sort(rng.uniform(0, 2000, n)),
+        rng.integers(0, 2, n).astype(np.uint8),
+        (rng.integers(0, 2000, n) * 4).astype(np.int64),
+        rng.integers(1, 24, n).astype(np.int64),
+    )
+
+
+def _run(sim_cfg):
+    svc = FlashService(SSDConfig.tiny())
+    ftl = make_ftl("across", svc)
+    sim = Simulator(ftl, sim_cfg)
+    return sim, sim.run(_small_trace())
+
+
+class TestDisabledMode:
+    def test_hooks_stay_none_when_disabled(self):
+        sim, _ = _run(SimConfig())
+        assert sim.obs is None
+        assert sim.ftl.service.obs is None
+        assert sim.cache is None or sim.cache.obs is None
+
+    def test_enabled_run_is_bit_identical_to_disabled(self):
+        """Observation must not perturb the simulation: every counter
+        and latency must match with the bus on and off."""
+        _, off = _run(SimConfig())
+        cfg = SimConfig()
+        cfg = cfg.replace_observability(
+            enabled=True, trace=True, sample_interval_ms=5.0
+        )
+        sim_on, on = _run(cfg)
+        assert on.counters.snapshot() == off.counters.snapshot()
+        assert on.latency.total_ms == pytest.approx(off.latency.total_ms)
+        assert sim_on.obs.bus.events_emitted > 0
+
+    def test_disabled_overhead_is_one_branch(self):
+        """The instrumented hot path is `obs = self.obs; if obs is not
+        None` — with observability off no event object is ever built."""
+        sim, rep = _run(SimConfig())
+        # no bus exists, so nothing can have been emitted or allocated
+        assert sim._bus is None
+        assert "obs_events" not in rep.extra

@@ -1,0 +1,106 @@
+"""Exporters and samplers (repro.obs.export / repro.obs.samplers)."""
+
+import json
+
+import pytest
+
+from repro.metrics.counters import FlashOpCounters, OpKind
+from repro.obs.export import json_snapshot, prometheus_text, write_prometheus
+from repro.obs.samplers import GaugeSampler, SamplerSet
+
+
+def _counters():
+    c = FlashOpCounters()
+    c.count_read(OpKind.DATA, 10)
+    c.count_read(OpKind.MAP, 3)
+    c.count_write(OpKind.DATA, 7)
+    c.count_erase()
+    c.cache_hits = 5
+    c.gc_stalls = 2
+    return c
+
+
+class _FakeTimeline:
+    """Two chips: chip 0 busy the whole window, chip 1 idle."""
+
+    def __init__(self):
+        import numpy as np
+
+        self.busy_time = np.array([0.0, 0.0])
+
+
+class TestPrometheusText:
+    def test_counter_lines_and_labels(self):
+        text = prometheus_text(_counters())
+        assert '# TYPE repro_flash_reads_total counter' in text
+        assert 'repro_flash_reads_total{kind="data"} 10' in text
+        assert 'repro_flash_reads_total{kind="map"} 3' in text
+        assert 'repro_flash_writes_total{kind="data"} 7' in text
+        assert "repro_flash_erases_total 1" in text
+        assert "repro_cache_hits_total 5" in text
+        assert "repro_gc_stalls_total 2" in text
+
+    def test_help_lines_emitted_once(self):
+        text = prometheus_text(_counters())
+        assert text.count("# HELP repro_flash_reads_total") == 1
+
+    def test_gauges_from_samplers(self):
+        ss = SamplerSet(10.0)
+        ss.add(GaugeSampler("queue_depth", lambda: 4))
+        ss.force_sample(50.0)
+        text = prometheus_text(_counters(), ss)
+        assert "# TYPE repro_queue_depth gauge" in text
+        assert "repro_queue_depth 4.0" in text
+
+    def test_chip_utilization_per_chip(self):
+        from repro.obs.samplers import ChipUtilizationSampler
+
+        tl = _FakeTimeline()
+        cu = ChipUtilizationSampler(tl)
+        cu.sample(0.0)
+        tl.busy_time[0] = 10.0  # chip 0 fully busy over [0, 10]
+        cu.sample(10.0)
+        ss = SamplerSet(10.0)
+        ss.add(cu)
+        text = prometheus_text(_counters(), ss)
+        assert 'repro_chip_utilization{chip="0"} 1.0' in text
+        assert 'repro_chip_utilization{chip="1"} 0.0' in text
+
+    def test_write_to_file(self, tmp_path):
+        p = tmp_path / "m.prom"
+        write_prometheus(p, _counters())
+        assert p.read_text().endswith("\n")
+
+
+class TestJsonSnapshot:
+    def test_counters_and_series_shape(self):
+        ss = SamplerSet(10.0)
+        ss.add(GaugeSampler("free_blocks", lambda: 64))
+        ss.maybe_sample(15.0)
+        snap = json_snapshot(_counters(), ss, {"scheme": "across", "x": [1]})
+        assert snap["counters"]["cache_hits"] == 5
+        assert snap["counters"]["gc_stalls"] == 2
+        assert snap["series"]["free_blocks"]["values"] == [64.0]
+        assert snap["extra"]["scheme"] == "across"
+        json.dumps(snap)  # must be plain JSON-serialisable
+
+    def test_non_serialisable_extras_dropped(self):
+        snap = json_snapshot(_counters(), None, {"obj": object(), "n": 1})
+        assert "obj" not in snap["extra"]
+        assert snap["extra"]["n"] == 1
+
+
+class TestSamplerTick:
+    def test_samples_only_on_tick_crossings(self):
+        ss = SamplerSet(10.0)
+        g = GaugeSampler("g", lambda: 1)
+        ss.add(g)
+        assert not ss.maybe_sample(3.0)
+        assert ss.maybe_sample(10.0)
+        assert not ss.maybe_sample(12.0)
+        assert ss.maybe_sample(35.0)  # skips empty windows, no catch-up
+        assert len(g.values) == 2
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError):
+            SamplerSet(0.0)

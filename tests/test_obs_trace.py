@@ -1,0 +1,134 @@
+"""Span assembly and Chrome-trace export (repro.obs.trace)."""
+
+import json
+
+from repro.obs.events import (
+    BufferLookup,
+    EventBus,
+    FlashOp,
+    FTLDecision,
+    GCEvent,
+    GCStall,
+    RequestArrive,
+    RequestComplete,
+)
+from repro.obs.trace import REQUEST_LANES, TraceRecorder, load_chrome
+from repro.traces.model import OP_READ, OP_WRITE
+
+
+def _recorder():
+    bus = EventBus()
+    return bus, TraceRecorder(bus)
+
+
+def _emit_request(bus, rid, t0, *, op=OP_WRITE, latency=0.5, paths=(),
+                  flash=0, hit=None):
+    bus.current_request = rid
+    bus.emit(RequestArrive(t0, rid, op, rid * 8, 8, False))
+    if hit is not None:
+        bus.emit(BufferLookup(t0, rid, hit))
+    for p in paths:
+        bus.emit(FTLDecision(t0, rid, p, rid))
+    for i in range(flash):
+        bus.emit(FlashOp(t0, rid, "program", "data", i % 4,
+                         t0 + latency, 100 + i))
+    bus.emit(RequestComplete(t0 + latency, rid, latency))
+
+
+class TestSpanAssembly:
+    def test_span_from_event_sequence(self):
+        bus, rec = _recorder()
+        _emit_request(bus, 0, 0.0, paths=["direct"], flash=2, hit=False)
+        assert len(rec) == 1
+        span = rec.spans[0]
+        assert span["rid"] == 0
+        assert span["op"] == "write"
+        assert span["paths"] == ["direct"]
+        assert span["buffer"] == "miss"
+        assert len(span["flash_ops"]) == 2
+        assert span["latency_ms"] == 0.5
+        assert span["finish_ms"] == 0.5
+
+    def test_spans_complete_out_of_order(self):
+        bus, rec = _recorder()
+        bus.emit(RequestArrive(0.0, 0, OP_READ, 0, 8, False))
+        bus.emit(RequestArrive(0.1, 1, OP_READ, 8, 8, True))
+        bus.emit(RequestComplete(0.2, 1, 0.1))
+        bus.emit(RequestComplete(0.9, 0, 0.9))
+        assert [s["rid"] for s in rec.spans] == [1, 0]
+        assert rec.spans[0]["across"] is True
+
+    def test_orphan_flash_ops_kept_separately(self):
+        bus, rec = _recorder()
+        bus.emit(FlashOp(5.0, -1, "program", "map", 0, 5.2, 7))
+        assert rec.spans == []
+        assert len(rec.orphan_flash) == 1
+
+    def test_gc_attributed_to_current_request(self):
+        bus, rec = _recorder()
+        bus.current_request = 3
+        bus.emit(RequestArrive(0.0, 3, OP_WRITE, 0, 8, False))
+        bus.emit(GCEvent(0.1, 0, 12, 3))
+        bus.emit(RequestComplete(0.4, 3, 0.4))
+        assert rec.spans[0]["gc_victims"] == 1
+        assert len(rec.gc_events) == 1
+
+    def test_path_histogram(self):
+        bus, rec = _recorder()
+        _emit_request(bus, 0, 0.0, paths=["direct", "amerge"])
+        _emit_request(bus, 1, 1.0, paths=["direct"])
+        assert rec.path_histogram() == {"direct": 2, "amerge": 1}
+
+
+class TestChromeExport:
+    def test_chrome_json_shape(self, tmp_path):
+        bus, rec = _recorder()
+        for rid in range(3):
+            _emit_request(bus, rid, rid * 1.0, flash=1)
+        bus.emit(GCStall(2.5, 0, 1))
+        p = tmp_path / "trace.json"
+        rec.write_chrome(p)
+        doc = load_chrome(p)
+        assert doc["displayTimeUnit"] == "ms"
+        evs = doc["traceEvents"]
+        # metadata names both processes
+        meta = [e for e in evs if e["ph"] == "M"]
+        assert {e["pid"] for e in meta} == {1, 2}
+        # one request slice per span, on pid 1, with us timestamps
+        slices = [e for e in evs if e["ph"] == "X" and e["pid"] == 1]
+        assert len(slices) == 3
+        assert slices[0]["ts"] == 0.0 and slices[0]["dur"] == 500.0
+        # flash commands render on their chip's row of pid 2
+        chips = [e for e in evs if e["ph"] == "X" and e["pid"] == 2]
+        assert len(chips) == 3
+        assert all(e["tid"] == 0 for e in chips)
+        # the stall is an instant event
+        stalls = [e for e in evs if e["ph"] == "i"]
+        assert len(stalls) == 1 and stalls[0]["name"] == "GC stall"
+        # the whole document must be plain JSON (no numpy leakage)
+        json.dumps(doc)
+
+    def test_overlapping_requests_get_distinct_lanes(self):
+        bus, rec = _recorder()
+        for rid in range(4):  # all four overlap in [0, 10]
+            bus.emit(RequestArrive(float(rid), rid, OP_READ, 0, 8, False))
+        for rid in range(4):
+            bus.emit(RequestComplete(10.0 + rid, rid, 10.0))
+        lanes = [
+            e["tid"]
+            for e in rec.to_chrome()["traceEvents"]
+            if e["ph"] == "X" and e["pid"] == 1
+        ]
+        assert len(set(lanes)) == 4
+        assert all(0 <= lane < REQUEST_LANES for lane in lanes)
+
+    def test_jsonl_round_trip(self, tmp_path):
+        bus, rec = _recorder()
+        _emit_request(bus, 0, 0.0, paths=["page_write"])
+        _emit_request(bus, 1, 1.0, op=OP_READ, paths=["page_read"])
+        p = tmp_path / "spans.jsonl"
+        rec.write_jsonl(p)
+        lines = [json.loads(line) for line in p.read_text().splitlines()]
+        assert len(lines) == 2
+        assert lines[1]["op"] == "read"
+        assert lines[1]["paths"] == ["page_read"]

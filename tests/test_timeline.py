@@ -75,3 +75,17 @@ class TestEngineHookup:
         assert log.op[2] == OP_READ
         assert (log.flush[:2] >= 1).all()
         assert log.flush[2] == 0
+
+
+class TestRequestLogGrowth:
+    def test_growth_past_default_capacity(self):
+        """The default 4096-row buffers must double transparently."""
+        log = RequestLog()
+        n = 4096 + 123
+        for i in range(n):
+            log.append(float(i), OP_WRITE, False, 0.5, 1)
+        assert len(log) == n
+        assert log.time[4096] == 4096.0
+        assert log.flush[n - 1] == 1
+        # views stay trimmed to the logical length, not the capacity
+        assert len(log.latency) == n
