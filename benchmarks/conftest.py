@@ -12,6 +12,12 @@ Environment knobs:
   counts to replay (default 0.03, i.e. ~19k-26k requests per trace).
 * ``REPRO_BENCH_FULL=1`` — use the full Table 1 device geometry instead
   of the scaled bench device (slow; hours).
+* ``REPRO_BENCH_JOBS`` — worker processes for the sweep fan-out
+  (default 1 = serial in-process; results are identical either way).
+* ``REPRO_BENCH_STORE`` — directory of a persistent result store;
+  completed runs are reused across bench sessions, so re-running the
+  figure benchmarks after an interrupt only simulates the missing
+  points.
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ from pathlib import Path
 import pytest
 
 from repro.config import SimConfig, SSDConfig
+from repro.experiments.parallel import ResultStore
 from repro.experiments.runner import ExperimentContext
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -34,12 +41,16 @@ def ctx() -> ExperimentContext:
         cfg = SSDConfig.paper_table1()
     else:
         cfg = SSDConfig.bench_default()
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    store_dir = os.environ.get("REPRO_BENCH_STORE")
     return ExperimentContext(
         cfg=cfg,
         sim_cfg=SimConfig(
             aged_used=0.90, aged_valid=0.398, aging_style="vdi"
         ),
         scale=scale,
+        jobs=jobs,
+        store=ResultStore(store_dir) if store_dir else None,
     )
 
 

@@ -84,6 +84,11 @@ class DataCache:
             if entry[0] & mask != mask:
                 self.misses += 1
                 return False
+        # refresh LRU recency here, not only in get_stamps: a read
+        # served from DRAM must keep its pages hot even when the oracle
+        # is off (otherwise hot read-only pages are evicted as if cold)
+        for lpn, _rel_lo, _count in split_extent(offset, size, self.spp):
+            self._entries.move_to_end(lpn)
         self.hits += 1
         return True
 

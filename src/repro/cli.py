@@ -73,6 +73,24 @@ def _sim_cfg(args) -> SimConfig:
     )
 
 
+def _store(args):
+    """The persistent ResultStore named by ``--store`` (or None)."""
+    if not getattr(args, "store", None):
+        return None
+    from .experiments.parallel import ResultStore
+
+    return ResultStore(args.store)
+
+
+def _add_parallel(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes for independent runs "
+                        "(default 1 = in-process)")
+    p.add_argument("--store",
+                   help="directory of the persistent result store; "
+                        "completed runs are reused across invocations")
+
+
 def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--trace", help="trace file (SYSTOR'17 by default)")
     p.add_argument("--workload",
@@ -195,11 +213,24 @@ def cmd_trace(args) -> int:
 
 
 def cmd_compare(args) -> int:
-    """``repro compare``: all three schemes on one trace."""
+    """``repro compare``: all three schemes on one trace.
+
+    The three runs are independent, so ``--jobs 3`` fans them out and
+    ``--store`` reuses any of them finished by an earlier invocation.
+    """
+    from .experiments.parallel import RunSpec, execute_runs
+
     cfg = _device(args)
     trace = _load_trace(args, cfg)
     sim_cfg = _sim_cfg(args)
-    reports = {s: run_trace(s, trace, cfg, sim_cfg) for s in SCHEMES}
+    specs = [RunSpec.make(s, trace, cfg, sim_cfg) for s in SCHEMES]
+    outcome = execute_runs(
+        specs,
+        jobs=args.jobs,
+        store=_store(args),
+        progress=getattr(args, "progress", False),
+    )
+    reports = dict(zip(SCHEMES, outcome.reports))
     io = normalize({s: r.total_io_ms for s, r in reports.items()})
     er = normalize({s: float(max(1, r.erase_count)) for s, r in reports.items()})
     rows = {
@@ -220,6 +251,33 @@ def cmd_compare(args) -> int:
     return 0
 
 
+#: figures built from the lun1-lun6 x scheme sweep at the default page
+#: size — the points :func:`_prewarm_ctx` fans out before rendering
+_SWEEP_FIGURES = frozenset(
+    {"fig4", "fig8", "fig9", "fig10", "fig11", "fig12"}
+)
+
+
+def _prewarm_ctx(ctx: ExperimentContext, names) -> None:
+    """Fan out every simulation the requested figures need, one batch.
+
+    Figure functions call ``ctx.run`` point by point; prewarming first
+    lets ``--jobs N`` parallelise the whole session (and primes the
+    persistent store in one pass).
+    """
+    if ctx.jobs <= 1 and ctx.store is None:
+        return
+    from .experiments.figures import PAGE_SIZES
+
+    pages = set()
+    if _SWEEP_FIGURES & set(names):
+        pages.add(ctx.cfg.page_size_bytes)
+    if "fig14" in names:
+        pages.update(PAGE_SIZES)
+    if pages:
+        ctx.prewarm(page_sizes=sorted(pages))
+
+
 def cmd_figures(args) -> int:
     """``repro figures``: regenerate paper figures by name."""
     from .experiments import figures as F
@@ -234,7 +292,10 @@ def cmd_figures(args) -> int:
         cfg=SSDConfig.paper_table1() if args.full_device else SSDConfig.bench_default(),
         sim_cfg=SimConfig(aged_used=args.aged_used, aged_valid=args.aged_valid),
         scale=args.scale,
+        jobs=args.jobs,
+        store=_store(args),
     )
+    _prewarm_ctx(ctx, names)
     out = Path(args.out) if args.out else None
     if out:
         out.mkdir(parents=True, exist_ok=True)
@@ -259,7 +320,12 @@ def cmd_summary(args) -> int:
             aging_style="vdi",
         ),
         scale=args.scale,
+        jobs=args.jobs,
+        store=_store(args),
     )
+    from .experiments.figures import ALL_FIGURES
+
+    _prewarm_ctx(ctx, args.names or list(ALL_FIGURES))
     md = render_experiments_md(ctx, figures=args.names or None)
     if args.out:
         Path(args.out).write_text(md + "\n")
@@ -307,7 +373,12 @@ def cmd_report(args) -> int:
             aging_style="vdi",
         ),
         scale=args.scale,
+        jobs=args.jobs,
+        store=_store(args),
     )
+    from .experiments.figures import ALL_FIGURES
+
+    _prewarm_ctx(ctx, list(ALL_FIGURES))
     html = render_report_html(ctx)
     out = Path(args.out)
     out.write_text(html)
@@ -337,6 +408,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("compare", help="all three schemes on one trace")
     _add_common(p)
+    _add_parallel(p)
     p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser(
@@ -358,6 +430,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--full-device", action="store_true")
     p.add_argument("--aged-used", type=float, default=0.90)
     p.add_argument("--aged-valid", type=float, default=0.398)
+    _add_parallel(p)
     p.set_defaults(func=cmd_figures)
 
     p = sub.add_parser("summary", help="paper-vs-measured markdown")
@@ -367,6 +440,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--full-device", action="store_true")
     p.add_argument("--aged-used", type=float, default=0.90)
     p.add_argument("--aged-valid", type=float, default=0.398)
+    _add_parallel(p)
     p.set_defaults(func=cmd_summary)
 
     p = sub.add_parser("report", help="HTML chart report of the figures")
@@ -375,6 +449,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--full-device", action="store_true")
     p.add_argument("--aged-used", type=float, default=0.90)
     p.add_argument("--aged-valid", type=float, default=0.398)
+    _add_parallel(p)
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser("lint", help="sanity-check trace files")

@@ -2,6 +2,13 @@
 runner with result memoisation, and one function per paper figure/table."""
 
 from .charts import render_report_html
+from .parallel import (
+    ResultStore,
+    RunSpec,
+    SweepOutcome,
+    execute_runs,
+    run_key,
+)
 from .runner import ExperimentContext, compare_schemes, run_trace
 from .summary import render_experiments_md
 from .sweeps import SweepResult, sweep_config, sweep_sim, sweep_workload
@@ -20,4 +27,9 @@ __all__ = [
     "sweep_workload",
     "render_report_html",
     "render_experiments_md",
+    "ResultStore",
+    "RunSpec",
+    "SweepOutcome",
+    "execute_runs",
+    "run_key",
 ]

@@ -1,0 +1,424 @@
+"""Parallel sweep execution and the persistent result store.
+
+The paper's figures all come from embarrassingly parallel sweeps —
+every (trace, scheme, page size) point runs on a fresh device with no
+shared state — yet the runner executed them strictly serially.  This
+module supplies the missing execution layer:
+
+* :func:`run_key` — a stable content hash of everything that determines
+  a run's outcome (device config, sim config, the trace bytes, scheme,
+  FTL kwargs).  Two runs with equal keys produce equal reports.
+* :class:`ResultStore` — an on-disk JSON store of completed
+  :class:`~repro.metrics.report.SimulationReport` objects keyed by
+  :func:`run_key`, shared across processes *and* sessions, so repeated
+  bench invocations and figure regeneration reuse finished runs.
+* :func:`execute_runs` — fans a batch of :class:`RunSpec` out across
+  cores with :class:`concurrent.futures.ProcessPoolExecutor`.  Workers
+  are plain fresh-device replays (same seeds, no shared mutable state),
+  so their reports are identical to in-process runs; a determinism test
+  enforces this.  Workers run with ``progress`` forced off and the
+  parent renders a single sweep-level progress line instead.
+
+Filename helpers (:func:`sanitize_fragment`, :func:`run_filename`) are
+shared with :meth:`ExperimentContext.save_results` so archives and the
+store speak one naming scheme.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import re
+import sys
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..config import SimConfig, SSDConfig
+from ..metrics.report import SimulationReport
+from ..traces.model import Trace
+
+__all__ = [
+    "RunSpec",
+    "ResultStore",
+    "SweepOutcome",
+    "execute_runs",
+    "run_key",
+    "run_filename",
+    "sanitize_fragment",
+    "trace_fingerprint",
+]
+
+
+# ----------------------------------------------------------------------
+# naming
+# ----------------------------------------------------------------------
+_FRAGMENT_RE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def sanitize_fragment(value: Any) -> str:
+    """File-name-safe rendering of one config/kwarg value.
+
+    Anything outside ``[A-Za-z0-9._-]`` collapses to a single ``-`` so
+    raw FTL kwargs (floats, tuples, paths...) can never produce an
+    invalid or directory-escaping archive filename.
+    """
+    text = _FRAGMENT_RE.sub("-", str(value)).strip("-.")
+    return text or "x"
+
+
+def run_filename(
+    trace_name: str,
+    scheme: str,
+    page_size_bytes: int,
+    ftl_kw: Mapping[str, Any] | None = None,
+) -> str:
+    """The shared ``<trace>__<scheme>__<pageKiB>[__kwargs]`` stem used
+    by both :class:`ResultStore` files and ``save_results`` archives."""
+    stem = (
+        f"{sanitize_fragment(trace_name)}__{sanitize_fragment(scheme)}"
+        f"__{page_size_bytes // 1024}k"
+    )
+    if ftl_kw:
+        stem += "__" + "_".join(
+            f"{sanitize_fragment(k)}-{sanitize_fragment(v)}"
+            for k, v in sorted(ftl_kw.items())
+        )
+    return stem
+
+
+# ----------------------------------------------------------------------
+# run identity
+# ----------------------------------------------------------------------
+def trace_fingerprint(trace: Trace) -> str:
+    """Content hash of a trace (name + the four request arrays)."""
+    h = hashlib.sha256()
+    h.update(trace.name.encode())
+    for arr in (trace.times, trace.ops, trace.offsets, trace.sizes):
+        h.update(b"|")
+        h.update(np.ascontiguousarray(arr).tobytes())
+    return h.hexdigest()
+
+
+def _sim_cfg_doc(sim_cfg: SimConfig | None) -> dict | None:
+    """Canonical dict of a SimConfig, minus output-only knobs.
+
+    ``progress`` is cosmetic (a stderr line) and must not split the
+    cache key; everything else — aging, seed, queue depth, oracle,
+    observability — can change the report and stays in.
+    """
+    if sim_cfg is None:
+        return None
+    doc = dataclasses.asdict(sim_cfg)
+    doc.pop("progress", None)
+    return doc
+
+
+def run_key(
+    scheme: str,
+    trace: Trace,
+    cfg: SSDConfig,
+    sim_cfg: SimConfig | None = None,
+    ftl_kw: Mapping[str, Any] | None = None,
+) -> str:
+    """Stable hash of everything that determines a run's outcome."""
+    doc = {
+        "scheme": scheme,
+        "trace": trace_fingerprint(trace),
+        "cfg": dataclasses.asdict(cfg),
+        "sim_cfg": _sim_cfg_doc(sim_cfg),
+        "ftl_kw": {str(k): repr(v) for k, v in (ftl_kw or {}).items()},
+    }
+    blob = json.dumps(doc, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# run specification
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent (trace, scheme, config) simulation to execute.
+
+    ``ftl_kw`` is a sorted tuple of (name, value) pairs so the spec is
+    hashable and pickles compactly to worker processes.
+    """
+
+    scheme: str
+    trace: Trace
+    cfg: SSDConfig
+    sim_cfg: SimConfig | None = None
+    ftl_kw: tuple = ()
+
+    @classmethod
+    def make(
+        cls,
+        scheme: str,
+        trace: Trace,
+        cfg: SSDConfig,
+        sim_cfg: SimConfig | None = None,
+        **ftl_kw,
+    ) -> "RunSpec":
+        return cls(scheme, trace, cfg, sim_cfg, tuple(sorted(ftl_kw.items())))
+
+    @property
+    def kwargs(self) -> dict:
+        return dict(self.ftl_kw)
+
+    @property
+    def label(self) -> str:
+        """Human-readable stem (also the store filename prefix)."""
+        return run_filename(
+            self.trace.name, self.scheme, self.cfg.page_size_bytes, self.kwargs
+        )
+
+    def key(self) -> str:
+        """The run's :func:`run_key` (the store / dedup identity)."""
+        return run_key(
+            self.scheme, self.trace, self.cfg, self.sim_cfg, self.kwargs
+        )
+
+
+def _execute_spec(spec: RunSpec) -> SimulationReport:
+    """Run one spec on a fresh device (the worker entry point).
+
+    Workers force ``progress`` off: with N processes interleaving on one
+    stderr the per-run line would be garbage — the parent renders a
+    single sweep-level progress bar instead.
+    """
+    from .runner import run_trace  # deferred: runner imports this module
+
+    sim_cfg = spec.sim_cfg
+    if sim_cfg is not None and sim_cfg.progress:
+        sim_cfg = dataclasses.replace(sim_cfg, progress=False)
+    return run_trace(spec.scheme, spec.trace, spec.cfg, sim_cfg, **spec.kwargs)
+
+
+# ----------------------------------------------------------------------
+# the persistent result store
+# ----------------------------------------------------------------------
+class ResultStore:
+    """On-disk cache of completed runs, keyed by :func:`run_key`.
+
+    One JSON document per run under ``root``, named
+    ``<trace>__<scheme>__<pageKiB>[__kwargs]__<key12>.json`` — the same
+    human-readable stem ``save_results`` archives use, suffixed with the
+    key prefix so distinct configurations of the same (trace, scheme,
+    page) never collide.  Writes are atomic (temp file + ``os.replace``)
+    so concurrent workers and parallel bench sessions can share a store
+    directory safely.
+    """
+
+    STORE_VERSION = 1
+    #: hex digits of the run key carried in the filename
+    KEY_DIGITS = 12
+
+    def __init__(self, root):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+
+    # -- paths -----------------------------------------------------------
+    def path_for(self, spec: RunSpec) -> Path:
+        """Where ``spec``'s report lives (whether or not it exists)."""
+        return self._path(spec.label, spec.key())
+
+    def _path(self, label: str, key: str) -> Path:
+        return self.root / f"{label}__{key[: self.KEY_DIGITS]}.json"
+
+    # -- access ----------------------------------------------------------
+    def get(self, spec: RunSpec) -> Optional[SimulationReport]:
+        """The stored report for ``spec``, or None (corrupt or
+        key-mismatched files count as misses, never as errors)."""
+        path = self.path_for(spec)
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if doc.get("key") != spec.key():
+            self.misses += 1
+            return None
+        try:
+            report = SimulationReport.from_dict(doc["report"])
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return report
+
+    def put(self, spec: RunSpec, report: SimulationReport) -> Path:
+        """Persist one finished run (atomic, last-writer-wins)."""
+        path = self.path_for(spec)
+        doc = {
+            "store_version": self.STORE_VERSION,
+            "key": spec.key(),
+            "label": spec.label,
+            "scheme": spec.scheme,
+            "trace": spec.trace.name,
+            "page_size_bytes": spec.cfg.page_size_bytes,
+            "ftl_kwargs": {k: repr(v) for k, v in spec.ftl_kw},
+            "report": report.to_dict(),
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=self.root, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(doc, fh, indent=1)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.puts += 1
+        return path
+
+    def __contains__(self, spec: RunSpec) -> bool:
+        path = self.path_for(spec)
+        try:
+            return json.loads(path.read_text()).get("key") == spec.key()
+        except (OSError, ValueError):
+            return False
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def index(self) -> list[dict]:
+        """Metadata of every stored run (no reports parsed)."""
+        out = []
+        for path in sorted(self.root.glob("*.json")):
+            try:
+                doc = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            out.append(
+                {
+                    "file": path.name,
+                    "key": doc.get("key"),
+                    "scheme": doc.get("scheme"),
+                    "trace": doc.get("trace"),
+                    "page_size_bytes": doc.get("page_size_bytes"),
+                    "ftl_kwargs": doc.get("ftl_kwargs", {}),
+                }
+            )
+        return out
+
+    def clear(self) -> int:
+        """Delete every stored run; returns how many were removed."""
+        n = 0
+        for path in self.root.glob("*.json"):
+            try:
+                path.unlink()
+                n += 1
+            except OSError:
+                pass
+        return n
+
+
+# ----------------------------------------------------------------------
+# fan-out execution
+# ----------------------------------------------------------------------
+@dataclass
+class SweepOutcome:
+    """Reports of one batch, in spec order, plus execution accounting."""
+
+    reports: list[SimulationReport] = field(default_factory=list)
+    #: simulations actually executed in this call
+    executed: int = 0
+    #: results served from the :class:`ResultStore`
+    cached: int = 0
+
+    def __iter__(self):
+        return iter(self.reports)
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+    def __getitem__(self, i):
+        return self.reports[i]
+
+
+def _sweep_progress(done: int, total: int, label: str, final: bool = False):
+    """One-line sweep progress bar on stderr (the parent's view while
+    workers run with their own progress suppressed)."""
+    width = 24
+    filled = int(width * done / total) if total else width
+    bar = "#" * filled + "-" * (width - filled)
+    sys.stderr.write(f"\r[sweep {bar}] {done}/{total} {label:<40.40s}")
+    if final:
+        sys.stderr.write("\n")
+    sys.stderr.flush()
+
+
+def execute_runs(
+    specs: Sequence[RunSpec],
+    *,
+    jobs: int = 1,
+    store: ResultStore | None = None,
+    progress: bool = False,
+    fresh: bool = False,
+) -> SweepOutcome:
+    """Execute a batch of independent runs, reusing and filling ``store``.
+
+    ``jobs`` > 1 fans the cache-missing specs out across a process pool;
+    ``jobs`` <= 1 runs them in-process (identical results either way —
+    each run is a fresh seeded device).  ``fresh=True`` skips store
+    lookups (but still persists results), for forced re-measurement.
+    Reports come back in spec order.
+    """
+    specs = list(specs)
+    out = SweepOutcome(reports=[None] * len(specs))
+    pending: list[int] = []
+    for i, spec in enumerate(specs):
+        report = None
+        if store is not None and not fresh:
+            report = store.get(spec)
+        if report is not None:
+            out.reports[i] = report
+            out.cached += 1
+        else:
+            pending.append(i)
+    total = len(specs)
+    done = total - len(pending)
+    if progress and total:
+        _sweep_progress(done, total, "cached" if done else "starting")
+
+    def _finish(i: int, report: SimulationReport) -> None:
+        out.reports[i] = report
+        out.executed += 1
+        if store is not None:
+            store.put(specs[i], report)
+
+    if jobs > 1 and len(pending) > 1:
+        from concurrent.futures import ProcessPoolExecutor, as_completed
+
+        workers = min(jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_execute_spec, specs[i]): i for i in pending
+            }
+            for fut in as_completed(futures):
+                i = futures[fut]
+                _finish(i, fut.result())
+                done += 1
+                if progress:
+                    _sweep_progress(done, total, specs[i].label)
+    else:
+        for i in pending:
+            _finish(i, _execute_spec(specs[i]))
+            done += 1
+            if progress:
+                _sweep_progress(done, total, specs[i].label)
+    if progress and total:
+        _sweep_progress(total, total, "done", final=True)
+    return out

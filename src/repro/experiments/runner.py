@@ -4,7 +4,9 @@
 single (scheme, trace) pair.  ``ExperimentContext`` memoises runs so
 the figures that share the same sweep (Figs. 9, 10, 11, 12 all come
 from the lun1-lun6 x {ftl, mrsm, across} sweep at 8 KiB) only simulate
-once per benchmark session.
+once per benchmark session.  With ``jobs`` > 1 the context fans sweep
+points out across a process pool, and with a ``store`` it reuses runs
+persisted by earlier sessions (see :mod:`repro.experiments.parallel`).
 """
 
 from __future__ import annotations
@@ -18,6 +20,7 @@ from ..metrics.report import SimulationReport
 from ..sim.engine import Simulator
 from ..traces.model import Trace
 from ..traces.synthetic import SyntheticSpec, VDIWorkloadGenerator
+from .parallel import ResultStore, RunSpec, execute_runs, run_filename
 
 
 def run_trace(
@@ -63,6 +66,12 @@ class ExperimentContext:
     scale: float = 0.05
     footprint_fraction: float = 0.8
     seed_base: int = 2023
+    #: worker processes for sweep fan-out (1 = in-process, serial)
+    jobs: int = 1
+    #: persistent cross-session run cache (None = memoise in memory only)
+    store: ResultStore | None = None
+    #: render a sweep-level progress line while fanning out
+    progress: bool = False
     _traces: dict[str, Trace] = field(default_factory=dict)
     _runs: dict[tuple, SimulationReport] = field(default_factory=dict)
 
@@ -97,6 +106,23 @@ class ExperimentContext:
         return [row.name for row in TABLE2_SPECS]
 
     # ------------------------------------------------------------------
+    def _memo_key(
+        self, trace_name: str, scheme: str, page: int, ftl_kw: dict
+    ) -> tuple:
+        return (trace_name, scheme, page, tuple(sorted(ftl_kw.items())))
+
+    def _spec(
+        self, trace_name: str, scheme: str, page: int, ftl_kw: dict
+    ) -> RunSpec:
+        """The :class:`RunSpec` describing one memo point."""
+        return RunSpec.make(
+            scheme,
+            self.lun_trace(trace_name),
+            self.config_for_page(page),
+            self.sim_cfg,
+            **ftl_kw,
+        )
+
     def run(
         self,
         trace_name: str,
@@ -105,20 +131,79 @@ class ExperimentContext:
         page_size_bytes: int | None = None,
         **ftl_kw,
     ) -> SimulationReport:
-        """Memoised simulation of (lun trace, scheme, page size)."""
+        """Memoised simulation of (lun trace, scheme, page size).
+
+        Misses consult the persistent ``store`` (when configured) before
+        simulating, and fresh results are written back to it.
+        """
         page = page_size_bytes or self.cfg.page_size_bytes
-        key = (trace_name, scheme, page, tuple(sorted(ftl_kw.items())))
+        key = self._memo_key(trace_name, scheme, page, ftl_kw)
         if key not in self._runs:
-            cfg = self.config_for_page(page)
-            trace = self.lun_trace(trace_name)
-            self._runs[key] = run_trace(scheme, trace, cfg, self.sim_cfg, **ftl_kw)
+            spec = self._spec(trace_name, scheme, page, ftl_kw)
+            outcome = execute_runs([spec], jobs=1, store=self.store)
+            self._runs[key] = outcome.reports[0]
         return self._runs[key]
+
+    def run_many(
+        self, points, *, page_size_bytes: int | None = None
+    ) -> list[SimulationReport]:
+        """Run a batch of (trace_name, scheme) points, fanning cache
+        misses out across ``self.jobs`` worker processes.
+
+        ``points`` may also carry a per-point page size and FTL kwargs:
+        ``(trace_name, scheme)``, ``(trace_name, scheme, page)`` or
+        ``(trace_name, scheme, page, ftl_kw_dict)``.  Results land in
+        the in-memory memo (and the store) exactly as :meth:`run`'s do.
+        """
+        default_page = page_size_bytes or self.cfg.page_size_bytes
+        normal = []
+        for point in points:
+            name, scheme, page, kw = (tuple(point) + (None, None))[:4]
+            normal.append(
+                (name, scheme, page or default_page, dict(kw or {}))
+            )
+        missing = [
+            p for p in normal if self._memo_key(*p) not in self._runs
+        ]
+        if missing:
+            specs = [self._spec(*p) for p in missing]
+            outcome = execute_runs(
+                specs, jobs=self.jobs, store=self.store, progress=self.progress
+            )
+            for p, report in zip(missing, outcome.reports):
+                self._runs[self._memo_key(*p)] = report
+        return [self._runs[self._memo_key(*p)] for p in normal]
+
+    def prewarm(
+        self,
+        *,
+        schemes=SCHEMES,
+        page_sizes=None,
+        **ftl_kw,
+    ) -> int:
+        """Fill the memo for every (lun, scheme, page) point in one
+        parallel batch; returns how many points are now resident.
+
+        The figure functions call :meth:`run` point by point — serially.
+        Prewarming first turns a whole figure session into one fan-out.
+        """
+        pages = list(page_sizes) if page_sizes else [self.cfg.page_size_bytes]
+        points = [
+            (name, scheme, page, ftl_kw)
+            for page in pages
+            for name in self.lun_names()
+            for scheme in schemes
+        ]
+        return len(self.run_many(points))
 
     def save_results(self, directory) -> int:
         """Archive every memoised run as JSON under ``directory``.
 
-        Writes one ``<trace>__<scheme>__<pageKiB>.json`` per run plus an
-        ``index.json`` listing them; returns the number of runs saved.
+        Writes one ``<trace>__<scheme>__<pageKiB>[__kwargs].json`` per
+        run (same naming scheme as :class:`ResultStore`, with raw kwarg
+        values sanitised and colliding names de-collided by a numeric
+        suffix) plus an ``index.json`` listing them; returns the number
+        of runs saved.
         """
         import json
         from pathlib import Path
@@ -126,11 +211,15 @@ class ExperimentContext:
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         index = []
+        used: set[str] = set()
         for (trace, scheme, page, kw), report in self._runs.items():
-            fname = f"{trace}__{scheme}__{page // 1024}k"
-            if kw:
-                fname += "__" + "_".join(f"{k}-{v}" for k, v in kw)
-            fname += ".json"
+            stem = run_filename(trace, scheme, page, dict(kw))
+            fname = f"{stem}.json"
+            serial = 2
+            while fname in used:
+                fname = f"{stem}__{serial}.json"
+                serial += 1
+            used.add(fname)
             (directory / fname).write_text(report.to_json(indent=1))
             index.append(
                 {
@@ -138,7 +227,7 @@ class ExperimentContext:
                     "trace": trace,
                     "scheme": scheme,
                     "page_size_bytes": page,
-                    "ftl_kwargs": dict(kw),
+                    "ftl_kwargs": {k: repr(v) for k, v in kw},
                 }
             )
         (directory / "index.json").write_text(json.dumps(index, indent=1))
@@ -151,13 +240,19 @@ class ExperimentContext:
         page_size_bytes: int | None = None,
         **ftl_kw,
     ) -> dict[str, dict[str, SimulationReport]]:
-        """All lun traces x schemes; returns {trace: {scheme: report}}."""
+        """All lun traces x schemes; returns {trace: {scheme: report}}.
+
+        The whole grid executes as one batch, so with ``jobs`` > 1 the
+        18 independent simulations behind Figs. 9-12 run concurrently.
+        """
+        names = self.lun_names()
+        points = [
+            (name, s, page_size_bytes or self.cfg.page_size_bytes, ftl_kw)
+            for name in names
+            for s in schemes
+        ]
+        reports = self.run_many(points)
+        it = iter(reports)
         return {
-            name: {
-                s: self.run(
-                    name, s, page_size_bytes=page_size_bytes, **ftl_kw
-                )
-                for s in schemes
-            }
-            for name in self.lun_names()
+            name: {s: next(it) for s in schemes} for name in names
         }

@@ -6,6 +6,11 @@ across-page share, queue depth — and see how each scheme responds.
 :func:`sweep_config` handles any :class:`SSDConfig` field;
 :func:`sweep_workload` any :class:`SyntheticSpec` field; both return a
 :class:`SweepResult` whose table renders like the paper's figures.
+
+Every sweep point is an independent fresh-device run, so all sweeps
+accept ``jobs`` (process-pool fan-out) and ``store`` (persistent run
+cache) and dispatch through
+:func:`repro.experiments.parallel.execute_runs`.
 """
 
 from __future__ import annotations
@@ -17,7 +22,7 @@ from ..config import SCHEMES, SimConfig, SSDConfig
 from ..metrics.report import SimulationReport, render_table
 from ..traces.model import Trace
 from ..traces.synthetic import SyntheticSpec, VDIWorkloadGenerator
-from .runner import run_trace
+from .parallel import ResultStore, RunSpec, execute_runs
 
 MetricFn = Callable[[SimulationReport], float]
 
@@ -56,6 +61,29 @@ def _metric_fn(metric: str | MetricFn) -> MetricFn:
     return lambda rep: rep.metric(metric)
 
 
+def _run_grid(
+    field: str,
+    points: Sequence[Any],
+    grid: Sequence[tuple[str, RunSpec]],
+    schemes: Sequence[str],
+    metric: str | MetricFn,
+    jobs: int,
+    store: ResultStore | None,
+    progress: bool,
+) -> SweepResult:
+    """Execute a (point x scheme) spec grid and tabulate the metric."""
+    fn = _metric_fn(metric)
+    outcome = execute_runs(
+        [spec for _, spec in grid], jobs=jobs, store=store, progress=progress
+    )
+    values: dict[str, dict[str, float]] = {}
+    for (label, spec), report in zip(grid, outcome.reports):
+        values.setdefault(label, {})[spec.scheme] = fn(report)
+    return SweepResult(
+        field, list(points), getattr(metric, "__name__", str(metric)), values
+    )
+
+
 def sweep_config(
     field: str,
     points: Sequence[Any],
@@ -65,17 +93,18 @@ def sweep_config(
     *,
     metric: str | MetricFn = "total_io_ms",
     schemes: Sequence[str] = SCHEMES,
+    jobs: int = 1,
+    store: ResultStore | None = None,
+    progress: bool = False,
 ) -> SweepResult:
     """Run every scheme at every value of one ``SSDConfig`` field."""
-    fn = _metric_fn(metric)
-    values: dict[str, dict[str, float]] = {}
+    grid = []
     for point in points:
         cfg = base_cfg.replace(**{field: point})
-        values[str(point)] = {
-            s: fn(run_trace(s, trace, cfg, sim_cfg)) for s in schemes
-        }
-    return SweepResult(
-        field, list(points), getattr(metric, "__name__", str(metric)), values
+        for s in schemes:
+            grid.append((str(point), RunSpec.make(s, trace, cfg, sim_cfg)))
+    return _run_grid(
+        field, points, grid, schemes, metric, jobs, store, progress
     )
 
 
@@ -88,19 +117,20 @@ def sweep_sim(
     *,
     metric: str | MetricFn = "total_io_ms",
     schemes: Sequence[str] = SCHEMES,
+    jobs: int = 1,
+    store: ResultStore | None = None,
+    progress: bool = False,
 ) -> SweepResult:
     """Sweep one :class:`SimConfig` field (queue depth, aging, ...)."""
-    fn = _metric_fn(metric)
     base = base_sim if base_sim is not None else SimConfig()
-    values: dict[str, dict[str, float]] = {}
+    grid = []
     for point in points:
         sim_cfg = replace(base, **{field: point})
         sim_cfg.validate()
-        values[str(point)] = {
-            s: fn(run_trace(s, trace, cfg, sim_cfg)) for s in schemes
-        }
-    return SweepResult(
-        field, list(points), getattr(metric, "__name__", str(metric)), values
+        for s in schemes:
+            grid.append((str(point), RunSpec.make(s, trace, cfg, sim_cfg)))
+    return _run_grid(
+        field, points, grid, schemes, metric, jobs, store, progress
     )
 
 
@@ -113,18 +143,19 @@ def sweep_workload(
     *,
     metric: str | MetricFn = "total_io_ms",
     schemes: Sequence[str] = SCHEMES,
+    jobs: int = 1,
+    store: ResultStore | None = None,
+    progress: bool = False,
 ) -> SweepResult:
     """Sweep one workload knob (e.g. ``across_ratio``), regenerating
     the trace at each point."""
-    fn = _metric_fn(metric)
-    values: dict[str, dict[str, float]] = {}
+    grid = []
     for point in points:
         spec = replace(base_spec, **{field: point})
         spec.validate()
         trace = VDIWorkloadGenerator(spec).generate()
-        values[str(point)] = {
-            s: fn(run_trace(s, trace, cfg, sim_cfg)) for s in schemes
-        }
-    return SweepResult(
-        field, list(points), getattr(metric, "__name__", str(metric)), values
+        for s in schemes:
+            grid.append((str(point), RunSpec.make(s, trace, cfg, sim_cfg)))
+    return _run_grid(
+        field, points, grid, schemes, metric, jobs, store, progress
     )

@@ -115,7 +115,13 @@ class FlashOpCounters:
         return self.map_reads / t if t else 0.0
 
     def snapshot(self) -> dict:
-        """Plain-dict copy for reports / JSON."""
+        """Plain-dict copy for reports / JSON.
+
+        The per-kind splits (``reads_by_kind``/``writes_by_kind``) carry
+        the full counter state, so :meth:`from_snapshot` can rebuild an
+        equal instance; the flat aggregates stay for readability and
+        backward compatibility of archived sweeps.
+        """
         return {
             "data_reads": self.data_reads,
             "data_writes": self.data_writes,
@@ -131,7 +137,35 @@ class FlashOpCounters:
             "update_reads": self.update_reads,
             "merged_reads": self.merged_reads,
             "gc_stalls": self.gc_stalls,
+            "aging_erases": self.aging_erases,
+            "reads_by_kind": {k.value: v for k, v in self.reads.items()},
+            "writes_by_kind": {k.value: v for k, v in self.writes.items()},
         }
+
+    @classmethod
+    def from_snapshot(cls, d: dict) -> "FlashOpCounters":
+        """Rebuild counters from a :meth:`snapshot` dict (round trip)."""
+        out = cls()
+        by_read = d.get("reads_by_kind")
+        by_write = d.get("writes_by_kind")
+        if by_read is not None and by_write is not None:
+            out.reads = {k: int(by_read.get(k.value, 0)) for k in OpKind}
+            out.writes = {k: int(by_write.get(k.value, 0)) for k in OpKind}
+        else:  # legacy archive without the per-kind splits
+            out.reads[OpKind.DATA] = int(d.get("data_reads", 0))
+            out.reads[OpKind.MAP] = int(d.get("map_reads", 0))
+            out.reads[OpKind.GC] = int(d.get("gc_reads", 0))
+            out.writes[OpKind.DATA] = int(d.get("data_writes", 0))
+            out.writes[OpKind.MAP] = int(d.get("map_writes", 0))
+            out.writes[OpKind.GC] = int(d.get("gc_writes", 0))
+        out.erases = int(d.get("erases", 0))
+        out.aging_erases = int(d.get("aging_erases", 0))
+        out.dram_accesses = int(d.get("dram_accesses", 0))
+        out.cache_hits = int(d.get("cache_hits", 0))
+        out.update_reads = int(d.get("update_reads", 0))
+        out.merged_reads = int(d.get("merged_reads", 0))
+        out.gc_stalls = int(d.get("gc_stalls", 0))
+        return out
 
     def merged_with(self, other: "FlashOpCounters") -> "FlashOpCounters":
         """Element-wise sum (used when aggregating multi-trace runs)."""

@@ -42,6 +42,18 @@ class _Samples:
     def __len__(self) -> int:
         return self._n
 
+    @classmethod
+    def from_lists(
+        cls, latencies: "list[float]", sectors: "list[int]"
+    ) -> "_Samples":
+        """Rebuild a buffer from plain lists (JSON round trip)."""
+        out = cls(capacity=max(1024, len(latencies)))
+        n = len(latencies)
+        out._lat[:n] = latencies
+        out._sectors[:n] = sectors
+        out._n = n
+        return out
+
 
 @dataclass(frozen=True)
 class LatencySummary:
@@ -147,3 +159,63 @@ class LatencyRecorder:
     @property
     def request_count(self) -> int:
         return self.read_count + self.write_count
+
+    # -- (de)serialisation -----------------------------------------------
+    def to_dict(self) -> dict:
+        """Full state — totals *and* per-class sample distributions — so
+        an archived run can rebuild every latency summary (Fig. 4 needs
+        the per-sector distributions, not just the means)."""
+        return {
+            "enabled": self.enabled,
+            "total_ms": self.total_ms,
+            "read_ms": self.read_ms,
+            "write_ms": self.write_ms,
+            "reads": self.read_count,
+            "writes": self.write_count,
+            "samples": {
+                k: {
+                    "latencies": s.latencies.tolist(),
+                    "sectors": s.sectors.tolist(),
+                }
+                for k, s in self._buckets.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "LatencyRecorder":
+        """Inverse of :meth:`to_dict`."""
+        out = cls(enabled=bool(d.get("enabled", True)))
+        out.total_ms = float(d.get("total_ms", 0.0))
+        out.read_ms = float(d.get("read_ms", 0.0))
+        out.write_ms = float(d.get("write_ms", 0.0))
+        out.read_count = int(d.get("reads", 0))
+        out.write_count = int(d.get("writes", 0))
+        for key, payload in d.get("samples", {}).items():
+            if key in out._buckets:
+                out._buckets[key] = _Samples.from_lists(
+                    payload.get("latencies", []), payload.get("sectors", [])
+                )
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LatencyRecorder):
+            return NotImplemented
+        if (
+            self.enabled != other.enabled
+            or self.total_ms != other.total_ms
+            or self.read_ms != other.read_ms
+            or self.write_ms != other.write_ms
+            or self.read_count != other.read_count
+            or self.write_count != other.write_count
+        ):
+            return False
+        for k, s in self._buckets.items():
+            o = other._buckets[k]
+            if len(s) != len(o):
+                return False
+            if not (
+                np.array_equal(s.latencies, o.latencies)
+                and np.array_equal(s.sectors, o.sectors)
+            ):
+                return False
+        return True

@@ -61,20 +61,24 @@ class SimulationReport:
         return self.counters.gc_stalls
 
     def to_dict(self) -> dict:
-        """JSON-serialisable summary of the run (for archiving sweeps)."""
+        """JSON-serialisable dump of the run (for archiving sweeps).
+
+        Carries the *full* state — counters with per-kind splits and the
+        per-class latency sample distributions — so :meth:`from_dict`
+        rebuilds a report equal to the original and archived sweeps can
+        regenerate every figure.  The ``mean_read_ms``/``mean_write_ms``
+        convenience keys stay for readers of older archives.
+        """
         lat = self.latency
+        latency = lat.to_dict()
+        latency["mean_read_ms"] = lat.mean_read_ms
+        latency["mean_write_ms"] = lat.mean_write_ms
         return {
             "scheme": self.scheme,
             "trace": self.trace_name,
             "requests": self.requests,
             "counters": self.counters.snapshot(),
-            "latency": {
-                "total_ms": lat.total_ms,
-                "mean_read_ms": lat.mean_read_ms,
-                "mean_write_ms": lat.mean_write_ms,
-                "reads": lat.read_count,
-                "writes": lat.write_count,
-            },
+            "latency": latency,
             "mapping_table_bytes": self.mapping_table_bytes,
             "extra": {
                 k: v
@@ -84,11 +88,32 @@ class SimulationReport:
             "wall_seconds": self.wall_seconds,
         }
 
+    @classmethod
+    def from_dict(cls, d: dict) -> "SimulationReport":
+        """Rebuild a report from :meth:`to_dict` output (round trip)."""
+        return cls(
+            scheme=d["scheme"],
+            trace_name=d["trace"],
+            requests=int(d["requests"]),
+            counters=FlashOpCounters.from_snapshot(d.get("counters", {})),
+            latency=LatencyRecorder.from_dict(d.get("latency", {})),
+            extra=dict(d.get("extra", {})),
+            mapping_table_bytes=int(d.get("mapping_table_bytes", 0)),
+            wall_seconds=float(d.get("wall_seconds", 0.0)),
+        )
+
     def to_json(self, **kw) -> str:
         """JSON string of :meth:`to_dict` (kwargs go to json.dumps)."""
         import json
 
         return json.dumps(self.to_dict(), **kw)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SimulationReport":
+        """Inverse of :meth:`to_json`."""
+        import json
+
+        return cls.from_dict(json.loads(text))
 
     def metric(self, name: str) -> float:
         """Look up a metric by dotted name (used by generic benches)."""

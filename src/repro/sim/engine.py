@@ -15,8 +15,10 @@ counts per sector).
 
 from __future__ import annotations
 
+import heapq
 import sys
 import time as _time
+from collections import deque
 from typing import Optional
 
 import numpy as np
@@ -81,8 +83,10 @@ class Simulator:
         self.flush_writes = {"across": 0, "normal": 0}
         self.flush_sectors = {"across": 0, "normal": 0}
         self.trim_count = 0
-        #: completion times of serviced requests (queue-depth window)
-        self._completions: list[float] = []
+        #: completion times of recently serviced requests; only the
+        #: in-flight gauge needs them, so the window is bounded instead
+        #: of growing with the trace
+        self._completions: deque[float] = deque(maxlen=128)
         self.request_log: Optional[RequestLog] = (
             RequestLog() if self.sim_cfg.record_requests else None
         )
@@ -127,7 +131,7 @@ class Simulator:
         """Requests issued but not yet complete at the current sim time
         (bounded scan: good enough for a sampled gauge)."""
         now = self._now
-        return sum(1 for c in self._completions[-128:] if c > now)
+        return sum(1 for c in self._completions if c > now)
 
     # ------------------------------------------------------------------
     # device aging (paper §4.1)
@@ -349,6 +353,11 @@ class Simulator:
         process = self.process
         qd = self.sim_cfg.queue_depth
         completions = self._completions
+        #: completion times of the at-most-qd outstanding requests; a
+        #: slot frees when the *earliest-finishing* one completes (NCQ
+        #: semantics), not the oldest-submitted (FIFO would mis-time
+        #: every replay where a later short request finishes first)
+        outstanding: list[float] = []
         progress = self.sim_cfg.progress
         n = len(trace)
         loop_t0 = _time.perf_counter()
@@ -362,11 +371,13 @@ class Simulator:
             )
         ):
             start = None
-            if qd is not None and i >= qd:
+            if qd is not None and len(outstanding) >= qd:
                 # the device accepts this request only once the
-                # (i-qd)-th one has completed
-                start = max(ts, completions[i - qd])
+                # earliest-finishing outstanding one has completed
+                start = max(ts, heapq.heappop(outstanding))
             process(op, offset, size, ts, start)
+            if qd is not None:
+                heapq.heappush(outstanding, completions[-1])
             last = ts
             if (
                 self.series is not None

@@ -66,6 +66,26 @@ class TestEviction:
         assert cache.full_hit(0, 16)
         assert not cache.full_hit(16, 16)
 
+    def test_read_hit_refreshes_lru(self, cache):
+        """A full_hit read served from DRAM must keep its pages hot even
+        when the oracle is off (get_stamps never runs then); previously
+        hot read-only pages were evicted as if cold."""
+        for lpn in range(4):
+            cache.put(lpn * 16, 16, None)
+        assert cache.full_hit(0, 16)     # DRAM read hit, no get_stamps
+        cache.put(4 * 16, 16, None)      # evicts LPN 1, not the hot LPN 0
+        assert cache.full_hit(0, 16)
+        assert not cache.full_hit(16, 16)
+
+    def test_repeated_read_only_reuse_survives_streaming(self, cache):
+        """Read-only reuse: a page that is read on every step must
+        survive a stream of one-shot fills overflowing the cache."""
+        cache.put(0, 16, None)
+        for lpn in range(1, 12):
+            assert cache.full_hit(0, 16)          # hot read-only page
+            cache.put(lpn * 16, 16, None)         # streaming fill
+        assert cache.full_hit(0, 16)
+
     def test_eviction_counted(self, cache):
         for lpn in range(6):
             cache.put(lpn * 16, 16, None)

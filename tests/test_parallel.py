@@ -1,0 +1,297 @@
+"""Parallel sweep execution and the persistent result store
+(repro.experiments.parallel)."""
+
+import json
+
+import pytest
+
+from repro.config import SCHEMES, SimConfig, SSDConfig
+from repro.experiments.parallel import (
+    ResultStore,
+    RunSpec,
+    execute_runs,
+    run_filename,
+    run_key,
+    sanitize_fragment,
+    trace_fingerprint,
+)
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.workloads import lun_specs
+from repro.metrics.report import SimulationReport
+from repro.traces.synthetic import VDIWorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def tiny_setup():
+    cfg = SSDConfig.tiny()
+    sim_cfg = SimConfig(aged_used=0.3, aged_valid=0.1)
+    spec = lun_specs(cfg, scale=0.0005)[0]
+    trace = VDIWorkloadGenerator(spec).generate()
+    return cfg, sim_cfg, trace
+
+
+def _specs(tiny_setup, schemes=SCHEMES):
+    cfg, sim_cfg, trace = tiny_setup
+    return [RunSpec.make(s, trace, cfg, sim_cfg) for s in schemes]
+
+
+def _comparable(report: SimulationReport) -> dict:
+    """to_dict minus wall_seconds (the only run-to-run nondeterminism)."""
+    d = report.to_dict()
+    d.pop("wall_seconds")
+    return d
+
+
+class TestNaming:
+    def test_sanitize_passthrough(self):
+        assert sanitize_fragment("lun1") == "lun1"
+        assert sanitize_fragment(0.25) == "0.25"
+
+    def test_sanitize_hostile_values(self):
+        assert "/" not in sanitize_fragment("../../etc/passwd")
+        assert sanitize_fragment("a b\tc") == "a-b-c"
+        assert sanitize_fragment("(1, 'x')") == "1-x"
+
+    def test_sanitize_never_empty(self):
+        assert sanitize_fragment("") == "x"
+        assert sanitize_fragment("///") == "x"
+
+    def test_run_filename_scheme(self):
+        name = run_filename("lun1", "across", 8192, {"gc_policy": "greedy"})
+        assert name == "lun1__across__8k__gc_policy-greedy"
+
+    def test_run_filename_sorted_kwargs(self):
+        a = run_filename("t", "ftl", 4096, {"b": 2, "a": 1})
+        b = run_filename("t", "ftl", 4096, {"a": 1, "b": 2})
+        assert a == b
+
+
+class TestRunKey:
+    def test_stable(self, tiny_setup):
+        cfg, sim_cfg, trace = tiny_setup
+        assert run_key("ftl", trace, cfg, sim_cfg) == run_key(
+            "ftl", trace, cfg, sim_cfg
+        )
+
+    def test_sensitive_to_inputs(self, tiny_setup):
+        cfg, sim_cfg, trace = tiny_setup
+        base = run_key("ftl", trace, cfg, sim_cfg)
+        assert run_key("mrsm", trace, cfg, sim_cfg) != base
+        assert run_key("ftl", trace, cfg.replace(gc_threshold=0.05), sim_cfg) != base
+        assert (
+            run_key("ftl", trace, cfg, SimConfig(aged_used=0.5, aged_valid=0.2))
+            != base
+        )
+        assert run_key("ftl", trace, cfg, sim_cfg, {"k": 1}) != base
+
+    def test_progress_is_cosmetic(self, tiny_setup):
+        cfg, sim_cfg, trace = tiny_setup
+        import dataclasses
+
+        noisy = dataclasses.replace(sim_cfg, progress=True)
+        assert run_key("ftl", trace, cfg, noisy) == run_key(
+            "ftl", trace, cfg, sim_cfg
+        )
+
+    def test_trace_fingerprint_sees_content(self, tiny_setup):
+        _, _, trace = tiny_setup
+        import copy
+
+        other = copy.deepcopy(trace)
+        other.sizes = other.sizes.copy()
+        other.sizes[0] += 1
+        assert trace_fingerprint(other) != trace_fingerprint(trace)
+
+
+class TestReportRoundTrip:
+    def test_from_dict_equals_original(self, tiny_setup):
+        (report,) = execute_runs(_specs(tiny_setup, ["across"])).reports
+        rebuilt = SimulationReport.from_dict(
+            json.loads(report.to_json())
+        )
+        assert rebuilt == report  # dataclass eq: counters, latency, extra
+        assert rebuilt.to_dict() == report.to_dict()
+
+    def test_latency_distribution_survives(self, tiny_setup):
+        (report,) = execute_runs(_specs(tiny_setup, ["ftl"])).reports
+        rebuilt = SimulationReport.from_json(report.to_json())
+        for key, summ in report.latency.summaries().items():
+            assert rebuilt.latency.summary(key) == summ
+
+    def test_counters_survive_including_kinds(self, tiny_setup):
+        (report,) = execute_runs(_specs(tiny_setup, ["mrsm"])).reports
+        rebuilt = SimulationReport.from_json(report.to_json())
+        assert rebuilt.counters == report.counters
+        assert rebuilt.counters.map_writes == report.counters.map_writes
+        assert rebuilt.erase_count == report.erase_count
+
+
+class TestResultStore:
+    def test_miss_then_hit(self, tiny_setup, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        (spec,) = _specs(tiny_setup, ["ftl"])
+        assert store.get(spec) is None
+        out = execute_runs([spec], store=store)
+        assert out.executed == 1 and out.cached == 0
+        again = store.get(spec)
+        assert again is not None
+        assert _comparable(again) == _comparable(out.reports[0])
+
+    def test_rerun_executes_nothing(self, tiny_setup, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        specs = _specs(tiny_setup)
+        first = execute_runs(specs, store=store)
+        second = execute_runs(specs, store=store)
+        assert first.executed == len(specs)
+        assert second.executed == 0
+        assert second.cached == len(specs)
+        for a, b in zip(first.reports, second.reports):
+            assert _comparable(a) == _comparable(b)
+
+    def test_corrupt_file_is_a_miss(self, tiny_setup, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        (spec,) = _specs(tiny_setup, ["ftl"])
+        execute_runs([spec], store=store)
+        store.path_for(spec).write_text("{not json")
+        assert store.get(spec) is None
+
+    def test_key_mismatch_is_a_miss(self, tiny_setup, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        (spec,) = _specs(tiny_setup, ["ftl"])
+        execute_runs([spec], store=store)
+        doc = json.loads(store.path_for(spec).read_text())
+        doc["key"] = "0" * 64
+        store.path_for(spec).write_text(json.dumps(doc))
+        assert store.get(spec) is None
+
+    def test_index_and_len(self, tiny_setup, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        execute_runs(_specs(tiny_setup, ["ftl", "across"]), store=store)
+        assert len(store) == 2
+        idx = store.index()
+        assert {e["scheme"] for e in idx} == {"ftl", "across"}
+        assert all(e["key"] for e in idx)
+
+    def test_clear(self, tiny_setup, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        execute_runs(_specs(tiny_setup, ["ftl"]), store=store)
+        assert store.clear() == 1
+        assert len(store) == 0
+
+    def test_fresh_bypasses_lookup(self, tiny_setup, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        specs = _specs(tiny_setup, ["ftl"])
+        execute_runs(specs, store=store)
+        out = execute_runs(specs, store=store, fresh=True)
+        assert out.executed == 1 and out.cached == 0
+
+
+class TestParallelExecution:
+    def test_jobs4_equals_jobs1(self, tiny_setup):
+        """Worker results are bit-identical to in-process runs."""
+        specs = _specs(tiny_setup)
+        serial = execute_runs(specs, jobs=1)
+        fanned = execute_runs(specs, jobs=4)
+        assert fanned.executed == len(specs)
+        for a, b in zip(serial.reports, fanned.reports):
+            assert _comparable(a) == _comparable(b)
+            assert a.latency == b.latency  # full sample distributions
+
+    def test_order_preserved(self, tiny_setup):
+        specs = _specs(tiny_setup)
+        out = execute_runs(specs, jobs=3)
+        assert [r.scheme for r in out.reports] == list(SCHEMES)
+
+    def test_parallel_fills_store(self, tiny_setup, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        specs = _specs(tiny_setup)
+        execute_runs(specs, jobs=3, store=store)
+        assert len(store) == len(specs)
+        again = execute_runs(specs, jobs=3, store=store)
+        assert again.executed == 0 and again.cached == len(specs)
+
+
+@pytest.fixture(scope="module")
+def micro_ctx_kwargs():
+    cfg = SSDConfig(
+        channels=2,
+        chips_per_channel=2,
+        dies_per_chip=1,
+        planes_per_die=2,
+        blocks_per_plane=32,
+        pages_per_block=16,
+        page_size_bytes=8 * 1024,
+        write_buffer_bytes=512 * 1024,
+    )
+    return dict(
+        cfg=cfg,
+        sim_cfg=SimConfig(aged_used=0.6, aged_valid=0.3),
+        scale=0.002,
+    )
+
+
+class TestContextIntegration:
+    def test_parallel_sweep_equals_serial(self, micro_ctx_kwargs):
+        """--jobs 4 vs --jobs 1 on a lun sweep: reports must be equal
+        (counters, latency summaries, erase counts)."""
+        serial = ExperimentContext(**micro_ctx_kwargs, jobs=1)
+        fanned = ExperimentContext(**micro_ctx_kwargs, jobs=4)
+        a = serial.sweep(schemes=("ftl", "across"))
+        b = fanned.sweep(schemes=("ftl", "across"))
+        assert set(a) == set(b)
+        for name in a:
+            for s in a[name]:
+                assert _comparable(a[name][s]) == _comparable(b[name][s])
+
+    def test_sweep_fills_memo_for_run(self, micro_ctx_kwargs):
+        ctx = ExperimentContext(**micro_ctx_kwargs, jobs=2)
+        ctx.sweep(schemes=("ftl",))
+        rep = ctx.run("lun1", "ftl")  # memo hit, no new simulation
+        assert rep is ctx.run("lun1", "ftl")
+
+    def test_store_reused_across_contexts(self, micro_ctx_kwargs, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        first = ExperimentContext(**micro_ctx_kwargs, jobs=2, store=store)
+        first.sweep(schemes=("ftl",))
+        executed_before = store.puts
+        second = ExperimentContext(**micro_ctx_kwargs, store=store)
+        out = second.sweep(schemes=("ftl",))
+        assert store.puts == executed_before  # nothing re-simulated
+        assert store.hits >= 6
+        for name, per_scheme in out.items():
+            ref = first.run(name, "ftl")
+            assert _comparable(per_scheme["ftl"]) == _comparable(ref)
+
+    def test_prewarm_counts_points(self, micro_ctx_kwargs):
+        ctx = ExperimentContext(**micro_ctx_kwargs, jobs=2)
+        n = ctx.prewarm(schemes=("ftl",))
+        assert n == 6  # six luns x one scheme
+
+    def test_save_results_sanitized_names(self, micro_ctx_kwargs, tmp_path):
+        ctx = ExperimentContext(**micro_ctx_kwargs)
+        ctx.run("lun1", "ftl", rmw_enabled=False)
+        n = ctx.save_results(tmp_path / "archive")
+        assert n == 1
+        index = json.loads((tmp_path / "archive" / "index.json").read_text())
+        fname = index[0]["file"]
+        assert fname == "lun1__ftl__8k__rmw_enabled-False.json"
+        rebuilt = SimulationReport.from_json(
+            (tmp_path / "archive" / fname).read_text()
+        )
+        assert rebuilt.scheme == "ftl"
+
+    def test_save_results_decollides(self, micro_ctx_kwargs, tmp_path):
+        """Two kwarg values that sanitise identically must not overwrite
+        each other's archive file."""
+        ctx = ExperimentContext(**micro_ctx_kwargs)
+        rep = ctx.run("lun1", "ftl")
+        # fake two memo entries whose kwargs sanitise to the same
+        # fragment ('a b' and 'a-b' both become 'a-b')
+        ctx._runs[("lun1", "ftl", 8 * 1024, (("k", "a b"),))] = rep
+        ctx._runs[("lun1", "ftl", 8 * 1024, (("k", "a-b"),))] = rep
+        n = ctx.save_results(tmp_path / "archive")
+        assert n == 3
+        index = json.loads((tmp_path / "archive" / "index.json").read_text())
+        names = [e["file"] for e in index]
+        assert len(set(names)) == 3  # de-collided
+        assert sorted(names)[2].endswith("__2.json")
