@@ -24,7 +24,7 @@ Quickstart::
     print(report.mean_write_ms, report.erase_count)
 """
 
-from .config import SCHEMES, SimConfig, SSDConfig, TimingConfig
+from .config import FaultConfig, SCHEMES, SimConfig, SSDConfig, TimingConfig
 from .core.across import AcrossFTL, AcrossStats
 from .core.amt import AcrossMappingTable, AMTEntry
 from .errors import (
@@ -32,11 +32,13 @@ from .errors import (
     FlashProtocolError,
     GeometryError,
     MappingError,
+    MediaError,
     OutOfSpaceError,
     ReproError,
     SimulationError,
     TraceFormatError,
 )
+from .faults import FaultInjector, raw_bit_error_rate, read_retry_steps
 from .experiments.runner import ExperimentContext, compare_schemes, run_trace
 from .experiments.workloads import TABLE2_SPECS, lun_specs, lun_traces
 from .flash.service import FlashService
@@ -79,6 +81,7 @@ __all__ = [
     "SSDConfig",
     "SimConfig",
     "TimingConfig",
+    "FaultConfig",
     "SCHEMES",
     # substrate
     "FlashService",
@@ -101,6 +104,10 @@ __all__ = [
     "WearStats",
     "wear_stats",
     "projected_lifetime_writes",
+    # reliability / fault injection
+    "FaultInjector",
+    "raw_bit_error_rate",
+    "read_retry_steps",
     # traces
     "Trace",
     "OP_READ",
@@ -148,6 +155,7 @@ __all__ = [
     "ConfigError",
     "GeometryError",
     "FlashProtocolError",
+    "MediaError",
     "OutOfSpaceError",
     "MappingError",
     "TraceFormatError",

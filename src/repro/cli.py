@@ -251,6 +251,60 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_faults(args) -> int:
+    """``repro faults``: reliability sweep over fault-injection intensity.
+
+    Runs the same trace and scheme at several intensities of the
+    :meth:`~repro.config.FaultConfig.stress` preset (0 = injection off)
+    and tabulates the reliability counters next to the latency impact.
+    The runs are independent, so ``--jobs``/``--store`` apply as for
+    ``compare``; see ``docs/reliability.md`` for the model.
+    """
+    from dataclasses import replace as _dc_replace
+
+    from .config import FaultConfig
+    from .experiments.parallel import RunSpec, execute_runs
+
+    cfg = _device(args)
+    trace = _load_trace(args, cfg)
+    base = FaultConfig.stress(seed=args.fault_seed)
+    sim = _sim_cfg(args)
+    specs = [
+        RunSpec.make(
+            args.scheme, trace, cfg,
+            _dc_replace(sim, faults=base.scaled(lvl)),
+        )
+        for lvl in args.levels
+    ]
+    outcome = execute_runs(
+        specs,
+        jobs=args.jobs,
+        store=_store(args),
+        progress=getattr(args, "progress", False),
+    )
+    rows = {}
+    for lvl, rep in zip(args.levels, outcome.reports):
+        c = rep.counters
+        rows[f"x{lvl:g}"] = [
+            c.read_retries,
+            c.uncorrectable_reads,
+            c.program_fails,
+            c.erase_fails,
+            c.bad_blocks,
+            c.fault_relocations,
+            rep.mean_read_ms,
+            rep.mean_write_ms,
+        ]
+    print(render_table(
+        f"{trace.name} / {args.scheme}: fault-intensity sweep "
+        f"(stress preset, seed {args.fault_seed})",
+        ["retries", "uncorr", "pgm fail", "ers fail", "bad blk",
+         "reloc", "read ms", "write ms"],
+        rows,
+    ))
+    return 0
+
+
 #: figures built from the lun1-lun6 x scheme sweep at the default page
 #: size — the points :func:`_prewarm_ctx` fans out before rendering
 _SWEEP_FIGURES = frozenset(
@@ -451,6 +505,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--aged-valid", type=float, default=0.398)
     _add_parallel(p)
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "faults",
+        help="reliability sweep under scaled fault injection",
+    )
+    p.add_argument("--scheme", choices=SCHEMES, default="across")
+    _add_common(p)
+    p.add_argument("--levels", type=float, nargs="+",
+                   default=[0.0, 0.5, 1.0, 2.0],
+                   help="intensity multipliers on the stress preset "
+                        "(0 = injection off)")
+    p.add_argument("--fault-seed", type=int, default=7,
+                   help="fault-injection RNG seed")
+    _add_parallel(p)
+    p.set_defaults(func=cmd_faults)
 
     p = sub.add_parser("lint", help="sanity-check trace files")
     p.add_argument("files", nargs="+")

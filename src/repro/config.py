@@ -36,6 +36,12 @@ class TimingConfig:
     program_ms: float = 2.0
     erase_ms: float = 3.5
     cache_access_ms: float = 0.001
+    #: Per read-retry *step* cost (repro.faults): a page whose raw bit
+    #: errors exceed the ECC budget is re-read with shifted thresholds;
+    #: step ``k`` (1-based) occupies the chip for ``read_retry_ms * k``
+    #: on top of the base read, so deep retries escalate like real
+    #: NAND retry tables.
+    read_retry_ms: float = 0.05
     #: Per mapping-table lookup cost (models the ARM A7 measurement of
     #: §4.2.4; charged once per DRAM mapping access when enabled).
     map_lookup_ms: float = 0.0
@@ -54,6 +60,8 @@ class TimingConfig:
             raise ConfigError("timing.map_lookup_ms must be non-negative")
         if self.transfer_ms < 0:
             raise ConfigError("timing.transfer_ms must be non-negative")
+        if self.read_retry_ms < 0:
+            raise ConfigError("timing.read_retry_ms must be non-negative")
 
 
 @dataclass(frozen=True)
@@ -307,6 +315,139 @@ class ObservabilityConfig:
 
 
 @dataclass(frozen=True)
+class FaultConfig:
+    """Media-reliability / fault-injection options (:mod:`repro.faults`).
+
+    Off by default: the injection points in
+    :class:`~repro.flash.service.FlashService` hold a ``faults``
+    reference that stays ``None`` unless ``enabled`` is set, so a
+    normal run pays one branch per flash operation and allocates
+    nothing (the ``observability`` pattern).
+
+    The model is deterministic and seed-driven: one dedicated RNG
+    stream (``seed``) is consumed in flash-op order, so the same trace,
+    device and fault config always produce bit-identical reports —
+    including across ``--jobs`` process fan-out, where every run owns a
+    fresh injector.
+
+    Raw bit-error rate grows with per-block P/E cycles (the
+    :class:`~repro.flash.array.FlashArray` erase counters) and with
+    retention age::
+
+        rber = rber_base
+               * (1 + pe / pe_cycle_scale) ** pe_exponent
+               * (1 + age_ms / retention_scale_ms)
+
+    A read draws ``Poisson(rber * page_bits)`` raw errors; anything
+    beyond ``ecc_bits`` triggers escalating read-retry steps (each step
+    recovers a ``retry_error_factor`` fraction of the errors and costs
+    ``timing.read_retry_ms * step``); errors surviving
+    ``max_read_retries`` are *uncorrectable* (counted, and raised as
+    :class:`~repro.errors.MediaError` when ``halt_on_uncorrectable``).
+    Programs and erases fail with wear-scaled probabilities; a block
+    accumulating ``retire_after_program_fails`` program failures — or
+    failing an erase — is retired: its valid pages (including
+    across-page areas) are relocated by GC and the block leaves the
+    free pool for good, shrinking over-provisioning.
+    """
+
+    #: master switch: build the injector and wire the flash hooks
+    enabled: bool = False
+    #: dedicated fault-stream seed (independent of ``SimConfig.seed``
+    #: so fault draws never perturb workload/aging randomness)
+    seed: int = 7
+
+    # -- raw bit-error-rate model --------------------------------------
+    #: RBER of a fresh block reading freshly-written data
+    rber_base: float = 1e-5
+    #: P/E cycles at which wear doubles the base term
+    pe_cycle_scale: float = 500.0
+    #: super-linear wear exponent (TLC-like RBER growth)
+    pe_exponent: float = 2.0
+    #: retention age (simulated ms) at which charge leak doubles RBER
+    retention_scale_ms: float = 1e6
+
+    # -- ECC / read retry ----------------------------------------------
+    #: correctable raw bit errors per page (the ECC budget)
+    ecc_bits: int = 64
+    #: fraction of raw errors *surviving* each retry step
+    retry_error_factor: float = 0.5
+    #: retry-table depth before a read is declared uncorrectable
+    max_read_retries: int = 5
+
+    # -- program / erase failures --------------------------------------
+    #: per-program failure probability on a fresh block
+    program_fail_prob: float = 1e-5
+    #: per-erase failure probability on a fresh block
+    erase_fail_prob: float = 1e-4
+    #: in-place reprogram attempts charged before a program sticks
+    max_program_retries: int = 3
+    #: program failures a block survives before it is retired
+    retire_after_program_fails: int = 4
+    #: raise :class:`~repro.errors.MediaError` on an uncorrectable read
+    #: instead of counting it and returning the (simulated) data
+    halt_on_uncorrectable: bool = False
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on any non-physical setting."""
+        for name in ("rber_base", "pe_cycle_scale", "retention_scale_ms"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"faults.{name} must be positive")
+        if self.pe_exponent < 0:
+            raise ConfigError("faults.pe_exponent must be non-negative")
+        if self.ecc_bits < 0:
+            raise ConfigError("faults.ecc_bits must be non-negative")
+        if not (0.0 <= self.retry_error_factor < 1.0):
+            raise ConfigError("faults.retry_error_factor must be in [0, 1)")
+        if self.max_read_retries < 0 or self.max_program_retries < 0:
+            raise ConfigError("faults retry depths must be non-negative")
+        for name in ("program_fail_prob", "erase_fail_prob"):
+            if not (0.0 <= getattr(self, name) <= 1.0):
+                raise ConfigError(f"faults.{name} must be in [0, 1]")
+        if self.retire_after_program_fails <= 0:
+            raise ConfigError(
+                "faults.retire_after_program_fails must be positive"
+            )
+
+    @classmethod
+    def stress(cls, seed: int = 7) -> "FaultConfig":
+        """An aggressive preset that makes every fault class visible on
+        bench/test-scale devices within a few thousand requests (the
+        ``repro faults`` sweep base and the reliability example)."""
+        return cls(
+            enabled=True,
+            seed=seed,
+            # an 8 KiB page carries 65536 bits: lambda = 65536 * 1e-3
+            # ~ 66 raw errors per read, just past the 48-bit ECC budget
+            # even on unworn blocks, so read retries show up immediately
+            rber_base=1e-3,
+            pe_cycle_scale=50.0,
+            ecc_bits=48,
+            program_fail_prob=5e-3,
+            erase_fail_prob=2e-2,
+            retire_after_program_fails=2,
+        )
+
+    def scaled(self, intensity: float) -> "FaultConfig":
+        """Copy with error rates multiplied by ``intensity`` (enabled
+        when ``intensity > 0``; 0 returns a disabled config) — the
+        ``repro faults`` sweep axis."""
+        if intensity < 0:
+            raise ConfigError("fault intensity must be non-negative")
+        if intensity == 0:
+            return FaultConfig()
+        cfg = replace(
+            self,
+            enabled=True,
+            rber_base=self.rber_base * intensity,
+            program_fail_prob=min(1.0, self.program_fail_prob * intensity),
+            erase_fail_prob=min(1.0, self.erase_fail_prob * intensity),
+        )
+        cfg.validate()
+        return cfg
+
+
+@dataclass(frozen=True)
 class SimConfig:
     """Simulation-run options shared by all schemes."""
 
@@ -343,6 +484,8 @@ class SimConfig:
     observability: ObservabilityConfig = field(
         default_factory=ObservabilityConfig
     )
+    #: Media-fault injection (:mod:`repro.faults`); off by default.
+    faults: FaultConfig = field(default_factory=FaultConfig)
     #: Print a throttled progress line (requests/s, % done, ETA) to
     #: stderr during the replay loop (``--progress`` on the CLI).
     progress: bool = False
@@ -360,6 +503,7 @@ class SimConfig:
         if self.snapshot_every < 0:
             raise ConfigError("snapshot_every must be non-negative")
         self.observability.validate()
+        self.faults.validate()
 
     @classmethod
     def paper_aging(cls, **kw) -> "SimConfig":
@@ -370,6 +514,13 @@ class SimConfig:
         """Copy with observability-field overrides (validated)."""
         obs = dataclasses.replace(self.observability, **kw)
         cfg = replace(self, observability=obs)
+        cfg.validate()
+        return cfg
+
+    def replace_faults(self, **kw) -> "SimConfig":
+        """Copy with fault-field overrides (validated)."""
+        faults = dataclasses.replace(self.faults, **kw)
+        cfg = replace(self, faults=faults)
         cfg.validate()
         return cfg
 

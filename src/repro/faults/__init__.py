@@ -1,0 +1,34 @@
+"""Deterministic media-fault injection and reliability modelling.
+
+The paper evaluates Across-FTL on a fault-free SSD model; this package
+adds the reliability layer a real device lives with, so the headline
+lifetime argument (Fig. 11 erase counts) can be carried through to
+media behaviour: a raw bit-error-rate curve driven by per-block P/E
+cycles and retention age, an ECC budget per page, escalating read-retry
+steps, program/erase failure injection, and bad-block detection with
+graceful degradation (valid data — including across-page areas — is
+relocated and the block leaves the free pool, shrinking
+over-provisioning and feeding back into GC pressure).
+
+Everything is **off by default** and seed-driven: the injection points
+in :class:`~repro.flash.service.FlashService` hold a ``faults``
+reference that stays ``None`` unless ``SimConfig.faults.enabled`` is
+set, so a normal run pays one branch per flash operation; with a fixed
+``FaultConfig.seed`` the fault sequence — and therefore the whole
+report — is bit-identical across repeats and ``--jobs`` fan-out.
+
+See ``docs/reliability.md`` for the model, knobs and worked example,
+``repro faults --help`` for the CLI sweep, and
+``examples/reliability_study.py`` for an end-to-end integrity check
+under injected block failures.
+"""
+
+from __future__ import annotations
+
+from .model import FaultInjector, raw_bit_error_rate, read_retry_steps
+
+__all__ = [
+    "FaultInjector",
+    "raw_bit_error_rate",
+    "read_retry_steps",
+]

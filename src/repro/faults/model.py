@@ -1,0 +1,180 @@
+"""The RBER curve and the seed-driven fault injector.
+
+Model
+-----
+Raw bit-error rate of a page is a function of its block's lifetime
+erase count (P/E cycles, read straight off the
+:class:`~repro.flash.array.FlashArray` wear counters) and of the data's
+retention age::
+
+    rber = rber_base * (1 + pe / pe_cycle_scale) ** pe_exponent
+                     * (1 + age_ms / retention_scale_ms)
+
+A page read draws ``Poisson(rber * page_bits)`` raw bit errors.  Up to
+``ecc_bits`` of them are corrected for free; beyond that the controller
+walks a retry table — each step re-reads with shifted thresholds,
+keeps only a ``retry_error_factor`` fraction of the errors, and costs
+``timing.read_retry_ms * step`` extra chip time.  Errors surviving
+``max_read_retries`` steps are *uncorrectable*.
+
+Programs and erases fail with base probabilities scaled by the same
+wear factor; the consequences (in-place reprogram charges, bad-block
+retirement, relocation of valid data) live in
+:class:`~repro.flash.service.FlashService` and
+:class:`~repro.ftl.gc.GarbageCollector` — this module only decides
+*what* happens, deterministically.
+
+Determinism
+-----------
+One ``numpy`` Generator seeded from ``FaultConfig.seed`` is consumed
+in flash-operation order.  Untimed operations (device aging,
+background translation-page write-back) never consult the injector, so
+the measured-run draw sequence depends only on the trace and configs —
+the property behind the ``--jobs 1`` vs ``--jobs 4`` bit-identical
+guarantee (see ``tests/test_faults.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import FaultConfig, SSDConfig
+from ..flash.array import FlashArray
+
+
+def raw_bit_error_rate(
+    fcfg: FaultConfig, pe_cycles: float, age_ms: float = 0.0
+) -> float:
+    """RBER of a page on a block with ``pe_cycles`` erases whose data
+    is ``age_ms`` of simulated time old.
+
+    >>> from repro.config import FaultConfig
+    >>> fc = FaultConfig(rber_base=1e-5, pe_cycle_scale=500, pe_exponent=2)
+    >>> raw_bit_error_rate(fc, 0)
+    1e-05
+    >>> raw_bit_error_rate(fc, 500) == 4e-05   # (1 + 1)**2 wear factor
+    True
+    """
+    wear = (1.0 + pe_cycles / fcfg.pe_cycle_scale) ** fcfg.pe_exponent
+    retention = 1.0 + max(0.0, age_ms) / fcfg.retention_scale_ms
+    return fcfg.rber_base * wear * retention
+
+
+def read_retry_steps(fcfg: FaultConfig, raw_errors: int) -> tuple[int, bool]:
+    """Retry steps needed to correct ``raw_errors`` raw bit errors.
+
+    Returns ``(steps, uncorrectable)``: 0 steps when the ECC budget
+    already covers the errors; each step keeps
+    ``retry_error_factor`` of the remaining errors; ``uncorrectable``
+    when ``max_read_retries`` steps still leave more than ``ecc_bits``.
+
+    >>> from repro.config import FaultConfig
+    >>> fc = FaultConfig(ecc_bits=64, retry_error_factor=0.5,
+    ...                  max_read_retries=5)
+    >>> read_retry_steps(fc, 10)
+    (0, False)
+    >>> read_retry_steps(fc, 200)      # 200 -> 100 -> 50: two steps
+    (2, False)
+    >>> read_retry_steps(fc, 10_000)   # beyond the whole retry table
+    (5, True)
+    """
+    errors = raw_errors
+    steps = 0
+    while errors > fcfg.ecc_bits and steps < fcfg.max_read_retries:
+        steps += 1
+        errors = int(errors * fcfg.retry_error_factor)
+    return steps, errors > fcfg.ecc_bits
+
+
+class FaultInjector:
+    """Per-run deterministic fault source for one device.
+
+    Owned by the engine (built when ``SimConfig.faults.enabled``) and
+    installed on the device's :class:`~repro.flash.service.FlashService`
+    as its ``faults`` reference.  Holds the per-page program timestamps
+    (the retention clock) and the per-block program-failure tallies
+    (the bad-block detection input); the flash array keeps physical
+    truth (page states, erase counts, retired blocks).
+    """
+
+    def __init__(self, cfg: SSDConfig, fcfg: FaultConfig, array: FlashArray):
+        fcfg.validate()
+        self.cfg = fcfg
+        self.array = array
+        self.page_bits = cfg.page_size_bytes * 8
+        self.pages_per_block = cfg.pages_per_block
+        self.rng = np.random.default_rng(fcfg.seed)
+        #: simulated-ms timestamp of each page's last program; pages
+        #: written before injection was active (aging) read as age
+        #: ``now``, i.e. maximally retention-stressed — aged data *is*
+        #: old data.
+        self.program_time = np.zeros(cfg.num_pages, dtype=np.float64)
+        #: lifetime program failures per block (bad-block detection)
+        self.program_fail_count = np.zeros(cfg.num_blocks, dtype=np.int32)
+        #: draws consumed (diagnostic; equal runs consume equally)
+        self.draws = 0
+
+    # ------------------------------------------------------------------
+    def _wear(self, block: int) -> float:
+        pe = float(self.array.erase_count[block])
+        return (1.0 + pe / self.cfg.pe_cycle_scale) ** self.cfg.pe_exponent
+
+    def rber(self, ppn: int, now: float) -> float:
+        """Current RBER of ``ppn`` (wear x retention)."""
+        block = ppn // self.pages_per_block
+        age = max(0.0, now - float(self.program_time[ppn]))
+        return raw_bit_error_rate(
+            self.cfg, float(self.array.erase_count[block]), age
+        )
+
+    # ------------------------------------------------------------------
+    # per-operation outcomes (each consumes the RNG exactly once)
+    # ------------------------------------------------------------------
+    def read_outcome(self, ppn: int, now: float) -> tuple[int, bool]:
+        """Fault outcome of reading ``ppn``: (retry steps, uncorrectable)."""
+        lam = self.rber(ppn, now) * self.page_bits
+        self.draws += 1
+        raw_errors = int(self.rng.poisson(lam))
+        return read_retry_steps(self.cfg, raw_errors)
+
+    def program_attempts(self, ppn: int) -> tuple[int, int]:
+        """Attempts needed to program ``ppn``: (attempts, failures).
+
+        ``attempts`` is at least 1 and at most
+        ``max_program_retries + 1``; ``failures == attempts - 1``
+        unless even the last attempt failed (the hard-fail case), where
+        ``failures == attempts``.
+        """
+        block = ppn // self.pages_per_block
+        p = min(1.0, self.cfg.program_fail_prob * self._wear(block))
+        failures = 0
+        while failures <= self.cfg.max_program_retries:
+            self.draws += 1
+            if self.rng.random() >= p:
+                break
+            failures += 1
+        attempts = min(failures + 1, self.cfg.max_program_retries + 1)
+        return attempts, failures
+
+    def erase_fails(self, block: int) -> bool:
+        """True when this erase of ``block`` fails (block must retire)."""
+        p = min(1.0, self.cfg.erase_fail_prob * self._wear(block))
+        self.draws += 1
+        return bool(self.rng.random() < p)
+
+    # ------------------------------------------------------------------
+    # bookkeeping hooks
+    # ------------------------------------------------------------------
+    def note_program(self, ppn: int, now: float) -> None:
+        """Record a successful program (resets the retention clock)."""
+        self.program_time[ppn] = now
+
+    def note_program_failures(self, ppn: int, failures: int) -> bool:
+        """Tally ``failures`` on the page's block; True when the block
+        has crossed the retirement threshold."""
+        block = ppn // self.pages_per_block
+        self.program_fail_count[block] += failures
+        return (
+            self.program_fail_count[block]
+            >= self.cfg.retire_after_program_fails
+        )

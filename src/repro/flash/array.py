@@ -28,6 +28,8 @@ from ..geometry import FlashGeometry
 PAGE_FREE = 0
 PAGE_VALID = 1
 PAGE_INVALID = 2
+#: page of a retired (bad) block — never programmable again
+PAGE_BAD = 3
 
 
 class FlashArray:
@@ -48,6 +50,9 @@ class FlashArray:
         #: stamp — the "age" input of cost-benefit GC victim selection
         self.mod_seq = 0
         self.last_mod = np.zeros(n_blocks, dtype=np.int64)
+        #: retired (bad) blocks — media wear-out, never reused
+        #: (:meth:`retire_block`; injected by :mod:`repro.faults`)
+        self.is_bad = np.zeros(n_blocks, dtype=bool)
         #: FTL metadata of currently-valid pages
         self._meta: dict[int, Any] = {}
         #: per-plane pool of fully-erased blocks (global block ids)
@@ -138,6 +143,8 @@ class FlashArray:
                 f"erase of block {block} holding "
                 f"{int(self.valid_count[block])} valid pages"
             )
+        if self.is_bad[block]:
+            raise FlashProtocolError(f"erase of retired bad block {block}")
         lo = block * self.geom.pages_per_block
         hi = lo + self.geom.pages_per_block
         self.state[lo:hi] = PAGE_FREE
@@ -145,6 +152,43 @@ class FlashArray:
         self.erase_count[block] += 1
         plane = self.geom.plane_of_block(block)
         self._free_blocks[plane].append(block)
+
+    def retire_block(self, block: int) -> None:
+        """Permanently retire a bad block (media wear-out).
+
+        The block must hold no valid pages — callers relocate live data
+        first (the bad-block *remapping* of
+        :meth:`repro.ftl.gc.GarbageCollector.maybe_collect`).  Every
+        page goes to ``PAGE_BAD``, the write pointer is sealed, and the
+        block never re-enters its plane's free pool: over-provisioning
+        shrinks by one block, which is the graceful-degradation
+        feedback into the GC trigger.
+        """
+        if self.valid_count[block] != 0:
+            raise FlashProtocolError(
+                f"retire of block {block} holding "
+                f"{int(self.valid_count[block])} valid pages"
+            )
+        if self.is_bad[block]:
+            raise FlashProtocolError(f"double retire of block {block}")
+        lo = block * self.geom.pages_per_block
+        hi = lo + self.geom.pages_per_block
+        self.state[lo:hi] = PAGE_BAD
+        self.write_ptr[block] = self.geom.pages_per_block
+        self.is_bad[block] = True
+        # defensive: a block retired while pooled must leave the pool
+        plane = self.geom.plane_of_block(block)
+        try:
+            self._free_blocks[plane].remove(block)
+        except ValueError:
+            pass
+        self.mod_seq += 1
+        self.last_mod[block] = self.mod_seq
+
+    @property
+    def total_bad_blocks(self) -> int:
+        """Blocks retired so far (lost over-provisioning)."""
+        return int(self.is_bad.sum())
 
     def valid_ppns(self, block: int) -> Iterator[int]:
         """Iterate the VALID PPNs of a block (GC migration source)."""
@@ -182,6 +226,9 @@ class FlashArray:
                 raise FlashProtocolError(f"block {blk}: non-free past wp")
             if (states[blk, :wp] == PAGE_FREE).any():
                 raise FlashProtocolError(f"block {blk}: free before wp")
+        bad = np.nonzero(self.is_bad)[0]
+        if bad.size and (self.write_ptr[bad] != ppb).any():
+            raise FlashProtocolError("retired block with unsealed write ptr")
         n_valid_meta = len(self._meta)
         if n_valid_meta != int(self.valid_count.sum()):
             raise FlashProtocolError(

@@ -16,9 +16,10 @@ from __future__ import annotations
 from typing import Any
 
 from ..config import SSDConfig
+from ..errors import MediaError
 from ..geometry import FlashGeometry
 from ..metrics.counters import FlashOpCounters, OpKind
-from ..obs.events import FlashOp
+from ..obs.events import BadBlockRetired, FlashOp, MediaFault, ReadRetry
 from .array import FlashArray
 from .timing import ChipTimeline
 
@@ -40,18 +41,56 @@ class FlashService:
         #: components share this reference, so disabled runs pay one
         #: `is None` branch per hook
         self.obs = None
+        #: fault injector (repro.faults.FaultInjector) — installed by the
+        #: engine when SimConfig.faults.enabled; same `is None` contract
+        #: as ``obs``, so fault-free runs stay on the fast path
+        self.faults = None
+        #: blocks that crossed the program-failure retirement threshold
+        #: and await relocation of their valid pages; drained by
+        #: :meth:`repro.ftl.gc.GarbageCollector.maybe_collect`
+        self.retire_pending: set[int] = set()
 
     # ------------------------------------------------------------------
     def read_page(
         self, ppn: int, now: float, kind: OpKind = OpKind.DATA, *, timed: bool = True
     ) -> float:
-        """Read a valid page; returns completion time (``now`` if untimed)."""
+        """Read a valid page; returns completion time (``now`` if untimed).
+
+        With fault injection on, timed reads draw raw bit errors from
+        the page's RBER; errors beyond the ECC budget cost escalating
+        read-retry steps on the chip, and errors surviving the whole
+        retry table count as uncorrectable (raising
+        :class:`~repro.errors.MediaError` only when
+        ``FaultConfig.halt_on_uncorrectable`` asks for a hard stop).
+        """
         self.array.read(ppn)
         self.counters.count_read(kind)
         if not timed:
             finish = now
         else:
-            finish = self.timeline.read(self.geom.chip_of_ppn(ppn), now)
+            chip = self.geom.chip_of_ppn(ppn)
+            finish = self.timeline.read(chip, now)
+            faults = self.faults
+            if faults is not None:
+                steps, uncorrectable = faults.read_outcome(ppn, now)
+                if steps:
+                    self.counters.read_retries += steps
+                    finish = self.timeline.read_retries(chip, finish, steps)
+                if uncorrectable:
+                    self.counters.uncorrectable_reads += 1
+                if steps or uncorrectable:
+                    obs = self.obs
+                    if obs is not None:
+                        obs.emit(ReadRetry(
+                            now, obs.current_request, ppn, steps,
+                            uncorrectable,
+                        ))
+                if uncorrectable and faults.cfg.halt_on_uncorrectable:
+                    raise MediaError(
+                        f"uncorrectable read at PPN {ppn}: raw errors "
+                        f"exceeded the ECC budget after "
+                        f"{faults.cfg.max_read_retries} retry steps"
+                    )
         obs = self.obs
         if obs is not None:
             obs.emit(FlashOp(
@@ -69,13 +108,38 @@ class FlashService:
         *,
         timed: bool = True,
     ) -> float:
-        """Program a free page; returns completion time."""
+        """Program a free page; returns completion time.
+
+        With fault injection on, timed programs may report failure
+        status; each failure is absorbed by an in-place reprogram pulse
+        (extra chip time, data lands at the same PPN so mappings never
+        move), and a block whose lifetime failure tally crosses
+        ``FaultConfig.retire_after_program_fails`` is queued on
+        :attr:`retire_pending` for bad-block retirement by GC.
+        """
         self.array.program(ppn, meta)
         self.counters.count_write(kind)
         if not timed:
             finish = now
         else:
-            finish = self.timeline.program(self.geom.chip_of_ppn(ppn), now)
+            chip = self.geom.chip_of_ppn(ppn)
+            finish = self.timeline.program(chip, now)
+            faults = self.faults
+            if faults is not None:
+                attempts, failures = faults.program_attempts(ppn)
+                if failures:
+                    self.counters.program_fails += failures
+                    finish = self.timeline.reprogram(chip, finish, attempts)
+                    obs = self.obs
+                    if obs is not None:
+                        obs.emit(MediaFault(
+                            now, obs.current_request, "program", ppn,
+                        ))
+                    if faults.note_program_failures(ppn, failures):
+                        block = ppn // self.geom.pages_per_block
+                        if not self.array.is_bad[block]:
+                            self.retire_pending.add(block)
+                faults.note_program(ppn, finish)
         obs = self.obs
         if obs is not None:
             obs.emit(FlashOp(
@@ -85,10 +149,26 @@ class FlashService:
         return finish
 
     def erase_block(self, block: int, now: float, *, aging: bool = False) -> float:
-        """Erase a block; returns completion time (untimed when aging)."""
+        """Erase a block; returns completion time (untimed when aging).
+
+        With fault injection on, a (non-aging) erase may report failure
+        status: the command still occupies the chip, but the block is
+        retired on the spot instead of returning to the free pool — its
+        valid pages are already gone, since erase is only legal on
+        fully-invalid blocks.
+        """
+        chip = self.geom.chip_of_plane(self.geom.plane_of_block(block))
+        faults = self.faults
+        if not aging and faults is not None and faults.erase_fails(block):
+            finish = self.timeline.erase(chip, now)
+            self.counters.erase_fails += 1
+            obs = self.obs
+            if obs is not None:
+                obs.emit(MediaFault(now, obs.current_request, "erase", block))
+            self.retire(block, finish)
+            return finish
         self.array.erase(block, aging=aging)
         self.counters.count_erase(aging=aging)
-        chip = self.geom.chip_of_plane(self.geom.plane_of_block(block))
         if aging:
             finish = now
         else:
@@ -104,6 +184,23 @@ class FlashService:
     def invalidate(self, ppn: int) -> None:
         """Mark a valid page stale (no timing cost: metadata only)."""
         self.array.invalidate(ppn)
+
+    def retire(self, block: int, now: float, relocated: int = 0) -> None:
+        """Permanently retire ``block`` (bad-block path of
+        :mod:`repro.faults`); callers relocate its valid pages first.
+
+        ``relocated`` is how many valid pages were moved off the block,
+        carried into the :class:`~repro.obs.events.BadBlockRetired`
+        event for observability consumers.
+        """
+        self.array.retire_block(block)
+        self.counters.bad_blocks += 1
+        self.retire_pending.discard(block)
+        obs = self.obs
+        if obs is not None:
+            obs.emit(BadBlockRetired(
+                now, block, self.geom.plane_of_block(block), relocated,
+            ))
 
     # -- pool passthroughs ------------------------------------------------
     def free_fraction(self, plane: int) -> float:

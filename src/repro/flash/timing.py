@@ -89,6 +89,29 @@ class ChipTimeline:
         self.op_count[chip] += 1
         return finish
 
+    def read_retries(self, chip: int, now: float, steps: int) -> float:
+        """Charge ``steps`` escalating read-retry re-reads after a read
+        whose raw errors exceeded the ECC budget (:mod:`repro.faults`).
+
+        Step ``k`` (1-based) occupies the chip for
+        ``read_retry_ms * k`` — deeper entries of a real NAND retry
+        table use slower sensing — so the total penalty is
+        ``read_retry_ms * steps * (steps + 1) / 2``.
+        """
+        if steps <= 0:
+            return self.next_free(chip, now)
+        penalty = self.timing.read_retry_ms * steps * (steps + 1) / 2.0
+        return self._occupy(chip, now, penalty)
+
+    def reprogram(self, chip: int, now: float, attempts: int) -> float:
+        """Charge ``attempts - 1`` extra in-place program pulses after
+        program-status failures (:mod:`repro.faults`)."""
+        if attempts <= 1:
+            return self.next_free(chip, now)
+        return self._occupy(
+            chip, now, self.timing.program_ms * (attempts - 1)
+        )
+
     def erase(self, chip: int, now: float) -> float:
         """Schedule a block erase; returns its completion time."""
         return self._occupy(chip, now, self.timing.erase_ms)

@@ -86,6 +86,9 @@ class GarbageCollector:
                     eligible[active - lo] = False
         # a fully-valid block frees nothing: never a victim
         eligible = eligible & (valid < geom.pages_per_block)
+        # retired bad blocks look like perfect victims (0 valid, sealed
+        # write pointer) but can never be erased
+        eligible = eligible & ~arr.is_bad[lo : lo + geom.blocks_per_plane]
         return lo, valid, eligible
 
     def select_victim(self, plane: int) -> int | None:
@@ -140,20 +143,68 @@ class GarbageCollector:
         self.collections += 1
         return finish
 
+    def _drain_retirements(self, now: float, *, timed: bool = True) -> float:
+        """Retire blocks queued on ``service.retire_pending``: relocate
+        their valid pages (the bad-block *remapping* — across-page areas
+        ride the same ``relocate`` callback GC migration uses, so their
+        data survives intact), then take the block out of service.
+
+        Blocks still serving as a write frontier, or not yet fully
+        written, are left queued and picked up once sealed.
+        """
+        service = self.service
+        if not service.retire_pending:
+            return now
+        arr = service.array
+        geom = service.geom
+        finish = now
+        for block in sorted(service.retire_pending):
+            if arr.is_bad[block]:
+                service.retire_pending.discard(block)
+                continue
+            plane = geom.plane_of_block(block)
+            if block in self.allocator.active_in_plane(plane):
+                continue
+            if arr.write_ptr[block] < geom.pages_per_block:
+                continue
+            relocated = 0
+            for ppn in list(arr.valid_ppns(block)):
+                finish = max(finish, self.relocate(ppn, now, timed))
+                relocated += 1
+                self.migrated_pages += 1
+            if timed and relocated:
+                service.counters.fault_relocations += relocated
+            service.retire(block, finish, relocated)
+        return finish
+
     def maybe_collect(self, plane: int, now: float, *, timed: bool = True) -> float:
         """Run GC on ``plane`` if it is below threshold; returns the time
-        the reclamation finished (``now`` when nothing ran)."""
+        the reclamation finished (``now`` when nothing ran).
+
+        Blocks queued for bad-block retirement are drained first (even
+        above the GC threshold), so media failures translate into
+        relocation traffic and lost over-provisioning promptly rather
+        than lingering until the plane fills up.
+        """
         if self._collecting:
-            return now
-        if self.service.free_fraction(plane) >= self.threshold:
             return now
         self._collecting = True
         finish = now
         try:
+            finish = max(finish, self._drain_retirements(now, timed=timed))
+            if self.service.free_fraction(plane) >= self.threshold:
+                return finish
+            arr = self.service.array
             while self.service.free_fraction(plane) < self.restore:
-                before = self.service.array.free_block_count(plane)
+                before = arr.free_block_count(plane)
+                before_bad = arr.total_bad_blocks
                 finish = max(finish, self.collect_once(plane, now, timed=timed))
-                if self.service.array.free_block_count(plane) <= before:
+                if arr.free_block_count(plane) <= before:
+                    if arr.total_bad_blocks > before_bad:
+                        # the victim's erase failed and the block was
+                        # retired — that is progress of a sort: try
+                        # another victim before declaring a stall
+                        continue
                     # no progress possible; let allocation fail upstream —
                     # but make the starvation visible where it happens
                     self.stalls += 1

@@ -10,6 +10,17 @@ that a plane's pages are contiguous::
 
 This keeps per-plane structures (free pools, valid counters) simple
 array slices, and chip contention a cheap integer division away.
+
+>>> from repro.config import SSDConfig
+>>> g = FlashGeometry(SSDConfig.tiny())   # 2ch x 2chip x 1die x 2plane
+>>> g.ppn(plane_index=1, block=2, page=3)
+1059
+>>> g.decode(1059)
+PhysAddr(channel=0, chip=0, die=0, plane=1, block=2, page=3)
+>>> g.encode(g.decode(1059))              # decode/encode round-trip
+1059
+>>> g.chip_of_ppn(1059)                   # plane 1 still lives on chip 0
+0
 """
 
 from __future__ import annotations

@@ -46,6 +46,22 @@ class FlashOpCounters:
     #: is starved and a later allocation will fail; surfaced so runs
     #: show the stall where it happens rather than dying downstream.
     gc_stalls: int = 0
+    # -- media reliability (repro.faults; all zero when disabled) -------
+    #: read-retry steps walked because raw bit errors exceeded the ECC
+    #: budget (each step also cost chip time).
+    read_retries: int = 0
+    #: reads whose errors survived the whole retry table (data returned
+    #: anyway unless ``FaultConfig.halt_on_uncorrectable``).
+    uncorrectable_reads: int = 0
+    #: program-status failures absorbed by in-place reprogram attempts.
+    program_fails: int = 0
+    #: erase-status failures (each retires the block on the spot).
+    erase_fails: int = 0
+    #: blocks retired as bad (lost over-provisioning).
+    bad_blocks: int = 0
+    #: valid pages relocated off blocks headed for retirement (the
+    #: bad-block remapping traffic, also counted under OpKind.GC).
+    fault_relocations: int = 0
 
     # -- increments ------------------------------------------------------
     def count_read(self, kind: OpKind, n: int = 1) -> None:
@@ -137,6 +153,12 @@ class FlashOpCounters:
             "update_reads": self.update_reads,
             "merged_reads": self.merged_reads,
             "gc_stalls": self.gc_stalls,
+            "read_retries": self.read_retries,
+            "uncorrectable_reads": self.uncorrectable_reads,
+            "program_fails": self.program_fails,
+            "erase_fails": self.erase_fails,
+            "bad_blocks": self.bad_blocks,
+            "fault_relocations": self.fault_relocations,
             "aging_erases": self.aging_erases,
             "reads_by_kind": {k.value: v for k, v in self.reads.items()},
             "writes_by_kind": {k.value: v for k, v in self.writes.items()},
@@ -165,6 +187,12 @@ class FlashOpCounters:
         out.update_reads = int(d.get("update_reads", 0))
         out.merged_reads = int(d.get("merged_reads", 0))
         out.gc_stalls = int(d.get("gc_stalls", 0))
+        out.read_retries = int(d.get("read_retries", 0))
+        out.uncorrectable_reads = int(d.get("uncorrectable_reads", 0))
+        out.program_fails = int(d.get("program_fails", 0))
+        out.erase_fails = int(d.get("erase_fails", 0))
+        out.bad_blocks = int(d.get("bad_blocks", 0))
+        out.fault_relocations = int(d.get("fault_relocations", 0))
         return out
 
     def merged_with(self, other: "FlashOpCounters") -> "FlashOpCounters":
@@ -180,4 +208,14 @@ class FlashOpCounters:
         out.update_reads = self.update_reads + other.update_reads
         out.merged_reads = self.merged_reads + other.merged_reads
         out.gc_stalls = self.gc_stalls + other.gc_stalls
+        out.read_retries = self.read_retries + other.read_retries
+        out.uncorrectable_reads = (
+            self.uncorrectable_reads + other.uncorrectable_reads
+        )
+        out.program_fails = self.program_fails + other.program_fails
+        out.erase_fails = self.erase_fails + other.erase_fails
+        out.bad_blocks = self.bad_blocks + other.bad_blocks
+        out.fault_relocations = (
+            self.fault_relocations + other.fault_relocations
+        )
         return out

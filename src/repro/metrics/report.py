@@ -60,6 +60,16 @@ class SimulationReport:
         """GC passes that freed nothing (allocation-starvation precursor)."""
         return self.counters.gc_stalls
 
+    @property
+    def read_retries(self) -> int:
+        """Read-retry steps walked (zero unless :mod:`repro.faults` on)."""
+        return self.counters.read_retries
+
+    @property
+    def bad_blocks(self) -> int:
+        """Blocks retired as bad (zero unless :mod:`repro.faults` on)."""
+        return self.counters.bad_blocks
+
     def to_dict(self) -> dict:
         """JSON-serialisable dump of the run (for archiving sweeps).
 
@@ -131,6 +141,12 @@ class SimulationReport:
             "update_reads": float(self.counters.update_reads),
             "cache_hits": float(self.counters.cache_hits),
             "gc_stalls": float(self.counters.gc_stalls),
+            "read_retries": float(self.counters.read_retries),
+            "uncorrectable_reads": float(self.counters.uncorrectable_reads),
+            "program_fails": float(self.counters.program_fails),
+            "erase_fails": float(self.counters.erase_fails),
+            "bad_blocks": float(self.counters.bad_blocks),
+            "fault_relocations": float(self.counters.fault_relocations),
         }
         if name in direct:
             return direct[name]

@@ -25,6 +25,7 @@ from __future__ import annotations
 from pathlib import Path
 
 from .events import (
+    BadBlockRetired,
     BufferEvict,
     BufferLookup,
     CMTEvent,
@@ -35,6 +36,8 @@ from .events import (
     FTLDecision,
     GCEvent,
     GCStall,
+    MediaFault,
+    ReadRetry,
     RequestArrive,
     RequestComplete,
 )
@@ -48,6 +51,7 @@ from .samplers import ChipUtilizationSampler, GaugeSampler, SamplerSet
 from .trace import TraceRecorder, load_chrome
 
 __all__ = [
+    "BadBlockRetired",
     "BufferEvict",
     "BufferLookup",
     "CMTEvent",
@@ -60,7 +64,9 @@ __all__ = [
     "GCEvent",
     "GCStall",
     "GaugeSampler",
+    "MediaFault",
     "Observability",
+    "ReadRetry",
     "RequestArrive",
     "RequestComplete",
     "SamplerSet",

@@ -143,6 +143,46 @@ class GCStall(Event):
 
 
 @dataclass(frozen=True, slots=True)
+class ReadRetry(Event):
+    """A page read needed retry steps to correct raw bit errors
+    (:mod:`repro.faults`); ``uncorrectable`` when even the full retry
+    table left more errors than the ECC budget."""
+
+    rid: int
+    ppn: int
+    steps: int
+    uncorrectable: bool
+
+
+@dataclass(frozen=True, slots=True)
+class MediaFault(Event):
+    """A program or erase operation reported failure status.
+
+    ``kind``: ``program`` (absorbed by in-place reprogram attempts) |
+    ``erase`` (retires the block).  ``target`` is the PPN for program
+    faults and the block id for erase faults.
+    """
+
+    rid: int
+    kind: str
+    target: int
+
+
+@dataclass(frozen=True, slots=True)
+class BadBlockRetired(Event):
+    """A block left service permanently (bad-block retirement).
+
+    ``relocated_pages`` counts the valid pages moved off it before
+    retirement (the remapping traffic); over-provisioning shrinks by
+    one block.
+    """
+
+    block: int
+    plane: int
+    relocated_pages: int
+
+
+@dataclass(frozen=True, slots=True)
 class CMTEvent(Event):
     """Mapping-cache (CMT) activity for one translation table.
 

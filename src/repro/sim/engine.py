@@ -25,7 +25,7 @@ import numpy as np
 
 from ..cache.buffer import DataCache
 from ..config import SimConfig
-from ..errors import SimulationError
+from ..errors import ConfigError, SimulationError
 from ..ftl.base import BaseFTL
 from ..metrics.latency import LatencyRecorder
 from ..metrics.report import SimulationReport
@@ -111,6 +111,24 @@ class Simulator:
                 inflight_fn=self._inflight,
             )
             self._attach_obs()
+        #: fault injector (SimConfig.faults); installed on the flash
+        #: service so every timed op consults it — stays None (the
+        #: fault-free fast path) unless the config block enables it
+        self.faults = None
+        if self.sim_cfg.faults.enabled:
+            if not ftl.uses_generic_gc:
+                raise ConfigError(
+                    "fault injection requires a scheme using the generic "
+                    "garbage collector (bad-block retirement rides its "
+                    f"relocation path); scheme {ftl.name!r} manages "
+                    "blocks itself"
+                )
+            from ..faults import FaultInjector
+
+            self.faults = FaultInjector(
+                self.cfg, self.sim_cfg.faults, ftl.service.array
+            )
+            ftl.service.faults = self.faults
 
     # ------------------------------------------------------------------
     # observability plumbing
@@ -420,6 +438,9 @@ class Simulator:
             extra["obs_events"] = self._bus.events_emitted
             if self.obs.recorder is not None:
                 extra["obs_spans"] = len(self.obs.recorder)
+        if self.faults is not None:
+            extra["fault_draws"] = self.faults.draws
+            extra["retired_blocks"] = self.ftl.service.array.total_bad_blocks
         return SimulationReport(
             scheme=self.ftl.name,
             trace_name=trace.name,
