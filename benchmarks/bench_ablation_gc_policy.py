@@ -6,7 +6,6 @@ count against wear evenness under the same lun1 workload, and that
 Across-FTL's advantage is not an artifact of the greedy policy.
 """
 
-from repro.flash.wear import wear_stats
 from repro.ftl.gc import GC_POLICIES
 from repro.metrics.report import render_table
 from conftest import publish

@@ -1,0 +1,25 @@
+#!/usr/bin/env python
+"""Benchmark-regression gate, CI entry point.
+
+Thin wrapper over :mod:`repro.experiments.benchgate` so CI (and
+developers without an installed package) can run the gate straight from
+a checkout:
+
+    PYTHONPATH=src python scripts/bench_gate.py --check
+
+Writes ``BENCH_<git rev>.json`` (override with ``--out``) and, with
+``--check``, exits nonzero when simulation output drifts at all or
+normalized throughput regresses beyond the gate tolerance versus the
+committed ``BENCH_baseline.json``.  The same logic is exposed as
+``repro bench``.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.benchgate import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,26 +43,35 @@ class DataCache:
     # ------------------------------------------------------------------
     def put(self, offset: int, size: int, stamps: Optional[dict]) -> None:
         """Cache the sectors of a write (or of a completed read)."""
-        for lpn, rel_lo, count in split_extent(offset, size, self.spp):
+        spp = self.spp
+        entries = self._entries
+        # single-page extents dominate replays: build the piece tuple
+        # inline instead of calling split_extent
+        lpn = offset // spp
+        rel_lo = offset - lpn * spp
+        if rel_lo + size <= spp:
+            pieces = ((lpn, rel_lo, size),)
+        else:
+            pieces = split_extent(offset, size, spp)
+        for lpn, rel_lo, count in pieces:
             mask = ((1 << count) - 1) << rel_lo
-            entry = self._entries.get(lpn)
+            entry = entries.get(lpn)
             if entry is None:
-                entry = [0, {} if stamps is not None else None]
-                self._entries[lpn] = entry
+                entries[lpn] = entry = [mask, {} if stamps is not None else None]
                 self.insertions += 1
             else:
-                self._entries.move_to_end(lpn)
-            entry[0] |= mask
+                entries.move_to_end(lpn)
+                entry[0] |= mask
             if stamps is not None:
                 if entry[1] is None:
                     entry[1] = {}
-                base = lpn * self.spp
+                base = lpn * spp
                 for i in range(count):
                     sec = base + rel_lo + i
                     if sec in stamps:
                         entry[1][sec] = stamps[sec]
-        while len(self._entries) > self.capacity_pages:
-            evicted, _ = self._entries.popitem(last=False)
+        while len(entries) > self.capacity_pages:
+            evicted, _ = entries.popitem(last=False)
             self.evictions += 1
             if self.obs is not None:
                 self.obs.emit(BufferEvict(self.obs.now, evicted))
@@ -75,8 +84,25 @@ class DataCache:
     def full_hit(self, offset: int, size: int) -> bool:
         """True when every requested sector is cached (the only case we
         serve from DRAM; partial hits go to flash for simplicity)."""
-        for lpn, rel_lo, count in split_extent(offset, size, self.spp):
-            entry = self._entries.get(lpn)
+        spp = self.spp
+        entries = self._entries
+        lpn = offset // spp
+        rel_lo = offset - lpn * spp
+        if rel_lo + size <= spp:
+            entry = entries.get(lpn)
+            if entry is None:
+                self.misses += 1
+                return False
+            mask = ((1 << size) - 1) << rel_lo
+            if entry[0] & mask != mask:
+                self.misses += 1
+                return False
+            entries.move_to_end(lpn)
+            self.hits += 1
+            return True
+        pieces = split_extent(offset, size, spp)
+        for lpn, rel_lo, count in pieces:
+            entry = entries.get(lpn)
             if entry is None:
                 self.misses += 1
                 return False
@@ -87,8 +113,8 @@ class DataCache:
         # refresh LRU recency here, not only in get_stamps: a read
         # served from DRAM must keep its pages hot even when the oracle
         # is off (otherwise hot read-only pages are evicted as if cold)
-        for lpn, _rel_lo, _count in split_extent(offset, size, self.spp):
-            self._entries.move_to_end(lpn)
+        for lpn, _rel_lo, _count in pieces:
+            entries.move_to_end(lpn)
         self.hits += 1
         return True
 

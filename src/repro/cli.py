@@ -415,6 +415,23 @@ def cmd_lint(args) -> int:
     return worst
 
 
+def cmd_bench(args) -> int:
+    """``repro bench``: run the pinned benchmark-gate scenario set.
+
+    Writes ``BENCH_<rev>.json`` and, with ``--check``, compares output
+    digests and normalized throughput against the committed baseline
+    (see :mod:`repro.experiments.benchgate`).
+    """
+    from .experiments import benchgate
+
+    argv: list[str] = ["--baseline", args.baseline]
+    if args.out:
+        argv += ["--out", args.out]
+    if args.check:
+        argv.append("--check")
+    return benchgate.main(argv)
+
+
 def cmd_report(args) -> int:
     """``repro report``: render the figure charts as an HTML report."""
     from .experiments.charts import render_report_html
@@ -520,6 +537,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fault-injection RNG seed")
     _add_parallel(p)
     p.set_defaults(func=cmd_faults)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the pinned benchmark scenarios and gate on a baseline",
+    )
+    p.add_argument("--baseline", default="BENCH_baseline.json",
+                   help="committed baseline JSON to compare against")
+    p.add_argument("--out", default=None,
+                   help="output JSON path (default: BENCH_<git rev>.json)")
+    p.add_argument("--check", action="store_true",
+                   help="exit nonzero on output drift or >15%% "
+                        "normalized-throughput regression vs the baseline")
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("lint", help="sanity-check trace files")
     p.add_argument("files", nargs="+")

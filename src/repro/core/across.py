@@ -26,17 +26,16 @@ union is exactly the set of sectors ever written.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
-import numpy as np
 
 from ..errors import MappingError
 from ..ftl.allocator import STREAM_GC
 from ..ftl.base import BaseFTL, iter_bits, mask_range
 from ..ftl.meta import AcrossPageMeta
 from ..metrics.counters import OpKind
-from ..units import is_across_page, lpn_range, split_extent
+from ..units import lpn_range, split_extent
 from .amt import AMT_ENTRY_BYTES, AcrossMappingTable
 
 #: modelled bytes of the AIdx field added to every PMT entry (Fig. 5)
@@ -136,11 +135,11 @@ class AcrossFTL(BaseFTL):
     def _shadow_pmt(self, lpn: int, rel_mask: int) -> None:
         """Remove sectors now living in an across area from the normal
         page's live set; drop the normal page entirely if emptied."""
-        remaining = int(self.pmt_mask[lpn]) & ~rel_mask
-        self.pmt_mask[lpn] = np.uint64(remaining)
-        if remaining == 0 and self.pmt[lpn] >= 0:
-            self.service.invalidate(int(self.pmt[lpn]))
-            self.pmt[lpn] = -1
+        remaining = self._pmt_mask[lpn] & ~rel_mask
+        self._pmt_mask[lpn] = remaining
+        if remaining == 0 and self._pmt[lpn] >= 0:
+            self.service.invalidate(self._pmt[lpn])
+            self._pmt[lpn] = -1
 
     # ==================================================================
     # write routine (paper §3.3.1)
@@ -151,12 +150,23 @@ class AcrossFTL(BaseFTL):
         """Service a write: across-page requests take the re-alignment
         path; everything else is page-mapped with area interactions
         (AMerge/ARollback) handled per overlapping piece."""
-        if is_across_page(offset, size, self.spp):
+        spp = self.spp
+        if size <= 0:
+            raise ValueError(f"extent size must be positive, got {size}")
+        lpn = offset // spp
+        rel_lo = offset - lpn * spp
+        rel_end = rel_lo + size
+        if rel_end <= spp:
+            # single-page piece (the dominant replay case)
+            return self._write_piece(lpn, rel_lo, rel_end, now, stamps)
+        if size <= spp:
+            # spans exactly two pages: the across-page path
             return self._write_across(offset, size, now, stamps)
         finish = now
-        for lpn, rel_lo, count in split_extent(offset, size, self.spp):
+        for lpn, rel_lo, count in split_extent(offset, size, spp):
             t = self._write_piece(lpn, rel_lo, rel_lo + count, now, stamps)
-            finish = max(finish, t)
+            if t > finish:
+                finish = t
         return finish
 
     # ------------------------------------------------------------------
@@ -165,12 +175,13 @@ class AcrossFTL(BaseFTL):
     ) -> float:
         """One per-LPN piece of a non-across write."""
         t = self._pmt_cache.access(lpn, now, dirty=True, timed=self.timed)
-        now = max(now, t)
+        if t > now:
+            now = t
         aidx = self.aidx_of_lpn.get(lpn)
         if aidx is not None:
             entry = self.amt.get(aidx)
             amask = self._area_rel_mask(lpn, entry.start, entry.end)
-            piece_mask = mask_range(rel_lo, rel_hi)
+            piece_mask = ((1 << (rel_hi - rel_lo)) - 1) << rel_lo
             if piece_mask & amask:
                 # the update overlaps the remapped across-page data
                 abs_lo = lpn * self.spp + rel_lo
@@ -414,9 +425,9 @@ class AcrossFTL(BaseFTL):
                     plan.setdefault(entry.appn, []).extend(
                         base + bit for bit in iter_bits(hit)
                     )
-            rem = wanted & ~amask & int(self.pmt_mask[lpn])
+            rem = wanted & ~amask & self._pmt_mask[lpn]
             if rem:
-                ppn = int(self.pmt[lpn])
+                ppn = self._pmt[lpn]
                 if ppn not in plan:
                     normal_pages += 1
                 plan.setdefault(ppn, []).extend(
@@ -524,16 +535,14 @@ class AcrossFTL(BaseFTL):
         for entry in self.amt.entries():
             for lpn in entry.lpns:
                 amask = self._area_rel_mask(lpn, entry.start, entry.end)
-                self.pmt_mask[lpn] = np.uint64(
-                    int(self.pmt_mask[lpn]) & ~amask
-                )
+                self._pmt_mask[lpn] = self._pmt_mask[lpn] & ~amask
 
     # ==================================================================
     def mapping_table_bytes(self) -> int:
         """Fig. 12a model: PMT entries widened by the AIdx field, plus
         the live AMT (entries are page-granular and demand-allocated)."""
         mapped_lpns = int((self.pmt >= 0).sum()) + sum(
-            1 for lpn in self.aidx_of_lpn if self.pmt[lpn] < 0
+            1 for lpn in self.aidx_of_lpn if self._pmt[lpn] < 0
         )
         return (
             mapped_lpns * (self.PMT_ENTRY_BYTES + AIDX_FIELD_BYTES)
@@ -575,7 +584,7 @@ class AcrossFTL(BaseFTL):
             if lpn not in entry.lpns:
                 raise MappingError(f"AIdx[{lpn}]={aidx} but area spans {entry.lpns}")
             amask = self._area_rel_mask(lpn, entry.start, entry.end)
-            if amask & int(self.pmt_mask[lpn]):
+            if amask & self._pmt_mask[lpn]:
                 raise MappingError(
                     f"LPN {lpn}: PMT mask overlaps across area {aidx}"
                 )

@@ -19,7 +19,7 @@ from ..ftl import make_ftl
 from ..metrics.report import SimulationReport
 from ..sim.engine import Simulator
 from ..traces.model import Trace
-from ..traces.synthetic import SyntheticSpec, VDIWorkloadGenerator
+from ..traces.synthetic import VDIWorkloadGenerator
 from .parallel import ResultStore, RunSpec, execute_runs, run_filename
 
 

@@ -2,8 +2,19 @@
 
 The array is deliberately FTL-agnostic: a programmed page carries an
 opaque ``meta`` object owned by the FTL (its reverse-mapping record),
-which garbage collection later reads back.  All state lives in numpy
-arrays so even the full Table 1 device (16.7 M pages) stays compact.
+which garbage collection later reads back.
+
+Storage layout (the hot-path contract of this module): every per-page /
+per-block table is a plain Python buffer — ``bytearray`` for byte-wide
+state, :class:`array.array` for counters — because scalar indexing of
+those is several times faster than numpy scalar indexing, and the
+per-page operations here are the innermost loop of the whole simulator.
+The public numpy attributes (``state``, ``write_ptr``, ``valid_count``,
+``erase_count``, ``last_mod``, ``is_bad``) are **zero-copy views** over
+the same buffers (``np.frombuffer``), so vectorised consumers — GC
+victim selection, wear statistics, observability samplers, tests — read
+and write the very same memory.  Even the full Table 1 device (16.7 M
+pages) stays compact.
 
 NAND protocol rules enforced here (violations raise
 :class:`~repro.errors.FlashProtocolError`, because they always indicate
@@ -17,6 +28,7 @@ FTL bugs):
 
 from __future__ import annotations
 
+from array import array
 from collections import deque
 from typing import Any, Iterator
 
@@ -39,20 +51,35 @@ class FlashArray:
         self.geom = geom
         n_pages = geom.num_pages
         n_blocks = geom.num_blocks
-        self.state = np.zeros(n_pages, dtype=np.uint8)
+        ppb = geom.pages_per_block
+        self._ppb = ppb
+        # raw buffers (fast scalar access on the per-page hot path)
+        self._state = bytearray(n_pages)
+        self._write_ptr = array("i", bytes(4 * n_blocks))
+        self._valid_count = array("i", bytes(4 * n_blocks))
+        self._erase_count = array("q", bytes(8 * n_blocks))
+        self._last_mod = array("q", bytes(8 * n_blocks))
+        self._is_bad = bytearray(n_blocks)
+        # precomputed page-state runs for whole-block erase/retire
+        self._free_run = bytes(ppb)
+        self._bad_run = bytes([PAGE_BAD]) * ppb
+        # zero-copy numpy views over the same memory (vectorised readers
+        # and writers — GC, wear stats, samplers, tests — see every
+        # scalar mutation instantly, and vice versa)
+        self.state = np.frombuffer(self._state, dtype=np.uint8)
         #: next page index to program, per global block
-        self.write_ptr = np.zeros(n_blocks, dtype=np.int32)
+        self.write_ptr = np.frombuffer(self._write_ptr, dtype=np.int32)
         #: number of VALID pages, per global block
-        self.valid_count = np.zeros(n_blocks, dtype=np.int32)
+        self.valid_count = np.frombuffer(self._valid_count, dtype=np.int32)
         #: lifetime erase count, per global block (wear indicator)
-        self.erase_count = np.zeros(n_blocks, dtype=np.int64)
+        self.erase_count = np.frombuffer(self._erase_count, dtype=np.int64)
         #: logical clock of block mutations, and per-block last-mutation
         #: stamp — the "age" input of cost-benefit GC victim selection
         self.mod_seq = 0
-        self.last_mod = np.zeros(n_blocks, dtype=np.int64)
+        self.last_mod = np.frombuffer(self._last_mod, dtype=np.int64)
         #: retired (bad) blocks — media wear-out, never reused
         #: (:meth:`retire_block`; injected by :mod:`repro.faults`)
-        self.is_bad = np.zeros(n_blocks, dtype=bool)
+        self.is_bad = np.frombuffer(self._is_bad, dtype=np.bool_)
         #: FTL metadata of currently-valid pages
         self._meta: dict[int, Any] = {}
         #: per-plane pool of fully-erased blocks (global block ids)
@@ -92,25 +119,29 @@ class FlashArray:
     # ------------------------------------------------------------------
     def program(self, ppn: int, meta: Any) -> None:
         """Program one page, storing the FTL's reverse-map record."""
-        if self.state[ppn] != PAGE_FREE:
+        state = self._state
+        if state[ppn] != PAGE_FREE:
             raise FlashProtocolError(f"program of non-free PPN {ppn}")
-        block = ppn // self.geom.pages_per_block
-        page = ppn % self.geom.pages_per_block
-        if page != self.write_ptr[block]:
+        ppb = self._ppb
+        block = ppn // ppb
+        page = ppn - block * ppb
+        wp = self._write_ptr
+        if page != wp[block]:
             raise FlashProtocolError(
                 f"out-of-order program: block {block} expects page "
-                f"{int(self.write_ptr[block])}, got {page}"
+                f"{wp[block]}, got {page}"
             )
-        self.state[ppn] = PAGE_VALID
-        self.write_ptr[block] = page + 1
-        self.valid_count[block] += 1
+        state[ppn] = PAGE_VALID
+        wp[block] = page + 1
+        self._valid_count[block] += 1
         self._meta[ppn] = meta
-        self.mod_seq += 1
-        self.last_mod[block] = self.mod_seq
+        seq = self.mod_seq + 1
+        self.mod_seq = seq
+        self._last_mod[block] = seq
 
     def read(self, ppn: int) -> Any:
         """Return the meta stored at a VALID page."""
-        if self.state[ppn] != PAGE_VALID:
+        if self._state[ppn] != PAGE_VALID:
             raise FlashProtocolError(f"read of non-valid PPN {ppn}")
         return self._meta[ppn]
 
@@ -120,36 +151,37 @@ class FlashArray:
 
     def invalidate(self, ppn: int) -> None:
         """Mark a VALID page stale (its data was superseded)."""
-        if self.state[ppn] != PAGE_VALID:
+        state = self._state
+        if state[ppn] != PAGE_VALID:
             raise FlashProtocolError(f"invalidate of non-valid PPN {ppn}")
-        self.state[ppn] = PAGE_INVALID
-        block = ppn // self.geom.pages_per_block
-        self.valid_count[block] -= 1
+        state[ppn] = PAGE_INVALID
+        block = ppn // self._ppb
+        self._valid_count[block] -= 1
         del self._meta[ppn]
-        self.mod_seq += 1
-        self.last_mod[block] = self.mod_seq
+        seq = self.mod_seq + 1
+        self.mod_seq = seq
+        self._last_mod[block] = seq
 
     def is_valid(self, ppn: int) -> bool:
         """True while the page holds live data."""
-        return self.state[ppn] == PAGE_VALID
+        return self._state[ppn] == PAGE_VALID
 
     # ------------------------------------------------------------------
     # block operations
     # ------------------------------------------------------------------
     def erase(self, block: int, *, aging: bool = False) -> None:
         """Erase a block and return it to its plane's free pool."""
-        if self.valid_count[block] != 0:
+        if self._valid_count[block] != 0:
             raise FlashProtocolError(
                 f"erase of block {block} holding "
-                f"{int(self.valid_count[block])} valid pages"
+                f"{self._valid_count[block]} valid pages"
             )
-        if self.is_bad[block]:
+        if self._is_bad[block]:
             raise FlashProtocolError(f"erase of retired bad block {block}")
-        lo = block * self.geom.pages_per_block
-        hi = lo + self.geom.pages_per_block
-        self.state[lo:hi] = PAGE_FREE
-        self.write_ptr[block] = 0
-        self.erase_count[block] += 1
+        lo = block * self._ppb
+        self._state[lo : lo + self._ppb] = self._free_run
+        self._write_ptr[block] = 0
+        self._erase_count[block] += 1
         plane = self.geom.plane_of_block(block)
         self._free_blocks[plane].append(block)
 
@@ -164,43 +196,43 @@ class FlashArray:
         shrinks by one block, which is the graceful-degradation
         feedback into the GC trigger.
         """
-        if self.valid_count[block] != 0:
+        if self._valid_count[block] != 0:
             raise FlashProtocolError(
                 f"retire of block {block} holding "
-                f"{int(self.valid_count[block])} valid pages"
+                f"{self._valid_count[block]} valid pages"
             )
-        if self.is_bad[block]:
+        if self._is_bad[block]:
             raise FlashProtocolError(f"double retire of block {block}")
-        lo = block * self.geom.pages_per_block
-        hi = lo + self.geom.pages_per_block
-        self.state[lo:hi] = PAGE_BAD
-        self.write_ptr[block] = self.geom.pages_per_block
-        self.is_bad[block] = True
+        lo = block * self._ppb
+        self._state[lo : lo + self._ppb] = self._bad_run
+        self._write_ptr[block] = self._ppb
+        self._is_bad[block] = 1
         # defensive: a block retired while pooled must leave the pool
         plane = self.geom.plane_of_block(block)
         try:
             self._free_blocks[plane].remove(block)
         except ValueError:
             pass
-        self.mod_seq += 1
-        self.last_mod[block] = self.mod_seq
+        seq = self.mod_seq + 1
+        self.mod_seq = seq
+        self._last_mod[block] = seq
 
     @property
     def total_bad_blocks(self) -> int:
         """Blocks retired so far (lost over-provisioning)."""
-        return int(self.is_bad.sum())
+        return sum(self._is_bad)
 
     def valid_ppns(self, block: int) -> Iterator[int]:
         """Iterate the VALID PPNs of a block (GC migration source)."""
-        lo = block * self.geom.pages_per_block
-        hi = lo + self.geom.pages_per_block
-        for ppn in range(lo, hi):
-            if self.state[ppn] == PAGE_VALID:
+        lo = block * self._ppb
+        state = self._state
+        for ppn in range(lo, lo + self._ppb):
+            if state[ppn] == PAGE_VALID:
                 yield ppn
 
     def block_full(self, block: int) -> bool:
         """True once every page of the block has been programmed."""
-        return self.write_ptr[block] == self.geom.pages_per_block
+        return self._write_ptr[block] == self._ppb
 
     def valid_items(self):
         """Iterate ``(ppn, meta)`` over every VALID page — the full-device
@@ -211,7 +243,7 @@ class FlashArray:
     # invariants (used by tests and sanity sweeps)
     # ------------------------------------------------------------------
     def check_invariants(self) -> None:
-        """Verify numpy bookkeeping against the raw page states."""
+        """Verify the block bookkeeping against the raw page states."""
         ppb = self.geom.pages_per_block
         states = self.state.reshape(-1, ppb)
         valid = (states == PAGE_VALID).sum(axis=1)

@@ -36,6 +36,8 @@ class FlashService:
             self.geom.num_chips, cfg.timing, cfg.chips_per_channel
         )
         self.counters = counters if counters is not None else FlashOpCounters()
+        # memoized geometry divisor: chip_of_ppn on the per-page hot path
+        self._pages_per_chip = self.geom.pages_per_chip
         #: observability event bus (repro.obs.events.EventBus) — installed
         #: by the engine when SimConfig.observability.enabled; FTL-side
         #: components share this reference, so disabled runs pay one
@@ -64,11 +66,16 @@ class FlashService:
         ``FaultConfig.halt_on_uncorrectable`` asks for a hard stop).
         """
         self.array.read(ppn)
-        self.counters.count_read(kind)
+        # inlined counters.count_read: one method call per page read is
+        # measurable on the replay hot path
+        c = self.counters
+        c.reads[kind] += 1
+        if kind is not OpKind.AGING:
+            c._measured_reads += 1
         if not timed:
             finish = now
         else:
-            chip = self.geom.chip_of_ppn(ppn)
+            chip = ppn // self._pages_per_chip
             finish = self.timeline.read(chip, now)
             faults = self.faults
             if faults is not None:
@@ -118,11 +125,14 @@ class FlashService:
         :attr:`retire_pending` for bad-block retirement by GC.
         """
         self.array.program(ppn, meta)
-        self.counters.count_write(kind)
+        c = self.counters
+        c.writes[kind] += 1
+        if kind is not OpKind.AGING:
+            c._measured_writes += 1
         if not timed:
             finish = now
         else:
-            chip = self.geom.chip_of_ppn(ppn)
+            chip = ppn // self._pages_per_chip
             finish = self.timeline.program(chip, now)
             faults = self.faults
             if faults is not None:

@@ -8,9 +8,21 @@ request completes only when all its page-level sub-requests do).
 
 Erase operations issued by GC occupy the chip the same way, which is
 how GC pressure surfaces as long-tail latency.
+
+Like :class:`~repro.flash.array.FlashArray`, the per-chip tables are
+raw :class:`array.array` buffers for fast scalar access on the per-op
+hot path, with the public numpy attributes (``busy_until``,
+``busy_time``, ``op_count``, ``bus_busy_until``) exposed as zero-copy
+views over the same memory for vectorised consumers (utilisation
+sampling, idle-chip assertions in tests).  The latency scalars from
+:class:`~repro.config.TimingConfig` (a frozen dataclass) are bound to
+locals at construction so the per-op cost is one array load instead of
+repeated attribute chasing.
 """
 
 from __future__ import annotations
+
+from array import array
 
 import numpy as np
 
@@ -38,55 +50,76 @@ class ChipTimeline:
         if num_chips <= 0:
             raise SimulationError("need at least one chip")
         self.timing = timing
-        self.busy_until = np.zeros(num_chips, dtype=np.float64)
+        # TimingConfig is frozen — memoize the per-op latency scalars
+        self._read_ms = timing.read_ms
+        self._program_ms = timing.program_ms
+        self._erase_ms = timing.erase_ms
+        self._read_retry_ms = timing.read_retry_ms
+        self._transfer_ms = timing.transfer_ms
+        # raw buffers (scalar hot path) + zero-copy numpy views (public)
+        self._busy_until = array("d", bytes(8 * num_chips))
+        self._busy_time = array("d", bytes(8 * num_chips))
+        self._op_count = array("q", bytes(8 * num_chips))
+        self.busy_until = np.frombuffer(self._busy_until, dtype=np.float64)
         #: cumulative busy time per chip (utilisation accounting)
-        self.busy_time = np.zeros(num_chips, dtype=np.float64)
-        self.op_count = np.zeros(num_chips, dtype=np.int64)
+        self.busy_time = np.frombuffer(self._busy_time, dtype=np.float64)
+        self.op_count = np.frombuffer(self._op_count, dtype=np.int64)
         #: chips sharing one channel bus (None = one chip per channel)
         self.chips_per_channel = chips_per_channel or 1
         n_channels = -(-num_chips // self.chips_per_channel)
-        self.bus_busy_until = np.zeros(n_channels, dtype=np.float64)
+        self._bus_busy_until = array("d", bytes(8 * n_channels))
+        self.bus_busy_until = np.frombuffer(
+            self._bus_busy_until, dtype=np.float64
+        )
 
     def _channel(self, chip: int) -> int:
         return chip // self.chips_per_channel
 
     def _occupy(self, chip: int, now: float, duration: float) -> float:
-        start = max(now, float(self.busy_until[chip]))
+        bu = self._busy_until
+        start = bu[chip]
+        if now > start:
+            start = now
         finish = start + duration
-        self.busy_until[chip] = finish
-        self.busy_time[chip] += duration
-        self.op_count[chip] += 1
+        bu[chip] = finish
+        self._busy_time[chip] += duration
+        self._op_count[chip] += 1
         return finish
 
     def read(self, chip: int, now: float) -> float:
         """Schedule a page read; returns its completion time."""
-        tr = self.timing.transfer_ms
+        tr = self._transfer_ms
         if tr <= 0:
-            return self._occupy(chip, now, self.timing.read_ms)
+            return self._occupy(chip, now, self._read_ms)
         # cell read, then the data transfers out over the channel
-        cell_done = self._occupy(chip, now, self.timing.read_ms)
-        ch = self._channel(chip)
-        t0 = max(cell_done, float(self.bus_busy_until[ch]))
+        cell_done = self._occupy(chip, now, self._read_ms)
+        ch = chip // self.chips_per_channel
+        t0 = self._bus_busy_until[ch]
+        if cell_done > t0:
+            t0 = cell_done
         finish = t0 + tr
-        self.bus_busy_until[ch] = finish
-        self.busy_until[chip] = max(float(self.busy_until[chip]), finish)
+        self._bus_busy_until[ch] = finish
+        if finish > self._busy_until[chip]:
+            self._busy_until[chip] = finish
         return finish
 
     def program(self, chip: int, now: float) -> float:
         """Schedule a page program; returns its completion time."""
-        tr = self.timing.transfer_ms
+        tr = self._transfer_ms
         if tr <= 0:
-            return self._occupy(chip, now, self.timing.program_ms)
+            return self._occupy(chip, now, self._program_ms)
         # the data transfers in over the channel, then the cell programs
-        ch = self._channel(chip)
-        start = max(
-            now, float(self.busy_until[chip]), float(self.bus_busy_until[ch])
-        )
-        self.bus_busy_until[ch] = start + tr
-        finish = start + tr + self.timing.program_ms
-        self.busy_until[chip] = finish
-        self.busy_time[chip] += tr + self.timing.program_ms
-        self.op_count[chip] += 1
+        ch = chip // self.chips_per_channel
+        start = now
+        if self._busy_until[chip] > start:
+            start = self._busy_until[chip]
+        if self._bus_busy_until[ch] > start:
+            start = self._bus_busy_until[ch]
+        self._bus_busy_until[ch] = start + tr
+        finish = start + tr + self._program_ms
+        self._busy_until[chip] = finish
+        self._busy_time[chip] += tr + self._program_ms
+        self._op_count[chip] += 1
         return finish
 
     def read_retries(self, chip: int, now: float, steps: int) -> float:
@@ -100,7 +133,7 @@ class ChipTimeline:
         """
         if steps <= 0:
             return self.next_free(chip, now)
-        penalty = self.timing.read_retry_ms * steps * (steps + 1) / 2.0
+        penalty = self._read_retry_ms * steps * (steps + 1) / 2.0
         return self._occupy(chip, now, penalty)
 
     def reprogram(self, chip: int, now: float, attempts: int) -> float:
@@ -108,17 +141,16 @@ class ChipTimeline:
         program-status failures (:mod:`repro.faults`)."""
         if attempts <= 1:
             return self.next_free(chip, now)
-        return self._occupy(
-            chip, now, self.timing.program_ms * (attempts - 1)
-        )
+        return self._occupy(chip, now, self._program_ms * (attempts - 1))
 
     def erase(self, chip: int, now: float) -> float:
         """Schedule a block erase; returns its completion time."""
-        return self._occupy(chip, now, self.timing.erase_ms)
+        return self._occupy(chip, now, self._erase_ms)
 
     def next_free(self, chip: int, now: float) -> float:
         """Earliest time the chip could start a new operation."""
-        return max(now, float(self.busy_until[chip]))
+        busy = self._busy_until[chip]
+        return busy if busy > now else now
 
     def utilization(self, horizon_ms: float) -> np.ndarray:
         """Per-chip busy fraction over ``[0, horizon_ms]``."""

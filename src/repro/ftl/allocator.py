@@ -47,6 +47,9 @@ class WriteAllocator:
             (j % chips) * per_chip + (j // chips)
             for j in range(self.geom.num_planes)
         ]
+        # hot-path binds: one allocation per flash program
+        self._array = service.array
+        self._ppb = self.geom.pages_per_block
 
     def _stream(self, stream: int) -> int:
         return stream if self.separate_streams else STREAM_USER
@@ -76,17 +79,21 @@ class WriteAllocator:
         self, plane: int, stream: int = STREAM_USER
     ) -> int | None:
         """Next free PPN in ``plane``, or None if the plane is exhausted."""
-        arr = self.service.array
-        active = self._active[self._stream(stream)]
+        arr = self._array
+        ppb = self._ppb
+        wp = arr._write_ptr
+        active = self._active[stream if self.separate_streams else STREAM_USER]
         block = active[plane]
-        if block is not None and arr.block_full(block):
-            active[plane] = block = None
-        if block is None:
-            if arr.free_block_count(plane) == 0:
-                return None
-            block = arr.pop_free_block(plane)
-            active[plane] = block
-        return block * self.geom.pages_per_block + int(arr.write_ptr[block])
+        if block is not None:
+            p = wp[block]
+            if p < ppb:
+                return block * ppb + p
+            active[plane] = None
+        if not arr._free_blocks[plane]:
+            return None
+        block = arr.pop_free_block(plane)
+        active[plane] = block
+        return block * ppb + wp[block]
 
     def allocate(self, stream: int = STREAM_USER) -> int:
         """Next free PPN anywhere, preferring round-robin plane order.
@@ -94,10 +101,17 @@ class WriteAllocator:
         Raises :class:`OutOfSpaceError` when every plane is exhausted —
         by then GC has already failed to reclaim anything.
         """
-        n = self.geom.num_planes
-        for i in range(n):
-            idx = (self._cursor + i) % n
-            ppn = self.allocate_in_plane(self._plane_order[idx], stream)
+        order = self._plane_order
+        n = len(order)
+        cursor = self._cursor
+        # common case: the round-robin plane has room
+        ppn = self.allocate_in_plane(order[cursor], stream)
+        if ppn is not None:
+            self._cursor = (cursor + 1) % n
+            return ppn
+        for i in range(1, n):
+            idx = (cursor + i) % n
+            ppn = self.allocate_in_plane(order[idx], stream)
             if ppn is not None:
                 self._cursor = (idx + 1) % n
                 return ppn

@@ -28,6 +28,7 @@ rollbacks and GC.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from array import array
 from typing import Optional
 
 import numpy as np
@@ -109,12 +110,22 @@ class BaseFTL(ABC):
         #: ops become untimed and are counted under OpKind.AGING.
         self.aging = False
 
-        #: LPN -> PPN of the normally-mapped page (-1 = none)
-        self.pmt = np.full(self.logical_pages, -1, dtype=np.int64)
+        #: LPN -> PPN of the normally-mapped page (-1 = none).  The raw
+        #: table is a flat ``array('q')`` — scalar loads/stores on the
+        #: per-piece write/read hot path are several times cheaper than
+        #: numpy scalar indexing — while ``self.pmt`` is a zero-copy
+        #: numpy view over the same memory for vectorised consumers
+        #: (tests, examples, ``mapping_table_bytes``).
+        self._pmt = array("q", [-1]) * self.logical_pages
+        self.pmt = np.frombuffer(self._pmt, dtype=np.int64)
         #: LPN -> bitmask of sectors whose newest copy is in pmt[lpn]
-        self.pmt_mask = np.zeros(self.logical_pages, dtype=np.uint64)
-        #: flash location of spilled translation pages: (table, tvpn) -> ppn
-        self._map_ppn: dict[tuple[int, int], int] = {}
+        #: (same raw-buffer + view layout; masks are plain Python ints)
+        self._pmt_mask = array("Q", bytes(8 * self.logical_pages))
+        self.pmt_mask = np.frombuffer(self._pmt_mask, dtype=np.uint64)
+        #: flash location of spilled translation pages, one int-keyed
+        #: dict per table: ``table_id -> {tvpn -> ppn}`` (no tuple keys
+        #: rebuilt per map/unmap)
+        self._map_ppn: dict[int, dict[int, int]] = {}
 
     # ------------------------------------------------------------------
     # host-facing API
@@ -155,11 +166,11 @@ class BaseFTL(ABC):
         return now + self.cfg.timing.cache_access_ms
 
     def _trim_pmt_piece(self, lpn: int, mask: int) -> None:
-        remaining = int(self.pmt_mask[lpn]) & ~mask
-        self.pmt_mask[lpn] = np.uint64(remaining)
-        if remaining == 0 and self.pmt[lpn] >= 0:
-            self.service.invalidate(int(self.pmt[lpn]))
-            self.pmt[lpn] = -1
+        remaining = self._pmt_mask[lpn] & ~mask
+        self._pmt_mask[lpn] = remaining
+        if remaining == 0 and self._pmt[lpn] >= 0:
+            self.service.invalidate(self._pmt[lpn])
+            self._pmt[lpn] = -1
 
     def stats(self) -> dict:
         """Scheme-specific statistics merged into the run report."""
@@ -178,12 +189,21 @@ class BaseFTL(ABC):
     # ------------------------------------------------------------------
     # op-kind / timing helpers honouring aging mode
     # ------------------------------------------------------------------
+    #: ``timed`` is the plain-attribute mirror of ``not aging``: it is
+    #: read on every flash op, so it must be an attribute load, not a
+    #: property call.  The ``aging`` property keeps the two in sync.
+    timed: bool = True
+
     @property
-    def timed(self) -> bool:
-        return not self.aging
+    def aging(self) -> bool:
+        return not self.timed
+
+    @aging.setter
+    def aging(self, value: bool) -> None:
+        self.timed = not value
 
     def _kind(self, kind: OpKind) -> OpKind:
-        return OpKind.AGING if self.aging else kind
+        return kind if self.timed else OpKind.AGING
 
     def _emit_decision(self, path: str, lpn: int, now: float) -> None:
         """Publish which servicing path was taken (no-op when
@@ -212,6 +232,7 @@ class BaseFTL(ABC):
         into idle periods (translation-page write-back): the program is
         counted but does not occupy a foreground chip timeline.
         """
+        base_timed = self.timed
         ppn = None
         if plane is not None:
             ppn = self.allocator.allocate_in_plane(plane, stream)
@@ -221,15 +242,15 @@ class BaseFTL(ABC):
             ppn,
             meta,
             now,
-            self._kind(kind),
-            timed=self.timed if timed is None else (timed and self.timed),
+            kind if base_timed else OpKind.AGING,
+            timed=base_timed if timed is None else (timed and base_timed),
         )
         if gc_check:
             # GC runs after the program: its migrations and erases keep
             # the chips busy (delaying *later* requests — the long-tail
             # effect), but do not gate this request's completion.
             p = self.geom.plane_of_ppn(ppn)
-            self.gc.maybe_collect(p, now, timed=self.timed)
+            self.gc.maybe_collect(p, now, timed=base_timed)
         return ppn, finish
 
     def _relocate(self, old_ppn: int, now: float, timed: bool) -> float:
@@ -244,28 +265,31 @@ class BaseFTL(ABC):
         return self._relocate_extra(old_ppn, meta, now)
 
     def _relocate_data(self, old_ppn: int, meta: DataPageMeta, now: float) -> float:
-        if self.pmt[meta.lpn] != old_ppn:
+        if self._pmt[meta.lpn] != old_ppn:
             raise MappingError(
                 f"GC found data page for LPN {meta.lpn} at PPN {old_ppn} "
-                f"but PMT points to {int(self.pmt[meta.lpn])}"
+                f"but PMT points to {self._pmt[meta.lpn]}"
             )
         plane = self.geom.plane_of_ppn(old_ppn)
         new_ppn, finish = self._program_page(
             meta, now, OpKind.GC, plane=plane, gc_check=False, stream=STREAM_GC
         )
-        self.pmt[meta.lpn] = new_ppn
+        self._pmt[meta.lpn] = new_ppn
         self.service.invalidate(old_ppn)
         return finish
 
     def _relocate_map(self, old_ppn: int, meta: MapPageMeta, now: float) -> float:
-        key = (meta.table_id, meta.tvpn)
-        if self._map_ppn.get(key) != old_ppn:
-            raise MappingError(f"stale map page {key} at PPN {old_ppn}")
+        table = self._map_ppn.get(meta.table_id)
+        if table is None or table.get(meta.tvpn) != old_ppn:
+            raise MappingError(
+                f"stale map page {(meta.table_id, meta.tvpn)} "
+                f"at PPN {old_ppn}"
+            )
         plane = self.geom.plane_of_ppn(old_ppn)
         new_ppn, finish = self._program_page(
             meta, now, OpKind.GC, plane=plane, gc_check=False, stream=STREAM_GC
         )
-        self._map_ppn[key] = new_ppn
+        table[meta.tvpn] = new_ppn
         self.service.invalidate(old_ppn)
         return finish
 
@@ -283,23 +307,26 @@ class BaseFTL(ABC):
         capacity_entries: int | None,
         touches_fn=None,
     ) -> MappingCache:
+        # the per-table dict is re-fetched on every call (not captured)
+        # so external table wipes (`_map_ppn.clear()` in recovery tests
+        # and examples) can never leave a closure holding a stale dict
         def program(tvpn: int, now: float, timed: bool) -> float:
-            key = (table_id, tvpn)
-            old = self._map_ppn.get(key)
+            table = self._map_ppn.setdefault(table_id, {})
+            old = table.get(tvpn)
             if old is not None:
                 self.service.invalidate(old)
-                del self._map_ppn[key]
+                del table[tvpn]
             meta = MapPageMeta(table_id, tvpn)
             # translation-page write-back is background work: the
             # controller schedules it into chip idle periods, so it is
             # counted (Fig. 10's Map share, GC pressure) but does not
             # occupy the foreground timeline
             ppn, finish = self._program_page(meta, now, OpKind.MAP, timed=False)
-            self._map_ppn[key] = ppn
+            table[tvpn] = ppn
             return finish
 
         def read(tvpn: int, now: float, timed: bool) -> float:
-            ppn = self._map_ppn[(table_id, tvpn)]
+            ppn = self._map_ppn[table_id][tvpn]
             return self.service.read_page(
                 ppn, now, self._kind(OpKind.MAP), timed=timed
             )
@@ -337,11 +364,13 @@ class BaseFTL(ABC):
         across-area data back in without re-reading it here).
         Returns the completion time.
         """
-        new_mask = mask_range(rel_lo, rel_hi) | extra_mask
-        old_ppn = int(self.pmt[lpn])
-        old_mask = int(self.pmt_mask[lpn])
+        service = self.service
+        timed = self.timed
+        new_mask = (((1 << (rel_hi - rel_lo)) - 1) << rel_lo) | extra_mask
+        old_ppn = self._pmt[lpn]
+        old_mask = self._pmt_mask[lpn]
         retained = old_mask & ~new_mask
-        if self.service.obs is not None:
+        if service.obs is not None:
             self._emit_decision(
                 "rmw" if (retained and old_ppn >= 0) else "page_write",
                 lpn, now,
@@ -353,10 +382,11 @@ class BaseFTL(ABC):
             payload = {}
         if retained and old_ppn >= 0:
             # RMW: the old page holds live sectors the new page must keep
-            finish = self.service.read_page(
-                old_ppn, now, self._kind(OpKind.DATA), timed=self.timed
+            finish = service.read_page(
+                old_ppn, now,
+                OpKind.DATA if timed else OpKind.AGING, timed=timed,
             )
-            if not self.aging:
+            if timed:
                 self.counters.update_reads += 1
             if payload is not None:
                 old_meta = self.service.array.meta(old_ppn)
@@ -377,12 +407,12 @@ class BaseFTL(ABC):
                         payload[sec] = stamps[sec]
 
         if old_ppn >= 0:
-            self.service.invalidate(old_ppn)
+            service.invalidate(old_ppn)
         meta = DataPageMeta(lpn, old_mask | new_mask, payload)
         new_ppn, t = self._program_page(meta, finish, OpKind.DATA)
-        self.pmt[lpn] = new_ppn
-        self.pmt_mask[lpn] = np.uint64(old_mask | new_mask)
-        return max(finish, t)
+        self._pmt[lpn] = new_ppn
+        self._pmt_mask[lpn] = old_mask | new_mask
+        return t if t > finish else finish
 
     def _read_stamps_from(self, ppn: int, sectors: list[int], out: dict) -> None:
         """Copy the stamps of ``sectors`` found at ``ppn`` into ``out``."""
@@ -412,14 +442,14 @@ class BaseFTL(ABC):
             scanned += 1
             kind = meta.kind
             if kind == "data":
-                if self.pmt[meta.lpn] != -1:
+                if self._pmt[meta.lpn] != -1:
                     raise MappingError(
                         f"two valid data pages claim LPN {meta.lpn}"
                     )
-                self.pmt[meta.lpn] = ppn
-                self.pmt_mask[meta.lpn] = np.uint64(meta.mask)
+                self._pmt[meta.lpn] = ppn
+                self._pmt_mask[meta.lpn] = meta.mask
             elif kind == "map":
-                self._map_ppn[(meta.table_id, meta.tvpn)] = ppn
+                self._map_ppn.setdefault(meta.table_id, {})[meta.tvpn] = ppn
             else:
                 self._rebuild_page(ppn, meta)
         self._rebuild_finish()
@@ -440,8 +470,8 @@ class BaseFTL(ABC):
     def check_invariants(self) -> None:
         """Cross-check PMT against the flash array (tests only)."""
         for lpn in range(self.logical_pages):
-            ppn = int(self.pmt[lpn])
-            mask = int(self.pmt_mask[lpn])
+            ppn = self._pmt[lpn]
+            mask = self._pmt_mask[lpn]
             if ppn >= 0:
                 if not self.service.array.is_valid(ppn):
                     raise MappingError(f"PMT[{lpn}] -> invalid PPN {ppn}")

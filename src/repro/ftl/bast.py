@@ -217,7 +217,7 @@ class BASTFTL(BaseFTL):
         self.counters.count_dram()
         lbn, off = divmod(lpn, self.ppb)
         new_mask = mask_range(rel_lo, rel_hi)
-        old_mask = int(self.pmt_mask[lpn])
+        old_mask = self._pmt_mask[lpn]
         retained = old_mask & ~new_mask
         finish = now
         payload: Optional[dict] = {} if self.track_payload else None
@@ -263,7 +263,7 @@ class BASTFTL(BaseFTL):
             log.sequential = False
         log.page_of_offset[off] = page_idx
         log.write_ptr += 1
-        self.pmt_mask[lpn] = np.uint64(old_mask | new_mask)
+        self._pmt_mask[lpn] = old_mask | new_mask
         return finish
 
     # ------------------------------------------------------------------
@@ -275,7 +275,7 @@ class BASTFTL(BaseFTL):
         found: Optional[dict] = {} if self.track_payload else None
         for lpn, rel_lo, count in split_extent(offset, size, self.spp):
             self.counters.count_dram()
-            present = int(self.pmt_mask[lpn]) & mask_range(
+            present = self._pmt_mask[lpn] & mask_range(
                 rel_lo, rel_lo + count
             )
             if not present:
@@ -299,8 +299,8 @@ class BASTFTL(BaseFTL):
         """Drop data; whole-block reclamation happens lazily at merges."""
         for lpn, rel_lo, count in split_extent(offset, size, self.spp):
             mask = mask_range(rel_lo, rel_lo + count)
-            remaining = int(self.pmt_mask[lpn]) & ~mask
-            self.pmt_mask[lpn] = np.uint64(remaining)
+            remaining = self._pmt_mask[lpn] & ~mask
+            self._pmt_mask[lpn] = remaining
             if remaining == 0:
                 ppn = self._ppn_of(lpn)
                 if ppn is not None:

@@ -177,7 +177,7 @@ class FASTFTL(BaseFTL):
     ) -> float:
         self.counters.count_dram()
         new_mask = mask_range(rel_lo, rel_hi)
-        old_mask = int(self.pmt_mask[lpn])
+        old_mask = self._pmt_mask[lpn]
         retained = old_mask & ~new_mask
         finish = now
         payload: Optional[dict] = {} if self.track_payload else None
@@ -213,7 +213,7 @@ class FASTFTL(BaseFTL):
             self.service.invalidate(old_ppn)
         self.log_map[lpn] = ppn
         self.log_blocks[self._open_log].add(lpn // self.ppb)
-        self.pmt_mask[lpn] = np.uint64(old_mask | new_mask)
+        self._pmt_mask[lpn] = old_mask | new_mask
         return finish
 
     # ------------------------------------------------------------------
@@ -225,7 +225,7 @@ class FASTFTL(BaseFTL):
         found: Optional[dict] = {} if self.track_payload else None
         for lpn, rel_lo, count in split_extent(offset, size, self.spp):
             self.counters.count_dram()
-            present = int(self.pmt_mask[lpn]) & mask_range(
+            present = self._pmt_mask[lpn] & mask_range(
                 rel_lo, rel_lo + count
             )
             if not present:
@@ -249,8 +249,8 @@ class FASTFTL(BaseFTL):
         """Drop data; log/data space reclaims lazily at merges."""
         for lpn, rel_lo, count in split_extent(offset, size, self.spp):
             mask = mask_range(rel_lo, rel_lo + count)
-            remaining = int(self.pmt_mask[lpn]) & ~mask
-            self.pmt_mask[lpn] = np.uint64(remaining)
+            remaining = self._pmt_mask[lpn] & ~mask
+            self._pmt_mask[lpn] = remaining
             if remaining == 0:
                 ppn = self._ppn_of(lpn)
                 if ppn is not None:

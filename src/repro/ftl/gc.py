@@ -60,6 +60,17 @@ class GarbageCollector:
         self.policy = policy
         self.wear_weight = wear_weight
         self._collecting = False
+        # maybe_collect() runs after every page program; precompute the
+        # smallest free-block count whose free_fraction clears the GC
+        # threshold (testing the same float comparison free_fraction
+        # would) so the common "plane is healthy" case is one integer
+        # compare with no try/finally or method calls.
+        bpp = service.geom.blocks_per_plane
+        self._free_blocks = service.array._free_blocks
+        self._retire_pending = service.retire_pending
+        self._ok_free_count = next(
+            (c for c in range(bpp + 1) if c / bpp >= threshold), bpp + 1
+        )
         #: number of GC invocations (victim blocks processed)
         self.collections = 0
         #: valid pages migrated over the run (write-amplification source)
@@ -186,6 +197,13 @@ class GarbageCollector:
         relocation traffic and lost over-provisioning promptly rather
         than lingering until the plane fills up.
         """
+        if (
+            not self._retire_pending
+            and len(self._free_blocks[plane]) >= self._ok_free_count
+        ):
+            # healthy plane, nothing queued for retirement: the slow
+            # path below would do exactly nothing
+            return now
         if self._collecting:
             return now
         self._collecting = True

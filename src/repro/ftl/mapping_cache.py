@@ -59,6 +59,8 @@ class MappingCache:
         self._program = program_map_page
         self._read = read_map_page
         self._touches_fn = touches_fn
+        # bound once: access() runs per mapping touch on the hot path
+        self._counters = service.counters
         #: cached translation pages: tvpn -> dirty flag (LRU order)
         self._cached: OrderedDict[int, bool] = OrderedDict()
         #: translation pages that have a flash-resident copy
@@ -73,9 +75,8 @@ class MappingCache:
     ) -> float:
         """Touch the entry ``key``; returns the time the access completed
         (``now`` unless flash I/O was needed)."""
-        self.service.counters.count_dram(
-            self._touches_fn() if self._touches_fn is not None else 1
-        )
+        tf = self._touches_fn
+        self._counters.dram_accesses += 1 if tf is None else tf()
         obs = self.service.obs
         if self.unlimited:
             self.hits += 1
@@ -84,11 +85,12 @@ class MappingCache:
             return now
         tvpn = key // self.entries_per_page
         finish = now
-        if tvpn in self._cached:
+        cached = self._cached
+        if tvpn in cached:
             self.hits += 1
-            self._cached.move_to_end(tvpn)
+            cached.move_to_end(tvpn)
             if dirty:
-                self._cached[tvpn] = True
+                cached[tvpn] = True
             if obs is not None:
                 obs.emit(CMTEvent(now, self.table_id, "hit", key))
             return finish

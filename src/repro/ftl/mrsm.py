@@ -65,6 +65,11 @@ class MRSMFTL(BaseFTL):
         #: full-page overwrite does not re-coarsen it), which is why
         #: MRSM's table converges to ~2.4x the baseline's (Fig. 12a)
         self._ever_fragmented: set[int] = set()
+        # memoised _tree_touches state: current depth and the interval
+        # of table sizes it stays valid for (empty → recompute on first use)
+        self._tt_val = 1
+        self._tt_lo = 0
+        self._tt_hi = -1
         entries_per_page = max(1, self.cfg.page_size_bytes // REGION_ENTRY_BYTES)
         self._cache = self._make_cache(
             table_id=1,
@@ -76,24 +81,42 @@ class MRSMFTL(BaseFTL):
     def _tree_touches(self) -> int:
         """DRAM touches per lookup: the depth of the (4-ary) mapping
         tree MRSM keeps its region entries in (Fig. 12b: ~32x the flat
-        tables' single touch, once multiplied by regions per request)."""
-        return max(1, math.ceil(math.log2(len(self.region_map) + 2) / 2))
+        tables' single touch, once multiplied by regions per request).
+
+        The depth only changes when the entry count crosses a power of
+        4, so the log is memoised over the interval of table sizes that
+        share the current depth (this runs per region per request).
+        """
+        n = len(self.region_map)
+        if n > self._tt_hi or n < self._tt_lo:
+            v = max(1, math.ceil(math.log2(n + 2) / 2))
+            self._tt_val = v
+            # depth v covers 4**(v-1) < n + 2 <= 4**v
+            self._tt_lo = (1 << (2 * v - 2)) - 1
+            self._tt_hi = (1 << (2 * v)) - 2
+        return self._tt_val
 
     # ------------------------------------------------------------------
     # region geometry
     # ------------------------------------------------------------------
-    def _split_regions(self, offset: int, size: int):
-        """Yield (region_key, rel_lo, rel_hi) pieces of a sector extent,
-        with rel_* relative to the region start."""
+    def _split_regions(self, offset: int, size: int) -> list[tuple[int, int, int]]:
+        """(region_key, rel_lo, rel_hi) pieces of a sector extent, with
+        rel_* relative to the region start.  Returns a list (not a
+        generator): callers iterate it at most twice and resuming a
+        generator per region is pure overhead on the write path."""
         rs = self.region_sectors
         sec = offset
         end = offset + size
+        out = []
         while sec < end:
             key = sec // rs
             region_start = key * rs
-            hi = min(end, region_start + rs)
-            yield key, sec - region_start, hi - region_start
+            hi = region_start + rs
+            if hi > end:
+                hi = end
+            out.append((key, sec - region_start, hi - region_start))
             sec = hi
+        return out
 
     def _region_base_sector(self, key: int) -> int:
         return key * self.region_sectors
@@ -113,7 +136,8 @@ class MRSMFTL(BaseFTL):
         if skey != key or not live:
             raise MappingError(f"slot bookkeeping broken for region {key}")
         meta.slots[slot] = (key, False)
-        if meta.live_count() == 0:
+        # any() short-circuits on the first live slot, unlike live_count()
+        if not any(live for _, live in meta.slots):
             self.service.invalidate(ppn)
 
     # ------------------------------------------------------------------
@@ -122,49 +146,62 @@ class MRSMFTL(BaseFTL):
     ) -> float:
         """Service a write: split into regions, region-level RMW where a
         region is partially covered, pack into R-slot pages."""
-        pieces = list(self._split_regions(offset, size))
+        pieces = self._split_regions(offset, size)
         finish = now
+        timed = self.timed
+        kind = OpKind.DATA if timed else OpKind.AGING
+        region_map = self.region_map
+        region_mask = self.region_mask
+        mask_get = region_mask.get
+        access = self._cache.access
+        spp = self.spp
         # any lpn not covered by whole aligned pages becomes (and stays)
         # region-mapped in the tree — persistent table state, so warm-up
         # (aging) writes fragment it too, like the paper's warm-up trace
-        first_lpn = offset // self.spp
-        last_lpn = (offset + size - 1) // self.spp
+        end = offset + size
+        first_lpn = offset // spp
+        last_lpn = (end - 1) // spp
         for lpn in range(first_lpn, last_lpn + 1):
-            page_lo = lpn * self.spp
-            if offset > page_lo or offset + size < page_lo + self.spp:
+            page_lo = lpn * spp
+            if offset > page_lo or end < page_lo + spp:
                 self._ever_fragmented.add(lpn)
         # phase 1: mapping lookups + region-level read-modify-write
         rmw_ppns: set[int] = set()
         for key, rel_lo, rel_hi in pieces:
-            t = self._cache.access(key, now, dirty=True, timed=self.timed)
-            finish = max(finish, t)
-            old_mask = self.region_mask.get(key, 0)
-            retained = old_mask & ~mask_range(rel_lo, rel_hi)
-            if retained:
-                rmw_ppns.add(self.region_map[key][0])
+            t = access(key, now, dirty=True, timed=timed)
+            if t > finish:
+                finish = t
+            old_mask = mask_get(key, 0)
+            if old_mask & ~(((1 << (rel_hi - rel_lo)) - 1) << rel_lo):
+                rmw_ppns.add(region_map[key][0])
         for ppn in rmw_ppns:
-            t = self.service.read_page(
-                ppn, now, self._kind(OpKind.DATA), timed=self.timed
-            )
-            if not self.aging:
+            t = self.service.read_page(ppn, now, kind, timed=timed)
+            if timed:
                 self.counters.update_reads += 1
-            finish = max(finish, t)
+            if t > finish:
+                finish = t
 
         # phase 2: pack regions into pages, R slots per page
         start = finish
-        for i in range(0, len(pieces), self.R):
-            group = pieces[i : i + self.R]
-            payload: Optional[dict] = {} if self.track_payload else None
+        R = self.R
+        rs = self.region_sectors
+        track = self.track_payload
+        for i in range(0, len(pieces), R):
+            group = pieces[i : i + R]
+            payload: Optional[dict] = None
             slots = []
-            for slot_idx, (key, rel_lo, rel_hi) in enumerate(group):
-                base = self._region_base_sector(key)
-                old_mask = self.region_mask.get(key, 0)
-                new_mask = mask_range(rel_lo, rel_hi)
-                if payload is not None:
+            masks = []
+            for key, rel_lo, rel_hi in group:
+                old_mask = mask_get(key, 0)
+                new_mask = ((1 << (rel_hi - rel_lo)) - 1) << rel_lo
+                if track:
+                    if payload is None:
+                        payload = {}
+                    base = key * rs
                     # retained old sectors of this region
                     retained = old_mask & ~new_mask
                     if retained:
-                        old_ppn = self.region_map[key][0]
+                        old_ppn = region_map[key][0]
                         old_meta = self.service.array.meta(old_ppn)
                         if old_meta.payloads:
                             for bit in iter_bits(retained):
@@ -177,18 +214,16 @@ class MRSMFTL(BaseFTL):
                             if sec in stamps:
                                 payload[sec] = stamps[sec]
                 slots.append((key, True))
-            masks = [
-                self.region_mask.get(key, 0) | mask_range(rel_lo, rel_hi)
-                for key, rel_lo, rel_hi in group
-            ]
+                masks.append(old_mask | new_mask)
             meta = RegionPageMeta(slots, masks, payload)
             for key, _lo, _hi in group:
                 self._kill_slot(key)
             ppn, t = self._program_page(meta, start, OpKind.DATA)
-            finish = max(finish, t)
-            for slot_idx, (key, rel_lo, rel_hi) in enumerate(group):
-                self.region_map[key] = (ppn, slot_idx)
-                self.region_mask[key] = masks[slot_idx]
+            if t > finish:
+                finish = t
+            for slot_idx, (key, _rel_lo, _rel_hi) in enumerate(group):
+                region_map[key] = (ppn, slot_idx)
+                region_mask[key] = masks[slot_idx]
         return finish
 
     # ------------------------------------------------------------------
@@ -198,24 +233,31 @@ class MRSMFTL(BaseFTL):
         """Service a read: one flash read per distinct page holding a
         wanted live region."""
         finish = now
+        timed = self.timed
+        kind = OpKind.DATA if timed else OpKind.AGING
+        access = self._cache.access
+        mask_get = self.region_mask.get
+        rs = self.region_sectors
         found: Optional[dict] = {} if self.track_payload else None
         ppn_sectors: dict[int, list[int]] = {}
         for key, rel_lo, rel_hi in self._split_regions(offset, size):
-            t = self._cache.access(key, now, dirty=False, timed=self.timed)
-            finish = max(finish, t)
-            present = self.region_mask.get(key, 0) & mask_range(rel_lo, rel_hi)
+            t = access(key, now, dirty=False, timed=timed)
+            if t > finish:
+                finish = t
+            present = mask_get(key, 0) & (
+                ((1 << (rel_hi - rel_lo)) - 1) << rel_lo
+            )
             if not present:
                 continue
             ppn = self.region_map[key][0]
-            base = self._region_base_sector(key)
+            base = key * rs
             ppn_sectors.setdefault(ppn, []).extend(
                 base + bit for bit in iter_bits(present)
             )
         for ppn, sectors in ppn_sectors.items():
-            t = self.service.read_page(
-                ppn, now, self._kind(OpKind.DATA), timed=self.timed
-            )
-            finish = max(finish, t)
+            t = self.service.read_page(ppn, now, kind, timed=timed)
+            if t > finish:
+                finish = t
             if found is not None:
                 meta = self.service.array.meta(ppn)
                 if meta.payloads:
@@ -316,37 +358,40 @@ class MRSMFTL(BaseFTL):
         in one page costs one entry; otherwise one entry per region."""
         if not self.region_map:
             return 0
-        keys = np.fromiter(self.region_map.keys(), dtype=np.int64)
+        R = self.R
+        n = len(self.region_map)
+        keys = np.fromiter(self.region_map.keys(), dtype=np.int64, count=n)
         ppns = np.fromiter(
-            (v[0] for v in self.region_map.values()), dtype=np.int64, count=len(keys)
+            (v[0] for v in self.region_map.values()), dtype=np.int64, count=n
         )
         slots = np.fromiter(
-            (v[1] for v in self.region_map.values()), dtype=np.int64, count=len(keys)
+            (v[1] for v in self.region_map.values()), dtype=np.int64, count=n
         )
         order = np.argsort(keys)
         keys, ppns, slots = keys[order], ppns[order], slots[order]
-        lpns = keys // self.R
-        total = 0
-        i = 0
-        n = len(keys)
-        while i < n:
-            j = i
-            lpn = lpns[i]
-            while j < n and lpns[j] == lpn:
-                j += 1
-            cnt = j - i
-            if (
-                cnt == self.R
-                and int(lpn) not in self._ever_fragmented
-                and (ppns[i:j] == ppns[i]).all()
-                and (slots[i:j] == np.arange(self.R)).all()
-                and (keys[i:j] == lpn * self.R + np.arange(self.R)).all()
-            ):
-                total += PAGE_ENTRY_BYTES  # coarse page-level entry
-            else:
-                total += cnt * REGION_ENTRY_BYTES
-            i = j
-        return total
+        lpns = keys // R
+        # group the (sorted, unique) keys by LPN and test each group
+        # vectorised: a group of R keys sorted under one LPN necessarily
+        # holds exactly lpn*R .. lpn*R+R-1, so only the slot order and
+        # single-PPN conditions need checking
+        starts = np.flatnonzero(np.r_[True, lpns[1:] != lpns[:-1]])
+        counts = np.diff(np.r_[starts, n])
+        coarse = counts == R
+        if coarse.any():
+            same_ppn = np.minimum.reduceat(ppns, starts) == np.maximum.reduceat(
+                ppns, starts
+            )
+            slots_in_order = np.logical_and.reduceat(slots == keys % R, starts)
+            coarse &= same_ppn & slots_in_order
+            if self._ever_fragmented:
+                frag = np.fromiter(
+                    self._ever_fragmented, dtype=np.int64,
+                    count=len(self._ever_fragmented),
+                )
+                coarse &= ~np.isin(lpns[starts], frag)
+        n_coarse = int(coarse.sum())
+        region_entries = n - n_coarse * R
+        return n_coarse * PAGE_ENTRY_BYTES + region_entries * REGION_ENTRY_BYTES
 
     def flush_metadata(self, now: float) -> float:
         """Write back dirty translation pages (end-of-run barrier)."""

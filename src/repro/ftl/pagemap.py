@@ -18,7 +18,7 @@ from typing import Optional
 
 from ..metrics.counters import OpKind
 from ..units import split_extent
-from .base import BaseFTL, iter_bits, mask_range
+from .base import BaseFTL, iter_bits
 
 
 class PageMapFTL(BaseFTL):
@@ -47,15 +47,20 @@ class PageMapFTL(BaseFTL):
     ) -> float:
         """Service a write piece-by-piece with RMW on partial pages."""
         finish = now
+        timed = self.timed
+        access = self._pmt_cache.access
+        write_page = self._write_data_page
+        rmw = self.rmw_enabled
         for lpn, rel_lo, count in split_extent(offset, size, self.spp):
-            t = self._pmt_cache.access(lpn, now, dirty=True, timed=self.timed)
-            if not self.rmw_enabled:
+            t = access(lpn, now, dirty=True, timed=timed)
+            if not rmw:
                 # ablation: pretend the page held nothing else
-                self.pmt_mask[lpn] = 0
-            t = self._write_data_page(
-                lpn, rel_lo, rel_lo + count, max(now, t), stamps
+                self._pmt_mask[lpn] = 0
+            t = write_page(
+                lpn, rel_lo, rel_lo + count, t if t > now else now, stamps
             )
-            finish = max(finish, t)
+            if t > finish:
+                finish = t
         return finish
 
     # ------------------------------------------------------------------
@@ -64,21 +69,25 @@ class PageMapFTL(BaseFTL):
     ) -> tuple[float, Optional[dict]]:
         """Service a read: one flash read per written page touched."""
         finish = now
+        timed = self.timed
+        kind = OpKind.DATA if timed else OpKind.AGING
+        access = self._pmt_cache.access
+        read_page = self.service.read_page
         found: Optional[dict] = {} if self.track_payload else None
         for lpn, rel_lo, count in split_extent(offset, size, self.spp):
-            t = self._pmt_cache.access(lpn, now, dirty=False, timed=self.timed)
-            finish = max(finish, t)
-            wanted = mask_range(rel_lo, rel_lo + count)
-            present = int(self.pmt_mask[lpn]) & wanted
+            t = access(lpn, now, dirty=False, timed=timed)
+            if t > finish:
+                finish = t
+            wanted = ((1 << count) - 1) << rel_lo
+            present = self._pmt_mask[lpn] & wanted
             if not present:
                 continue  # nothing of this piece was ever written
             if self.service.obs is not None:
                 self._emit_decision("page_read", lpn, now)
-            ppn = int(self.pmt[lpn])
-            t = self.service.read_page(
-                ppn, now, self._kind(OpKind.DATA), timed=self.timed
-            )
-            finish = max(finish, t)
+            ppn = self._pmt[lpn]
+            t = read_page(ppn, now, kind, timed=timed)
+            if t > finish:
+                finish = t
             if found is not None:
                 base = lpn * self.spp
                 sectors = [base + bit for bit in iter_bits(present)]

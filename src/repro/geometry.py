@@ -54,6 +54,7 @@ class FlashGeometry:
         "num_planes",
         "num_chips",
         "planes_per_chip",
+        "pages_per_chip",
         "num_blocks",
         "num_pages",
     )
@@ -67,6 +68,7 @@ class FlashGeometry:
         self.num_planes = cfg.num_planes
         self.num_chips = cfg.num_chips
         self.planes_per_chip = cfg.dies_per_chip * cfg.planes_per_die
+        self.pages_per_chip = self.pages_per_plane * self.planes_per_chip
         self.num_blocks = cfg.num_blocks
         self.num_pages = cfg.num_pages
 
@@ -109,7 +111,7 @@ class FlashGeometry:
 
     def chip_of_ppn(self, ppn: int) -> int:
         """Global chip index hosting the page (contention target)."""
-        return self.plane_of_ppn(ppn) // self.planes_per_chip
+        return ppn // self.pages_per_chip
 
     def channel_of_chip(self, chip: int) -> int:
         """Channel the chip hangs off."""

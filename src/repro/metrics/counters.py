@@ -62,15 +62,28 @@ class FlashOpCounters:
     #: valid pages relocated off blocks headed for retirement (the
     #: bad-block remapping traffic, also counted under OpKind.GC).
     fault_relocations: int = 0
+    #: running totals of measured (non-aging) ops, kept in lock-step
+    #: with the per-kind dicts so :attr:`total_reads`/:attr:`total_writes`
+    #: are O(1) — the engine consults them on every request.
+    _measured_reads: int = field(
+        default=0, init=False, repr=False, compare=False
+    )
+    _measured_writes: int = field(
+        default=0, init=False, repr=False, compare=False
+    )
 
     # -- increments ------------------------------------------------------
     def count_read(self, kind: OpKind, n: int = 1) -> None:
         """Tally ``n`` flash page reads of the given kind."""
         self.reads[kind] += n
+        if kind is not OpKind.AGING:
+            self._measured_reads += n
 
     def count_write(self, kind: OpKind, n: int = 1) -> None:
         """Tally ``n`` flash page programs of the given kind."""
         self.writes[kind] += n
+        if kind is not OpKind.AGING:
+            self._measured_writes += n
 
     def count_erase(self, aging: bool = False) -> None:
         """Tally one block erase (aging erases are kept separate)."""
@@ -108,15 +121,24 @@ class FlashOpCounters:
     def gc_writes(self) -> int:
         return self.writes[OpKind.GC]
 
+    def _retally(self) -> None:
+        """Resync the running totals after direct dict assignment."""
+        self._measured_reads = sum(
+            v for k, v in self.reads.items() if k is not OpKind.AGING
+        )
+        self._measured_writes = sum(
+            v for k, v in self.writes.items() if k is not OpKind.AGING
+        )
+
     @property
     def total_reads(self) -> int:
         """All measured flash reads (aging excluded)."""
-        return sum(v for k, v in self.reads.items() if k is not OpKind.AGING)
+        return self._measured_reads
 
     @property
     def total_writes(self) -> int:
         """All measured flash writes (aging excluded)."""
-        return sum(v for k, v in self.writes.items() if k is not OpKind.AGING)
+        return self._measured_writes
 
     def map_write_share(self) -> float:
         """Fraction of flash writes that are mapping-table writes
@@ -180,6 +202,7 @@ class FlashOpCounters:
             out.writes[OpKind.DATA] = int(d.get("data_writes", 0))
             out.writes[OpKind.MAP] = int(d.get("map_writes", 0))
             out.writes[OpKind.GC] = int(d.get("gc_writes", 0))
+        out._retally()
         out.erases = int(d.get("erases", 0))
         out.aging_erases = int(d.get("aging_erases", 0))
         out.dram_accesses = int(d.get("dram_accesses", 0))
@@ -201,6 +224,7 @@ class FlashOpCounters:
         for k in OpKind:
             out.reads[k] = self.reads[k] + other.reads[k]
             out.writes[k] = self.writes[k] + other.writes[k]
+        out._retally()
         out.erases = self.erases + other.erases
         out.aging_erases = self.aging_erases + other.aging_erases
         out.dram_accesses = self.dram_accesses + other.dram_accesses

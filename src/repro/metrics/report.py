@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
 from .counters import FlashOpCounters
-from .latency import LatencyRecorder, LatencySummary
+from .latency import LatencyRecorder
 
 
 @dataclass

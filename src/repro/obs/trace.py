@@ -25,7 +25,6 @@ from typing import Optional
 
 from .events import (
     BufferLookup,
-    CMTEvent,
     EventBus,
     FlashOp,
     FTLDecision,

@@ -34,7 +34,6 @@ from ..metrics.timeline import RequestLog
 from ..obs import Observability
 from ..obs.events import BufferLookup, RequestArrive, RequestComplete
 from ..traces.model import OP_TRIM, OP_WRITE, Trace
-from ..units import is_across_page
 from .oracle import SectorOracle
 
 
@@ -68,6 +67,8 @@ class Simulator:
         self.sim_cfg = sim_cfg if sim_cfg is not None else SimConfig()
         self.sim_cfg.validate()
         self.spp = self.cfg.sectors_per_page
+        # per-request constant, hoisted out of process()
+        self._cache_ms = self.cfg.timing.cache_access_ms
         cache_pages = self.cfg.write_buffer_bytes // self.cfg.page_size_bytes
         self.cache: Optional[DataCache] = (
             DataCache(cache_pages, self.spp) if cache_pages > 0 else None
@@ -294,10 +295,11 @@ class Simulator:
             )
         if start is None or start < arrival:
             start = arrival
-        across = is_across_page(offset, size, self.spp)
-        cls = "across" if across else "normal"
+        # inlined is_across_page (size already validated positive above)
+        spp = self.spp
+        across = size <= spp and (offset + size - 1) // spp == offset // spp + 1
         counters = self.ftl.counters
-        writes_before = counters.total_writes
+        writes_before = counters._measured_writes
         bus = self._bus
         rid = -1
         if bus is not None:
@@ -328,13 +330,15 @@ class Simulator:
             finish = self.ftl.write(offset, size, start, stamps)
             if self.cache is not None:
                 self.cache.put(offset, size, stamps)
-                finish = max(finish, start + self.cfg.timing.cache_access_ms)
+                t = start + self._cache_ms
+                if t > finish:
+                    finish = t
         else:
             if self.cache is not None and self.cache.full_hit(offset, size):
                 counters.cache_hits += 1
                 if bus is not None:
                     bus.emit(BufferLookup(start, rid, True))
-                finish = start + self.cfg.timing.cache_access_ms
+                finish = start + self._cache_ms
                 found = self.cache.get_stamps(offset, size) if self.oracle else None
             else:
                 if bus is not None and self.cache is not None:
@@ -348,8 +352,9 @@ class Simulator:
 
         latency = finish - arrival
         self.recorder.record(op == OP_WRITE, across, latency, size)
-        induced = counters.total_writes - writes_before
+        induced = counters._measured_writes - writes_before
         if op == OP_WRITE:
+            cls = "across" if across else "normal"
             self.flush_writes[cls] += induced
             self.flush_sectors[cls] += size
         if self.request_log is not None:

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..units import KIB, SECTOR_BYTES, sectors_per_page
-from .model import OP_READ, OP_TRIM, OP_WRITE, Trace
+from .model import OP_READ, OP_TRIM, Trace
 
 SEVERITIES = ("error", "warning", "info")
 

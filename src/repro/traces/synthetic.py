@@ -35,7 +35,8 @@ across sites occasionally exceed the site (merged reads, §4.2.1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from bisect import bisect_right
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -139,6 +140,27 @@ class SyntheticSpec:
 # mix between groups is solved for the Table 2 mean write size
 _SMALL_SIZES = np.array([8, 16], dtype=np.int64)          # 4, 8 KiB
 _LARGE_SIZES = np.array([32, 48, 64, 96, 128], dtype=np.int64)  # 16-64 KiB
+# the across bulk-extent candidates of _new_across_site, as a tuple:
+# ``Generator.choice(a)`` without weights draws ``integers(0, len(a))``,
+# so plain tuple indexing consumes the identical stream without paying
+# choice()'s per-call array coercion and validation
+_ACROSS_BULK_SIZES = (8, 12, 16)
+
+
+def _weights_cdf(p) -> list[float]:
+    """The exact CDF ``Generator.choice(n, p=p)`` builds internally.
+
+    numpy computes ``cdf = p.cumsum(); cdf /= cdf[-1]`` and then draws
+    ``cdf.searchsorted(random(), side='right')``.  Replicating that CDF
+    once lets the per-request hot path replace ``choice`` — whose
+    argument validation dominates its cost — with one ``random()`` plus
+    ``bisect_right``, consuming the identical RNG stream and returning
+    the identical index (``tests/test_synthetic.py`` pins this
+    equivalence against ``Generator.choice`` itself).
+    """
+    cdf = np.asarray(p, dtype=np.float64).cumsum()
+    cdf /= cdf[-1]
+    return cdf.tolist()
 
 
 class VDIWorkloadGenerator:
@@ -180,15 +202,25 @@ class VDIWorkloadGenerator:
         self._zone_pages = max(
             1, spec.footprint_sectors // _REF_SPP // spec.hot_zones
         )
+        # hot-path precomputation: zone CDF (see _weights_cdf), zone
+        # order as a plain list (scalar numpy indexing is ~5x slower),
+        # and the aligned-size group CDFs
+        self._zone_cdf = _weights_cdf(weights)
+        self._zone_order_list = [int(z) for z in self._zone_order]
+        self._last_page = spec.footprint_sectors // _REF_SPP - 1
+        w, ps, pl = self._aligned_weights
+        self._small_cdf = _weights_cdf(ps)
+        self._large_cdf = _weights_cdf(pl)
+        self._small_sizes = _SMALL_SIZES.tolist()
+        self._large_sizes = _LARGE_SIZES.tolist()
 
     def _pick_page(self) -> int:
         """A page index drawn from the zipf zone model."""
         rng = self.rng
-        zone = self._zone_order[
-            int(rng.choice(len(self._zone_weights), p=self._zone_weights))
-        ]
-        page = int(zone) * self._zone_pages + int(rng.integers(self._zone_pages))
-        return min(page, self.spec.footprint_sectors // _REF_SPP - 1)
+        zone = self._zone_order_list[bisect_right(self._zone_cdf, rng.random())]
+        page = zone * self._zone_pages + int(rng.integers(self._zone_pages))
+        last = self._last_page
+        return page if page < last else last
 
     # ------------------------------------------------------------------
     def _solve_size_mix(self) -> tuple[float, np.ndarray, np.ndarray]:
@@ -248,7 +280,7 @@ class VDIWorkloadGenerator:
             # a plain write whose placement is unaligned.  At 4 KiB
             # pages these span >1 page and are no longer across-page,
             # so they never enter a 4 KiB merge chain.
-            size = int(rng.choice([8, 12, 16]))
+            size = _ACROSS_BULK_SIZES[int(rng.integers(3))]
             left = int(rng.integers(max(1, size - 12), min(size, 13)))
         else:
             # small tail (1-2 KiB): straddles a 4 KiB boundary too when
@@ -369,11 +401,15 @@ class VDIWorkloadGenerator:
     def _aligned_write(self) -> tuple[int, int]:
         """4/8 KiB-aligned bulk traffic that is never across at 8 KiB."""
         rng = self.rng
-        w, ps, pl = self._aligned_weights
+        w = self._aligned_weights[0]
         if rng.random() < w:
-            size = int(rng.choice(_SMALL_SIZES, p=ps))
+            size = self._small_sizes[
+                bisect_right(self._small_cdf, rng.random())
+            ]
         else:
-            size = int(rng.choice(_LARGE_SIZES, p=pl))
+            size = self._large_sizes[
+                bisect_right(self._large_cdf, rng.random())
+            ]
         if size % _REF_SPP == 0 or size > _REF_SPP:
             # multiples of a page (and anything larger than a page)
             # start on a page boundary: unaligned-but-not-across is the
@@ -444,42 +480,62 @@ class VDIWorkloadGenerator:
         u = rng.random(n)
         in_burst = np.zeros(n, dtype=bool)
         state = False
-        for i in range(n):
-            state = (u[i] < stay) if state else (u[i] < enter)
+        for i, ui in enumerate(u.tolist()):
+            state = (ui < stay) if state else (ui < enter)
             in_burst[i] = state
         gaps[in_burst] /= speedup
         times = np.cumsum(gaps)
 
         p_across = s.across_ratio
-        p_small = s.small_unaligned
+        p_small_cut = p_across + (1 - p_across) * s.small_unaligned
+        footprint = s.footprint_sectors
         max_written = 4096  # bounded memory for the read-target pool
-        for i in range(n):
-            if is_write[i]:
-                r = rng.random()
+        # bound every per-request callable once: the loop below runs for
+        # each of the trace's (often hundreds of thousands of) requests
+        random = rng.random
+        integers = rng.integers
+        across_write = self._across_write
+        small_unaligned_write = self._small_unaligned_write
+        aligned_write = self._aligned_write
+        read_target = self._read_target
+        written = self._written
+        written_pages = self._written_pages
+        out_ops = ops.tolist()
+        out_offsets = offsets.tolist()
+        out_sizes = sizes.tolist()
+        for i, w in enumerate(is_write.tolist()):
+            if w:
+                r = random()
                 if r < p_across:
-                    off, size = self._across_write()
-                elif r < p_across + (1 - p_across) * p_small:
-                    off, size = self._small_unaligned_write()
+                    off, size = across_write()
+                elif r < p_small_cut:
+                    off, size = small_unaligned_write()
                 else:
-                    off, size = self._aligned_write()
-                    if len(self._written) < max_written:
-                        self._written.append((off, size))
+                    off, size = aligned_write()
+                    if len(written) < max_written:
+                        written.append((off, size))
                     else:
-                        self._written[
-                            int(rng.integers(max_written))
-                        ] = (off, size)
-                    self._written_pages.update(
+                        written[int(integers(max_written))] = (off, size)
+                    written_pages.update(
                         range(off // _REF_SPP, (off + size - 1) // _REF_SPP + 1)
                     )
-                ops[i] = OP_WRITE
+                out_ops[i] = OP_WRITE
             else:
-                off, size = self._read_target()
-                ops[i] = OP_READ
-            end = min(off + size, s.footprint_sectors)
-            off = max(0, min(off, s.footprint_sectors - 1))
-            size = max(1, end - off)
-            offsets[i] = off
-            sizes[i] = size
+                off, size = read_target()
+                out_ops[i] = OP_READ
+            end = off + size
+            if end > footprint:
+                end = footprint
+            if off < 0:
+                off = 0
+            elif off > footprint - 1:
+                off = footprint - 1
+            size = end - off
+            out_offsets[i] = off
+            out_sizes[i] = 1 if size < 1 else size
+        ops[:] = out_ops
+        offsets[:] = out_offsets
+        sizes[:] = out_sizes
         return Trace(s.name, times, ops, offsets, sizes)
 
 

@@ -78,7 +78,9 @@ def is_across_page(offset: int, size: int, spp: int) -> bool:
     >>> is_across_page(8, 24, 16)    # larger than a page: merely unaligned
     False
     """
-    return size <= spp and spans_pages(offset, size, spp) == 2
+    if size <= 0:
+        raise ValueError(f"extent size must be positive, got {size}")
+    return size <= spp and (offset + size - 1) // spp == offset // spp + 1
 
 
 def is_aligned(offset: int, size: int, spp: int) -> bool:
@@ -89,19 +91,33 @@ def is_aligned(offset: int, size: int, spp: int) -> bool:
 def split_extent(offset: int, size: int, spp: int):
     """Split a sector extent into per-LPN pieces.
 
-    Yields ``(lpn, sector_offset_in_page, sector_count)`` tuples covering
-    the extent in LPN order.  This is how the simulator turns a macro
-    request into page-level sub-requests (paper §2.1).
+    Returns ``(lpn, sector_offset_in_page, sector_count)`` tuples
+    covering the extent in LPN order.  This is how the simulator turns a
+    macro request into page-level sub-requests (paper §2.1).  It is the
+    single hottest helper of the replay path, so the common cases — one
+    or two pages touched — are built without a loop.
 
     >>> list(split_extent(8, 20, 16))
     [(0, 8, 8), (1, 0, 12)]
     """
-    first, last = lpn_range(offset, size, spp)
-    for lpn in range(first, last):
-        page_start = lpn * spp
-        lo = max(offset, page_start)
-        hi = min(offset + size, page_start + spp)
-        yield lpn, lo - page_start, hi - lo
+    if size <= 0:
+        raise ValueError(f"extent size must be positive, got {size}")
+    end = offset + size
+    first = offset // spp
+    last = (end - 1) // spp
+    rel = offset - first * spp
+    if first == last:
+        return [(first, rel, size)]
+    if last == first + 1:
+        head = spp - rel
+        return [(first, rel, head), (last, 0, size - head)]
+    pieces = [(first, rel, spp - rel)]
+    page_start = (first + 1) * spp
+    for lpn in range(first + 1, last):
+        pieces.append((lpn, 0, spp))
+        page_start += spp
+    pieces.append((last, 0, end - page_start))
+    return pieces
 
 
 def ceil_div(a: int, b: int) -> int:

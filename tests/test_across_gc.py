@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.config import SSDConfig
 from repro.flash.service import FlashService
 from repro.core.across import AcrossFTL
 

@@ -6,7 +6,6 @@ from repro.config import SSDConfig
 from repro.errors import OutOfSpaceError
 from repro.flash.service import FlashService
 from repro.ftl.allocator import WriteAllocator
-from repro.metrics.counters import OpKind
 
 
 @pytest.fixture

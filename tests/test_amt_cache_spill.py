@@ -6,7 +6,6 @@ requires the live-area index space to exceed one translation page while
 the DRAM budget holds only one — hence the 600-area workloads here.
 """
 
-import pytest
 
 from conftest import build_ftl
 

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.config import SSDConfig
 from repro.errors import ConfigError, MappingError
 from repro.flash.service import FlashService
 from repro.ftl.bast import BASTFTL

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
-from repro.traces.model import OP_READ, OP_WRITE, Trace
+from repro.traces.model import OP_WRITE, Trace
 from repro.traces.systor import save_systor
 
 

@@ -1,8 +1,6 @@
 """Grab-bag of edge cases across modules: empty inputs, boundary
 values, degenerate configurations."""
 
-import numpy as np
-import pytest
 
 from repro.config import SimConfig, SSDConfig
 from repro.experiments.charts import _nice_max, grouped_bar_svg, table_html

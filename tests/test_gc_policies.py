@@ -1,6 +1,5 @@
 """GC victim-selection policies (greedy / cost-benefit / wear-aware)."""
 
-import numpy as np
 import pytest
 
 from repro.config import SSDConfig

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import SimConfig, SSDConfig
+from repro.config import SimConfig
 from repro.flash.service import FlashService
 from repro.ftl import make_ftl
 from repro.sim.engine import Simulator

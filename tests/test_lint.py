@@ -1,7 +1,6 @@
 """Trace linting (repro.traces.lint)."""
 
 import numpy as np
-import pytest
 
 from repro.traces.lint import Finding, has_errors, lint_trace
 from repro.traces.model import OP_READ, OP_TRIM, OP_WRITE, Trace

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.config import SSDConfig
 from repro.errors import ConfigError
 from repro.flash.service import FlashService
 from repro.ftl.mrsm import MRSMFTL

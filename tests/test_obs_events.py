@@ -16,7 +16,7 @@ from repro.obs.events import (
     RequestComplete,
 )
 from repro.sim.engine import Simulator
-from repro.traces.model import OP_READ, OP_WRITE, Trace
+from repro.traces.model import Trace
 
 
 def _bus_events():

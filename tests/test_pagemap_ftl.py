@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.config import SSDConfig
 from conftest import build_ftl
 
 

@@ -8,7 +8,6 @@ stale/missing/foreign data surfaces as a failure here.
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

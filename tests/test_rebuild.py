@@ -3,8 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.config import SSDConfig
-from repro.errors import MappingError
 from conftest import build_ftl
 
 

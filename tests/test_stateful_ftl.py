@@ -6,7 +6,6 @@ Unlike the list-of-ops property tests, the machine can shrink a failing
 interleaving to a minimal reproducing sequence of API calls.
 """
 
-import numpy as np
 from hypothesis import settings
 from hypothesis.stateful import (
     RuleBasedStateMachine,

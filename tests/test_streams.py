@@ -1,8 +1,6 @@
 """Hot/cold write-stream separation in the allocator."""
 
-import pytest
 
-from repro.config import SSDConfig
 from repro.flash.service import FlashService
 from repro.ftl.allocator import STREAM_GC, STREAM_USER, WriteAllocator
 from repro.ftl.pagemap import PageMapFTL

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import SCHEMES, SimConfig, SSDConfig
+from repro.config import SSDConfig
 from repro.experiments.sweeps import sweep_config, sweep_sim, sweep_workload
 from repro.traces.synthetic import SyntheticSpec, generate_trace
 

@@ -203,3 +203,48 @@ class TestCollection:
             assert len(t) == 500
             measured = across_page_ratio(t, 8192)
             assert measured == pytest.approx(s.across_ratio, abs=0.06)
+
+
+class TestRngStreamEquivalence:
+    """The generator hot path replaces ``Generator.choice`` with
+    CDF + ``bisect_right`` (weighted picks) and ``Generator.integers``
+    (uniform picks).  These draws MUST consume the identical RNG stream
+    and return the identical values, or every golden report and bench
+    digest built from generated traces silently changes.  Pin the
+    equivalences numerically."""
+
+    def test_weighted_choice_equals_cdf_bisect(self):
+        from bisect import bisect_right
+
+        from repro.traces.synthetic import _weights_cdf
+
+        weights = np.array([0.05, 0.3, 0.02, 0.43, 0.2])
+        p = weights / weights.sum()
+        cdf = _weights_cdf(weights)
+        a = np.random.default_rng(123)
+        b = np.random.default_rng(123)
+        for _ in range(2000):
+            assert int(a.choice(len(p), p=p)) == bisect_right(cdf, b.random())
+        # both streams are at the same position afterwards
+        assert a.integers(1 << 30) == b.integers(1 << 30)
+
+    def test_uniform_choice_equals_integers(self):
+        arr = np.array([8, 12, 16])
+        a = np.random.default_rng(77)
+        b = np.random.default_rng(77)
+        for _ in range(2000):
+            assert int(a.choice(arr)) == int(arr[b.integers(len(arr))])
+        assert a.integers(1 << 30) == b.integers(1 << 30)
+
+    def test_generate_digest_pinned(self):
+        """End-to-end pin: the optimized generator still produces this
+        exact trace (sha256 over all four arrays)."""
+        import hashlib
+
+        t = generate_trace(spec(requests=2500, seed=11))
+        h = hashlib.sha256()
+        for arr in (t.times, t.ops, t.offsets, t.sizes):
+            h.update(np.ascontiguousarray(arr).tobytes())
+        assert h.hexdigest() == (
+            "5d77dc0283bf82c4a2cc56abd18c9a48a31d6d4507f1fa349229c4fc649970c5"
+        )

@@ -9,7 +9,6 @@ from repro.errors import ConfigError
 from repro.traces.model import OP_READ, OP_TRIM, OP_WRITE
 from repro.traces.stats import across_page_ratio
 from repro.traces.workload_spec import (
-    Phase,
     WorkloadSpec,
     compile_workload,
     validate_spec,
