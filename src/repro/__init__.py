@@ -24,13 +24,35 @@ Quickstart::
     print(report.mean_write_ms, report.erase_count)
 """
 
-from .config import FaultConfig, SCHEMES, SimConfig, SSDConfig, TimingConfig
+from .check import (
+    DifferentialResult,
+    FuzzOutcome,
+    InvariantChecker,
+    ReplayFailure,
+    checked_sim_cfg,
+    differential_replay,
+    dump_counterexample,
+    load_counterexample,
+    random_spec,
+    replay_counterexample,
+    run_fuzz,
+    shrink_trace,
+)
+from .config import (
+    CheckConfig,
+    FaultConfig,
+    SCHEMES,
+    SimConfig,
+    SSDConfig,
+    TimingConfig,
+)
 from .core.across import AcrossFTL, AcrossStats
 from .core.amt import AcrossMappingTable, AMTEntry
 from .errors import (
     ConfigError,
     FlashProtocolError,
     GeometryError,
+    InvariantViolation,
     MappingError,
     MediaError,
     OutOfSpaceError,
@@ -82,6 +104,7 @@ __all__ = [
     "SimConfig",
     "TimingConfig",
     "FaultConfig",
+    "CheckConfig",
     "SCHEMES",
     # substrate
     "FlashService",
@@ -108,6 +131,19 @@ __all__ = [
     "FaultInjector",
     "raw_bit_error_rate",
     "read_retry_steps",
+    # correctness harness (repro.check)
+    "InvariantChecker",
+    "DifferentialResult",
+    "ReplayFailure",
+    "checked_sim_cfg",
+    "differential_replay",
+    "FuzzOutcome",
+    "random_spec",
+    "run_fuzz",
+    "shrink_trace",
+    "dump_counterexample",
+    "load_counterexample",
+    "replay_counterexample",
     # traces
     "Trace",
     "OP_READ",
@@ -158,6 +194,7 @@ __all__ = [
     "MediaError",
     "OutOfSpaceError",
     "MappingError",
+    "InvariantViolation",
     "TraceFormatError",
     "SimulationError",
 ]

@@ -1,0 +1,52 @@
+"""Correctness tooling: runtime invariant sweeps and differential replay.
+
+Two halves (ISSUE 5 / ``docs/architecture.md`` §repro.check):
+
+* :class:`~repro.check.invariants.InvariantChecker` — cross-layer
+  consistency sweeps the engine runs at a configurable cadence when
+  ``SimConfig.check.enabled`` is set: mapping tables vs. flash state
+  (every mapped PPN valid, every valid page reachable from exactly one
+  table, AIdx entries resolving to live areas), free-pool /
+  write-pointer / ``valid_count`` conservation, chip-timeline
+  monotonicity, and counter conservation laws (host + GC + map + aging
+  programs = the array's lifetime total).
+* :func:`~repro.check.differential.differential_replay` — the same
+  trace replayed across ``ftl``/``mrsm``/``across`` must agree on
+  oracle-verified read contents; cache-on vs cache-off must return the
+  same bytes; ``--jobs 1`` vs ``--jobs N`` must produce bit-identical
+  reports.  :func:`~repro.check.fuzz.run_fuzz` drives the harness over
+  random :class:`~repro.traces.synthetic.SyntheticSpec` workloads and
+  shrinks any failure to a minimal reproducer
+  (:func:`~repro.check.shrink.shrink_trace`), dumped as a JSON
+  counterexample that ``repro check --replay`` re-runs.
+"""
+
+from .differential import (
+    DifferentialResult,
+    ReplayFailure,
+    checked_sim_cfg,
+    differential_replay,
+)
+from .fuzz import FuzzOutcome, random_spec, run_fuzz
+from .invariants import InvariantChecker
+from .shrink import (
+    dump_counterexample,
+    load_counterexample,
+    replay_counterexample,
+    shrink_trace,
+)
+
+__all__ = [
+    "InvariantChecker",
+    "DifferentialResult",
+    "ReplayFailure",
+    "checked_sim_cfg",
+    "differential_replay",
+    "FuzzOutcome",
+    "random_spec",
+    "run_fuzz",
+    "shrink_trace",
+    "dump_counterexample",
+    "load_counterexample",
+    "replay_counterexample",
+]

@@ -1,0 +1,206 @@
+"""Differential replay: one trace, many engines, one answer.
+
+Three comparisons, each catching a failure class the aggregate bench
+digests cannot:
+
+* **Cross-scheme** — ``ftl``, ``mrsm`` and ``across`` implement the
+  same block-device contract, so replaying one trace with the sector
+  oracle on must verify every read *and* yield the same oracle-stamped
+  read contents (``check_read_digest``) under all three mappings.
+* **Cache on/off** — the DRAM write buffer is a transparent cache;
+  disabling it must not change a single returned sector version.
+* **jobs 1 vs N** — fanning runs out across worker processes
+  (:func:`repro.experiments.parallel.execute_runs`) must produce
+  bit-identical reports (canonical digest, wall time excluded) to the
+  same runs executed in-process.
+
+Every replay runs with the runtime invariant checker enabled, so a
+sweep violation or oracle mismatch inside any leg is reported as a
+failure too.  :func:`~repro.check.fuzz.run_fuzz` feeds this harness
+random workloads; a plain :func:`differential_replay` call is the
+point-run entry (``repro check``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..config import SCHEMES, SimConfig, SSDConfig
+from ..errors import ReproError
+from ..sim.oracle import OracleMismatch
+from ..traces.model import Trace
+
+
+@dataclass
+class ReplayFailure:
+    """One divergence or in-run violation found by the harness."""
+
+    #: "invariant" | "oracle" | "error" | "scheme-divergence" |
+    #: "cache-divergence" | "jobs-divergence"
+    kind: str
+    #: scheme the failure occurred in (None for cross-run comparisons)
+    scheme: str | None
+    detail: str
+
+
+@dataclass
+class DifferentialResult:
+    """Outcome of one :func:`differential_replay` call."""
+
+    trace_name: str
+    failures: list[ReplayFailure] = field(default_factory=list)
+    #: per-scheme oracle-verified read-content digests (cache-on leg)
+    read_digests: dict[str, str] = field(default_factory=dict)
+    #: per-scheme reports of the cache-on leg (for callers that want
+    #: counters / latency detail alongside the verdict)
+    reports: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        """One line per failure (or an all-clear)."""
+        if self.ok:
+            return f"{self.trace_name}: ok ({len(self.reports)} schemes agree)"
+        lines = [f"{self.trace_name}: {len(self.failures)} failure(s)"]
+        for f in self.failures:
+            where = f" [{f.scheme}]" if f.scheme else ""
+            lines.append(f"  {f.kind}{where}: {f.detail}")
+        return "\n".join(lines)
+
+
+def checked_sim_cfg(
+    base: SimConfig | None = None, *, every: int = 256
+) -> SimConfig:
+    """The harness's run options: ``base`` with the sector oracle on,
+    invariant sweeps every ``every`` requests, and progress off."""
+    cfg = base if base is not None else SimConfig()
+    cfg = replace(cfg, check_oracle=True, progress=False)
+    return cfg.replace_check(enabled=True, every=every)
+
+
+def _checked_run(scheme: str, trace: Trace, cfg: SSDConfig, sim_cfg: SimConfig):
+    """Run one leg; returns (report | None, ReplayFailure | None)."""
+    from ..experiments.runner import run_trace
+
+    try:
+        return run_trace(scheme, trace, cfg, sim_cfg), None
+    except OracleMismatch as exc:
+        return None, ReplayFailure("oracle", scheme, str(exc))
+    except ReproError as exc:
+        kind = (
+            "invariant"
+            if type(exc).__name__ in ("InvariantViolation", "MappingError",
+                                      "FlashProtocolError")
+            else "error"
+        )
+        return None, ReplayFailure(
+            kind, scheme, f"{type(exc).__name__}: {exc}"
+        )
+
+
+def differential_replay(
+    trace: Trace,
+    cfg: SSDConfig,
+    sim_cfg: SimConfig | None = None,
+    *,
+    schemes=SCHEMES,
+    every: int = 256,
+    compare_cache: bool = True,
+    compare_jobs: bool = False,
+    jobs: int = 2,
+) -> DifferentialResult:
+    """Replay ``trace`` across ``schemes`` and cross-check the results.
+
+    All legs run with the oracle and the invariant checker on.  When
+    ``compare_cache`` and the device has a write buffer, each scheme is
+    additionally replayed with the buffer disabled and the read
+    contents compared.  When ``compare_jobs``, the scheme runs are also
+    executed through the ``jobs``-worker process pool and the canonical
+    report digests compared against the in-process runs.
+    """
+    sim_cfg = checked_sim_cfg(sim_cfg, every=every)
+    result = DifferentialResult(trace_name=trace.name)
+
+    for scheme in schemes:
+        report, failure = _checked_run(scheme, trace, cfg, sim_cfg)
+        if failure is not None:
+            result.failures.append(failure)
+            continue
+        result.reports[scheme] = report
+        result.read_digests[scheme] = report.extra["check_read_digest"]
+
+    digests = result.read_digests
+    if len(digests) >= 2 and len(set(digests.values())) > 1:
+        detail = ", ".join(
+            f"{s}={d[:12]}" for s, d in sorted(digests.items())
+        )
+        result.failures.append(
+            ReplayFailure(
+                "scheme-divergence",
+                None,
+                f"read contents disagree across schemes: {detail}",
+            )
+        )
+
+    if compare_cache and cfg.write_buffer_bytes > 0:
+        nocache_cfg = cfg.replace(write_buffer_bytes=0)
+        for scheme in schemes:
+            if scheme not in digests:
+                continue  # the cache-on leg already failed
+            report, failure = _checked_run(scheme, trace, nocache_cfg, sim_cfg)
+            if failure is not None:
+                failure = replace(
+                    failure, detail=f"(cache-off leg) {failure.detail}"
+                )
+                result.failures.append(failure)
+                continue
+            got = report.extra["check_read_digest"]
+            if got != digests[scheme]:
+                result.failures.append(
+                    ReplayFailure(
+                        "cache-divergence",
+                        scheme,
+                        f"read contents differ with the write buffer off: "
+                        f"{digests[scheme][:12]} (on) vs {got[:12]} (off)",
+                    )
+                )
+
+    if compare_jobs and result.reports:
+        result.failures.extend(
+            _compare_jobs(trace, cfg, sim_cfg, result.reports, jobs)
+        )
+    return result
+
+
+def _compare_jobs(trace, cfg, sim_cfg, serial_reports, jobs):
+    """Replay through the process pool; any canonical-digest drift vs
+    the in-process reports is a determinism failure."""
+    from ..experiments.benchgate import report_digest
+    from ..experiments.parallel import RunSpec, execute_runs
+
+    schemes = list(serial_reports)
+    specs = [RunSpec.make(s, trace, cfg, sim_cfg) for s in schemes]
+    failures: list[ReplayFailure] = []
+    try:
+        outcome = execute_runs(specs, jobs=max(2, jobs))
+    except ReproError as exc:
+        return [
+            ReplayFailure(
+                "jobs-divergence", None, f"pooled replay failed: {exc}"
+            )
+        ]
+    for scheme, pooled in zip(schemes, outcome.reports):
+        want = report_digest(serial_reports[scheme])
+        got = report_digest(pooled)
+        if want != got:
+            failures.append(
+                ReplayFailure(
+                    "jobs-divergence",
+                    scheme,
+                    f"report digest differs between --jobs 1 ({want[:12]}) "
+                    f"and --jobs {max(2, jobs)} ({got[:12]})",
+                )
+            )
+    return failures

@@ -13,6 +13,11 @@ Subcommands
 ``figures``
     Regenerate paper figures by name (or ``all``), writing the rendered
     tables to an output directory.
+``check``
+    Correctness harness (:mod:`repro.check`): differential replay of a
+    trace across all schemes with invariant sweeps on (point run), a
+    seeded ``--fuzz N`` campaign over random synthetic workloads, or a
+    ``--replay`` of a dumped counterexample.
 """
 
 from __future__ import annotations
@@ -305,6 +310,66 @@ def cmd_faults(args) -> int:
     return 0
 
 
+def cmd_check(args) -> int:
+    """``repro check``: differential replay & invariant checking.
+
+    Three modes: ``--replay <file>`` re-runs a dumped counterexample;
+    ``--fuzz N`` runs a seeded campaign of random synthetic workloads
+    on a tiny geometry; otherwise the selected trace is replayed once
+    across the requested schemes on the bench device.  Exit code 0
+    means every comparison agreed and every invariant sweep passed.
+    """
+    from .check import differential_replay, replay_counterexample, run_fuzz
+    from .check.shrink import dump_counterexample
+
+    schemes = tuple(args.schemes) if args.schemes else SCHEMES
+
+    if args.replay:
+        res = replay_counterexample(args.replay)
+        print(res.summary())
+        return 0 if res.ok else 1
+
+    if args.fuzz:
+        out = run_fuzz(
+            args.fuzz,
+            seed=args.seed,
+            schemes=schemes,
+            every=args.every,
+            requests=args.requests,
+            out_dir=args.out,
+            log=print,
+        )
+        print(
+            f"fuzz: {out.cases} case(s), {len(out.failures)} failing, "
+            f"{len(out.artifacts)} counterexample(s) dumped"
+        )
+        return 0 if out.ok else 1
+
+    cfg = _device(args)
+    trace = _load_trace(args, cfg)
+    res = differential_replay(
+        trace,
+        cfg,
+        _sim_cfg(args),
+        schemes=schemes,
+        every=args.every,
+        compare_cache=not args.skip_cache,
+        compare_jobs=not args.skip_jobs,
+    )
+    print(res.summary())
+    if not res.ok and args.out:
+        path = dump_counterexample(
+            Path(args.out) / f"counterexample-{trace.name}.json",
+            trace=trace,
+            cfg=cfg,
+            sim_cfg=_sim_cfg(args),
+            failures=res.failures,
+            schemes=schemes,
+        )
+        print(f"counterexample: {path}")
+    return 0 if res.ok else 1
+
+
 #: figures built from the lun1-lun6 x scheme sweep at the default page
 #: size — the points :func:`_prewarm_ctx` fans out before rendering
 _SWEEP_FIGURES = frozenset(
@@ -550,6 +615,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exit nonzero on output drift or >15%% "
                         "normalized-throughput regression vs the baseline")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "check",
+        help="differential replay & invariant checking (repro.check)",
+    )
+    p.add_argument("--fuzz", type=int, metavar="N",
+                   help="run N seeded random-workload fuzz cases on a "
+                        "tiny geometry instead of a point run")
+    p.add_argument("--seed", type=int, default=2023,
+                   help="base seed of the fuzz campaign")
+    p.add_argument("--requests", type=int, default=400,
+                   help="requests per fuzz case")
+    p.add_argument("--scheme", dest="schemes", action="append",
+                   choices=SCHEMES,
+                   help="scheme(s) to check (repeatable; default: all)")
+    p.add_argument("--every", type=int, default=256,
+                   help="invariant-sweep cadence in requests")
+    p.add_argument("--out", default="check-out",
+                   help="directory for counterexample dumps")
+    p.add_argument("--replay", metavar="FILE",
+                   help="re-run a dumped counterexample JSON and exit")
+    p.add_argument("--skip-cache", action="store_true",
+                   help="skip the cache-on vs cache-off comparison")
+    p.add_argument("--skip-jobs", action="store_true",
+                   help="skip the --jobs 1 vs --jobs N comparison")
+    _add_common(p)
+    p.set_defaults(func=cmd_check)
 
     p = sub.add_parser("lint", help="sanity-check trace files")
     p.add_argument("files", nargs="+")

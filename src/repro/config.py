@@ -448,6 +448,41 @@ class FaultConfig:
 
 
 @dataclass(frozen=True)
+class CheckConfig:
+    """Runtime invariant-checking options (:mod:`repro.check`).
+
+    Off by default: the engine holds a ``checker`` reference that stays
+    ``None`` unless ``enabled`` is set, so a normal run pays one branch
+    per request and allocates nothing (the ``observability`` /
+    ``faults`` pattern).  When enabled, a full cross-layer sweep —
+    mapping tables vs. flash state, free-pool and write-pointer
+    conservation, chip-timeline monotonicity, counter conservation
+    laws — runs every ``every`` serviced requests and once more at end
+    of run; any disagreement raises
+    :class:`~repro.errors.InvariantViolation` naming both sides.
+    """
+
+    #: master switch: build the checker and wire the engine hooks
+    enabled: bool = False
+    #: run a full sweep every N serviced requests (0 = only the
+    #: unconditional end-of-run sweep; needs ``enabled``)
+    every: int = 0
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on inconsistent settings."""
+        if self.every < 0:
+            raise ConfigError("check.every must be non-negative")
+        if self.every > 0 and not self.enabled:
+            raise ConfigError("check.every requires check.enabled")
+
+    @classmethod
+    def full(cls, every: int = 256) -> "CheckConfig":
+        """Checking on, sweeping every ``every`` requests (the
+        ``repro check`` default)."""
+        return cls(enabled=True, every=every)
+
+
+@dataclass(frozen=True)
 class SimConfig:
     """Simulation-run options shared by all schemes."""
 
@@ -486,6 +521,8 @@ class SimConfig:
     )
     #: Media-fault injection (:mod:`repro.faults`); off by default.
     faults: FaultConfig = field(default_factory=FaultConfig)
+    #: Runtime invariant checking (:mod:`repro.check`); off by default.
+    check: CheckConfig = field(default_factory=CheckConfig)
     #: Print a throttled progress line (requests/s, % done, ETA) to
     #: stderr during the replay loop (``--progress`` on the CLI).
     progress: bool = False
@@ -504,6 +541,7 @@ class SimConfig:
             raise ConfigError("snapshot_every must be non-negative")
         self.observability.validate()
         self.faults.validate()
+        self.check.validate()
 
     @classmethod
     def paper_aging(cls, **kw) -> "SimConfig":
@@ -521,6 +559,13 @@ class SimConfig:
         """Copy with fault-field overrides (validated)."""
         faults = dataclasses.replace(self.faults, **kw)
         cfg = replace(self, faults=faults)
+        cfg.validate()
+        return cfg
+
+    def replace_check(self, **kw) -> "SimConfig":
+        """Copy with invariant-checking overrides (validated)."""
+        check = dataclasses.replace(self.check, **kw)
+        cfg = replace(self, check=check)
         cfg.validate()
         return cfg
 

@@ -576,9 +576,16 @@ class AcrossFTL(BaseFTL):
         return s
 
     # ==================================================================
+    def referenced_ppns(self):
+        """Base tables plus the across-page areas the AMT maps."""
+        yield from super().referenced_ppns()
+        for entry in self.amt.entries():
+            yield entry.appn, f"amt[{entry.aidx}]"
+
     def check_invariants(self) -> None:
         """Across-specific invariants on top of the base PMT checks."""
         super().check_invariants()
+        self.amt.check_invariants()
         for lpn, aidx in self.aidx_of_lpn.items():
             entry = self.amt.get(aidx)
             if lpn not in entry.lpns:

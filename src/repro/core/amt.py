@@ -127,3 +127,27 @@ class AcrossMappingTable:
     def index_space(self) -> int:
         """Size of the index range in use (cache key space)."""
         return self._next
+
+    def check_invariants(self) -> None:
+        """Verify table density: the free list and the live entries
+        must partition ``range(index_space)`` exactly, with every entry
+        stored under its own index (:mod:`repro.check` sweeps)."""
+        free = set(self._free)
+        if len(free) != len(self._free):
+            raise MappingError("AMT free list holds duplicate indices")
+        live = self._entries.keys()
+        overlap = free & live
+        if overlap:
+            raise MappingError(
+                f"AMT index {min(overlap)} is both free and live"
+            )
+        if len(free) + len(live) != self._next:
+            raise MappingError(
+                f"AMT index space {self._next} != {len(live)} live + "
+                f"{len(free)} free entries"
+            )
+        for aidx, entry in self._entries.items():
+            if entry.aidx != aidx:
+                raise MappingError(
+                    f"AMT entry at index {aidx} claims aidx {entry.aidx}"
+                )

@@ -63,6 +63,19 @@ class MappingError(ReproError):
     """An FTL mapping-table invariant was violated."""
 
 
+class InvariantViolation(ReproError):
+    """A cross-layer consistency law failed (:mod:`repro.check`).
+
+    Raised by the runtime invariant checker when two subsystems that
+    must agree — mapping tables vs. flash state, counters vs. the
+    array's lifetime totals, the free pool vs. per-block write
+    pointers, chip timelines vs. their previous sweep — have drifted
+    apart.  Like :class:`FlashProtocolError` this always indicates a
+    simulator bug, never a workload problem, so it is raised eagerly
+    with a message naming both sides of the disagreement.
+    """
+
+
 class TraceFormatError(ReproError):
     """A trace file could not be parsed."""
 

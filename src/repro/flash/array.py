@@ -80,6 +80,11 @@ class FlashArray:
         #: retired (bad) blocks — media wear-out, never reused
         #: (:meth:`retire_block`; injected by :mod:`repro.faults`)
         self.is_bad = np.frombuffer(self._is_bad, dtype=np.bool_)
+        #: lifetime totals across every page program / read — the flash
+        #: side of the counter-conservation laws checked by
+        #: :mod:`repro.check` (plain ints: one increment on the hot path)
+        self.total_programs = 0
+        self.total_page_reads = 0
         #: FTL metadata of currently-valid pages
         self._meta: dict[int, Any] = {}
         #: per-plane pool of fully-erased blocks (global block ids)
@@ -134,6 +139,7 @@ class FlashArray:
         state[ppn] = PAGE_VALID
         wp[block] = page + 1
         self._valid_count[block] += 1
+        self.total_programs += 1
         self._meta[ppn] = meta
         seq = self.mod_seq + 1
         self.mod_seq = seq
@@ -143,6 +149,7 @@ class FlashArray:
         """Return the meta stored at a VALID page."""
         if self._state[ppn] != PAGE_VALID:
             raise FlashProtocolError(f"read of non-valid PPN {ppn}")
+        self.total_page_reads += 1
         return self._meta[ppn]
 
     def meta(self, ppn: int) -> Any:
@@ -252,12 +259,14 @@ class FlashArray:
             raise FlashProtocolError(f"valid_count mismatch in blocks {bad}")
         # every page at or past the write pointer must be FREE, every
         # page before it must not be FREE
-        for blk in range(self.geom.num_blocks):
-            wp = int(self.write_ptr[blk])
-            if (states[blk, wp:] != PAGE_FREE).any():
-                raise FlashProtocolError(f"block {blk}: non-free past wp")
-            if (states[blk, :wp] == PAGE_FREE).any():
-                raise FlashProtocolError(f"block {blk}: free before wp")
+        past_wp = np.arange(ppb)[None, :] >= self.write_ptr[:, None]
+        is_free = states == PAGE_FREE
+        bad = np.nonzero((is_free & ~past_wp).any(axis=1))[0]
+        if bad.size:
+            raise FlashProtocolError(f"block {int(bad[0])}: free before wp")
+        bad = np.nonzero((~is_free & past_wp).any(axis=1))[0]
+        if bad.size:
+            raise FlashProtocolError(f"block {int(bad[0])}: non-free past wp")
         bad = np.nonzero(self.is_bad)[0]
         if bad.size and (self.write_ptr[bad] != ppb).any():
             raise FlashProtocolError("retired block with unsealed write ptr")

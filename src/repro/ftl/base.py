@@ -468,15 +468,53 @@ class BaseFTL(ABC):
 
     # ------------------------------------------------------------------
     def check_invariants(self) -> None:
-        """Cross-check PMT against the flash array (tests only)."""
-        for lpn in range(self.logical_pages):
-            ppn = self._pmt[lpn]
-            mask = self._pmt_mask[lpn]
-            if ppn >= 0:
-                if not self.service.array.is_valid(ppn):
-                    raise MappingError(f"PMT[{lpn}] -> invalid PPN {ppn}")
-                meta = self.service.array.meta(ppn)
-                if meta.kind != "data" or meta.lpn != lpn:
-                    raise MappingError(f"PMT[{lpn}] -> foreign page {meta!r}")
-            elif mask:
-                raise MappingError(f"LPN {lpn} has mask bits but no page")
+        """Cross-check PMT against the flash array (tests and
+        :mod:`repro.check` sweeps).
+
+        Vectorised over the PMT views so it stays affordable at a
+        per-N-requests cadence: the Python loop only visits *mapped*
+        LPNs (to compare per-page meta), not the whole logical space.
+        """
+        from ..flash.array import PAGE_VALID
+
+        arr = self.service.array
+        mapped = self.pmt >= 0
+        orphans = np.nonzero(~mapped & (self.pmt_mask != 0))[0]
+        if orphans.size:
+            raise MappingError(
+                f"LPN {int(orphans[0])} has mask bits but no page"
+            )
+        lpns = np.nonzero(mapped)[0]
+        if not lpns.size:
+            return
+        ppns = self.pmt[lpns]
+        stale = np.nonzero(arr.state[ppns] != PAGE_VALID)[0]
+        if stale.size:
+            raise MappingError(
+                f"PMT[{int(lpns[stale[0]])}] -> invalid PPN "
+                f"{int(ppns[stale[0]])}"
+            )
+        pmt = self._pmt
+        meta_of = arr.meta
+        for lpn in lpns.tolist():
+            meta = meta_of(pmt[lpn])
+            if meta.kind != "data" or meta.lpn != lpn:
+                raise MappingError(f"PMT[{lpn}] -> foreign page {meta!r}")
+
+    def referenced_ppns(self):
+        """Yield ``(ppn, owner)`` for every flash page this FTL's tables
+        reference: PMT data pages plus spilled translation pages.
+
+        Schemes with additional tables (across areas, region pages)
+        override and chain up.  The :mod:`repro.check` reachability
+        sweep compares these claims against the array's valid pages and
+        requires every valid page to be claimed by exactly one owner —
+        hybrid log-block schemes (BAST/FAST) keep state this hook does
+        not describe and are outside its contract.
+        """
+        pmt = self._pmt
+        for lpn in np.nonzero(self.pmt >= 0)[0].tolist():
+            yield pmt[lpn], f"pmt[{lpn}]"
+        for table_id, table in self._map_ppn.items():
+            for tvpn, ppn in table.items():
+                yield ppn, f"map[{table_id}][{tvpn}]"

@@ -409,8 +409,18 @@ class MRSMFTL(BaseFTL):
         )
         return s
 
+    def referenced_ppns(self):
+        """Base tables plus region pages (each distinct PPN once, no
+        matter how many region slots of it are live)."""
+        yield from super().referenced_ppns()
+        seen = set()
+        for key, (ppn, _slot) in self.region_map.items():
+            if ppn not in seen:
+                seen.add(ppn)
+                yield ppn, f"region_page[{ppn}]"
+
     def check_invariants(self) -> None:
-        """Region-map consistency (tests only)."""
+        """Region-map consistency (tests and :mod:`repro.check`)."""
         for key, (ppn, slot) in self.region_map.items():
             if not self.service.array.is_valid(ppn):
                 raise MappingError(f"region {key} -> invalid PPN {ppn}")

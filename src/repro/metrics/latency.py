@@ -2,8 +2,12 @@
 
 Requests are classified the way the paper's motivation study does
 (Fig. 4): *across-page* vs *normal*, separately for reads and writes.
-Latencies are accumulated in growable numpy buffers so recording a
-million samples costs amortised O(1) python work per sample.
+Only read and write requests land in these four buckets — TRIMs are
+metadata-only operations outside Fig. 4's scope; they are counted by
+the engine (``trim_count``) and logged row-by-row in
+:class:`~repro.metrics.timeline.RequestLog`.  Latencies are
+accumulated in growable numpy buffers so recording a million samples
+costs amortised O(1) python work per sample.
 """
 
 from __future__ import annotations

@@ -1,11 +1,14 @@
 """Per-request event log.
 
 When enabled (``SimConfig.record_requests``), the engine appends one
-row per serviced request: arrival time, op, across-page flag, latency,
-and the flash programs the request induced.  The arrays support the
-analyses the paper's figures summarise — per-class percentiles
-(Fig. 4), latency-over-time, burst drain behaviour — without re-running
-the simulation.
+row per serviced request — reads, writes *and* TRIMs (a TRIM row
+carries ``flush = 0``: discards never induce flash programs): arrival
+time, op, across-page flag, latency, and the flash programs the
+request induced.  The arrays support the analyses the paper's figures
+summarise — per-class percentiles (Fig. 4), latency-over-time, burst
+drain behaviour — without re-running the simulation.  (The aggregate
+:class:`~repro.metrics.latency.LatencyRecorder` buckets, by contrast,
+cover read/write requests only.)
 """
 
 from __future__ import annotations
@@ -89,12 +92,16 @@ class RequestLog:
         if self._n == 0 or bucket_ms <= 0:
             return np.empty(0), np.empty(0)
         t = self.time
-        buckets = ((t - t[0]) // bucket_ms).astype(np.int64)
+        # bucket against the earliest time, not t[0]: real blktrace /
+        # SYSTOR captures can be non-monotonic, and a negative index
+        # would crash np.bincount (or silently alias a wrong bucket)
+        t0 = float(t.min())
+        buckets = ((t - t0) // bucket_ms).astype(np.int64)
         n_buckets = int(buckets.max()) + 1
         sums = np.bincount(buckets, weights=self.latency, minlength=n_buckets)
         counts = np.bincount(buckets, minlength=n_buckets)
         valid = counts > 0
-        starts = t[0] + np.arange(n_buckets)[valid] * bucket_ms
+        starts = t0 + np.arange(n_buckets)[valid] * bucket_ms
         return starts, sums[valid] / counts[valid]
 
     def tail_ratio(self, q: float = 99.0) -> float:

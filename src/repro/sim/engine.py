@@ -86,8 +86,13 @@ class Simulator:
         self.trim_count = 0
         #: completion times of recently serviced requests; only the
         #: in-flight gauge needs them, so the window is bounded instead
-        #: of growing with the trace
-        self._completions: deque[float] = deque(maxlen=128)
+        #: of growing with the trace.  The window must cover the host
+        #: queue depth, otherwise the gauge undercounts whenever more
+        #: than 128 requests overlap.
+        qd = self.sim_cfg.queue_depth
+        self._completions: deque[float] = deque(
+            maxlen=128 if qd is None else max(128, qd)
+        )
         self.request_log: Optional[RequestLog] = (
             RequestLog() if self.sim_cfg.record_requests else None
         )
@@ -130,6 +135,21 @@ class Simulator:
                 self.cfg, self.sim_cfg.faults, ftl.service.array
             )
             ftl.service.faults = self.faults
+        #: runtime invariant checker (SimConfig.check); stays None — the
+        #: fast path — unless the config block enables it
+        self.checker = None
+        #: running digest of oracle-verified read contents, fed into the
+        #: differential-replay comparison (repro.check); needs both the
+        #: checker and the oracle
+        self._read_digest = None
+        if self.sim_cfg.check.enabled:
+            from ..check.invariants import InvariantChecker
+
+            self.checker = InvariantChecker(ftl, self.sim_cfg.check)
+            if self.oracle is not None:
+                import hashlib
+
+                self._read_digest = hashlib.sha256()
 
     # ------------------------------------------------------------------
     # observability plumbing
@@ -145,6 +165,18 @@ class Simulator:
         self.ftl.service.obs = None
         if self.cache is not None:
             self.cache.obs = None
+
+    def _update_read_digest(self, offset: int, size: int, found) -> None:
+        """Fold one oracle-verified read into the running content
+        digest: (extent, then each found sector's version stamp in
+        sector order).  Any two runs replaying the same trace — across
+        schemes, with or without the write buffer — must produce the
+        same digest, because the oracle pins every returned stamp."""
+        h = self._read_digest
+        h.update(b"r%d:%d" % (offset, size))
+        if found:
+            for sec in sorted(found):
+                h.update(b"|%d=%d" % (sec, found[sec]))
 
     def _inflight(self) -> int:
         """Requests issued but not yet complete at the current sim time
@@ -318,10 +350,17 @@ class Simulator:
                 self.oracle.trim(offset, size)
             self.trim_count += 1
             self._completions.append(finish)
+            latency = finish - arrival
+            # TRIMs are metadata-only and excluded from the latency
+            # recorder's four read/write buckets, but the request log
+            # keeps its one-row-per-serviced-request contract (flush=0:
+            # a trim never induces flash programs)
+            if self.request_log is not None:
+                self.request_log.append(arrival, op, across, latency, 0)
             if bus is not None:
-                bus.emit(RequestComplete(finish, rid, finish - arrival))
+                bus.emit(RequestComplete(finish, rid, latency))
                 self.obs.maybe_sample(finish)
-            return finish - arrival
+            return latency
 
         if op == OP_WRITE:
             stamps = (
@@ -348,6 +387,8 @@ class Simulator:
                     self.cache.put_found(offset, size, found)
             if self.oracle is not None:
                 self.oracle.verify(offset, size, found)
+                if self._read_digest is not None:
+                    self._update_read_digest(offset, size, found)
         self._completions.append(finish)
 
         latency = finish - arrival
@@ -374,6 +415,7 @@ class Simulator:
         self.age_device()
         last = 0.0
         process = self.process
+        checker = self.checker
         qd = self.sim_cfg.queue_depth
         completions = self._completions
         #: completion times of the at-most-qd outstanding requests; a
@@ -402,6 +444,8 @@ class Simulator:
             if qd is not None:
                 heapq.heappush(outstanding, completions[-1])
             last = ts
+            if checker is not None:
+                checker.maybe_check(i + 1)
             if (
                 self.series is not None
                 and (i + 1) % self.sim_cfg.snapshot_every == 0
@@ -419,6 +463,10 @@ class Simulator:
                 trace.name, n, n, _time.perf_counter() - loop_t0, final=True
             )
         self.ftl.flush_metadata(last)
+        if checker is not None:
+            # unconditional end-of-run sweep (after the metadata flush,
+            # so dirty translation pages are accounted on flash too)
+            checker.check_now()
         if self.obs is not None:
             self.obs.finish(last)
 
@@ -446,6 +494,10 @@ class Simulator:
         if self.faults is not None:
             extra["fault_draws"] = self.faults.draws
             extra["retired_blocks"] = self.ftl.service.array.total_bad_blocks
+        if self.checker is not None:
+            extra["check_sweeps"] = self.checker.sweeps
+            if self._read_digest is not None:
+                extra["check_read_digest"] = self._read_digest.hexdigest()
         return SimulationReport(
             scheme=self.ftl.name,
             trace_name=trace.name,

@@ -107,3 +107,37 @@ class TestQueueDepth:
         sizes = rng.integers(1, 24, n).astype(np.int64)
         times = np.sort(rng.uniform(0, 10, n))
         sim.run(Trace("q", times, ops, offsets, sizes))
+
+
+class TestDeepQueues:
+    """Regression: the completion window was fixed at 128 entries, so
+    the in-flight gauge undercounted whenever queue_depth > 128."""
+
+    def test_window_sized_from_queue_depth(self):
+        svc = FlashService(SSDConfig.tiny())
+        sim = Simulator(make_ftl("ftl", svc), SimConfig(queue_depth=192))
+        assert sim._completions.maxlen == 192
+
+    def test_window_never_shrinks_below_default(self):
+        svc = FlashService(SSDConfig.tiny())
+        sim = Simulator(make_ftl("ftl", svc), SimConfig(queue_depth=4))
+        assert sim._completions.maxlen == 128
+        svc = FlashService(SSDConfig.tiny())
+        assert Simulator(make_ftl("ftl", svc))._completions.maxlen == 128
+
+    def test_gauge_tracks_beyond_128(self):
+        from repro.config import ObservabilityConfig
+
+        svc = FlashService(SSDConfig.tiny())
+        sim = Simulator(
+            make_ftl("ftl", svc),
+            SimConfig(
+                queue_depth=192,
+                observability=ObservabilityConfig(
+                    enabled=True, sample_interval_ms=0.01
+                ),
+            ),
+        )
+        sim.run(burst_trace(256))
+        series = sim.obs.samplers.series()["queue_depth"]
+        assert max(series["values"]) > 128

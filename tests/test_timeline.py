@@ -89,3 +89,47 @@ class TestRequestLogGrowth:
         assert log.flush[n - 1] == 1
         # views stay trimmed to the logical length, not the capacity
         assert len(log.latency) == n
+
+
+class TestNonMonotonicTimestamps:
+    """Regression: bucketing against t[0] fed negative indices to
+    np.bincount when a log's first row was not its earliest (real
+    blktrace/SYSTOR captures are not sorted)."""
+
+    def out_of_order_log(self):
+        log = RequestLog()
+        # first row arrives *later* than the rest of the burst
+        for i, t in enumerate([50.0, 3.0, 1.0, 20.0, 7.0]):
+            log.append(t, OP_WRITE, False, float(i + 1), 1)
+        return log
+
+    def test_latency_series_buckets_from_earliest(self):
+        log = self.out_of_order_log()
+        starts, means = log.latency_series(10.0)
+        assert starts[0] == 1.0  # t.min(), not time[0] == 50
+        assert (np.diff(starts) > 0).all()
+        # rows at t=1,3,7 share the first bucket: latencies 3,2,5
+        assert means[0] == pytest.approx(10.0 / 3.0)
+        # the late first row lands in the last bucket alone
+        assert starts[-1] == pytest.approx(41.0)
+        assert means[-1] == pytest.approx(1.0)
+
+    def test_percentile_unaffected_by_order(self):
+        log = self.out_of_order_log()
+        assert log.percentile(50.0) == pytest.approx(3.0)
+
+    def test_series_covers_all_rows(self):
+        rng = np.random.default_rng(4)
+        log = RequestLog()
+        times = rng.uniform(0.0, 500.0, size=200)
+        for t in times:
+            log.append(float(t), OP_READ, False, 1.0, 0)
+        starts, means = log.latency_series(25.0)
+        n_rows = sum(
+            1
+            for s in starts
+            for t in times
+            if s <= t < s + 25.0
+        )
+        assert n_rows == 200
+        assert (means == 1.0).all()

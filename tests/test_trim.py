@@ -145,3 +145,60 @@ class TestEngineTrim:
         # rewriting trimmed space must not raise OutOfSpace
         for lpn in range(n // 2):
             sim.process(OP_WRITE, lpn * spp, spp, 2.0)
+
+
+class TestTrimRequestLog:
+    """Regression: TRIMs used to be dropped from the per-request log,
+    breaking the one-row-per-serviced-request contract."""
+
+    def run_mixed(self, cfg, scheme="ftl"):
+        svc = FlashService(cfg)
+        sim = Simulator(
+            make_ftl(scheme, svc), SimConfig(record_requests=True)
+        )
+        sim.process(OP_WRITE, 0, 16, 0.0)
+        sim.process(OP_TRIM, 0, 8, 1.0)
+        sim.process(OP_READ, 8, 8, 2.0)
+        sim.process(OP_TRIM, 100, 32, 3.0)
+        return sim
+
+    def test_one_row_per_request(self, tiny_cfg):
+        sim = self.run_mixed(tiny_cfg)
+        log = sim.request_log
+        assert len(log) == 4
+        assert log.op.tolist() == [OP_WRITE, OP_TRIM, OP_READ, OP_TRIM]
+
+    def test_trim_rows_carry_no_flush(self, tiny_cfg):
+        log = self.run_mixed(tiny_cfg).request_log
+        trims = log.op == OP_TRIM
+        assert trims.sum() == 2
+        assert (log.flush[trims] == 0).all()
+        assert (log.latency[trims] >= 0).all()
+        assert log.time[trims].tolist() == [1.0, 3.0]
+
+    def test_recorder_still_excludes_trims(self, tiny_cfg):
+        sim = self.run_mixed(tiny_cfg)
+        # the four Fig. 4 buckets stay read/write only
+        assert sim.recorder.request_count == 2
+        assert sim.trim_count == 2
+
+    def test_trim_rows_in_full_run(self, tiny_cfg):
+        import numpy as np
+        from repro.traces.model import Trace
+
+        n = 30
+        ops = np.full(n, OP_WRITE, dtype=np.uint8)
+        ops[1::3] = OP_TRIM
+        trace = Trace(
+            "trimmy",
+            np.arange(n, dtype=np.float64),
+            ops,
+            (np.arange(n, dtype=np.int64) % 8) * 16,
+            np.full(n, 16, dtype=np.int64),
+        )
+        svc = FlashService(tiny_cfg)
+        sim = Simulator(make_ftl("across", svc),
+                        SimConfig(record_requests=True))
+        rep = sim.run(trace)
+        assert len(sim.request_log) == n
+        assert rep.extra["trim_count"] == int((ops == OP_TRIM).sum())
