@@ -72,7 +72,9 @@ from .ftl.gc import GC_POLICIES
 from .geometry import FlashGeometry, PhysAddr
 from .metrics.report import SimulationReport, normalize, render_table
 from .metrics.series import CounterSeries, Snapshot
+from .metrics.sketch import LogHistogram
 from .metrics.timeline import RequestLog
+from .obs.attribution import AttributionRecorder, PHASES, REQUEST_CLASSES
 from .sim.engine import Simulator
 from .sim.oracle import OracleMismatch, SectorOracle
 from .traces.model import OP_READ, OP_TRIM, OP_WRITE, Trace
@@ -172,13 +174,17 @@ __all__ = [
     "TABLE2_SPECS",
     "lun_specs",
     "lun_traces",
-    # metrics
+    # metrics / attribution
     "SimulationReport",
     "normalize",
     "render_table",
     "CounterSeries",
     "Snapshot",
     "RequestLog",
+    "LogHistogram",
+    "AttributionRecorder",
+    "PHASES",
+    "REQUEST_CLASSES",
     "Finding",
     "lint_trace",
     # units

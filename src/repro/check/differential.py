@@ -71,13 +71,24 @@ class DifferentialResult:
 
 
 def checked_sim_cfg(
-    base: SimConfig | None = None, *, every: int = 256
+    base: SimConfig | None = None,
+    *,
+    every: int = 256,
+    attribution: bool = False,
 ) -> SimConfig:
     """The harness's run options: ``base`` with the sector oracle on,
-    invariant sweeps every ``every`` requests, and progress off."""
+    invariant sweeps every ``every`` requests, and progress off.
+
+    ``attribution`` additionally turns on latency attribution
+    (:mod:`repro.obs.attribution`), which arms the per-request
+    phase-conservation invariant — every replayed request then proves
+    its phase latencies sum to its recorded latency."""
     cfg = base if base is not None else SimConfig()
     cfg = replace(cfg, check_oracle=True, progress=False)
-    return cfg.replace_check(enabled=True, every=every)
+    cfg = cfg.replace_check(enabled=True, every=every)
+    if attribution:
+        cfg = cfg.replace_observability(enabled=True, attribution=True)
+    return cfg
 
 
 def _checked_run(scheme: str, trace: Trace, cfg: SSDConfig, sim_cfg: SimConfig):
@@ -110,6 +121,7 @@ def differential_replay(
     compare_cache: bool = True,
     compare_jobs: bool = False,
     jobs: int = 2,
+    attribution: bool = False,
 ) -> DifferentialResult:
     """Replay ``trace`` across ``schemes`` and cross-check the results.
 
@@ -119,8 +131,10 @@ def differential_replay(
     contents compared.  When ``compare_jobs``, the scheme runs are also
     executed through the ``jobs``-worker process pool and the canonical
     report digests compared against the in-process runs.
+    ``attribution`` arms the per-request phase-conservation invariant
+    on every leg (see :func:`checked_sim_cfg`).
     """
-    sim_cfg = checked_sim_cfg(sim_cfg, every=every)
+    sim_cfg = checked_sim_cfg(sim_cfg, every=every, attribution=attribution)
     result = DifferentialResult(trace_name=trace.name)
 
     for scheme in schemes:

@@ -102,6 +102,7 @@ def run_fuzz(
     out_dir=None,
     shrink_budget: int = 64,
     compare_jobs_case: int | None = 0,
+    attribution: bool = False,
     log: Optional[Callable[[str], None]] = None,
 ) -> FuzzOutcome:
     """Run ``n`` seeded differential fuzz cases on a small geometry.
@@ -109,8 +110,10 @@ def run_fuzz(
     Case ``i`` derives its RNG from ``seed + 1000 * i``; odd cases run
     on a pre-aged (GC-pressured) device.  The expensive process-pool
     comparison runs only for ``compare_jobs_case`` (None disables it).
-    Failing cases are shrunk within ``shrink_budget`` replays and, when
-    ``out_dir`` is given, dumped there as JSON reproducers.
+    ``attribution`` turns on latency attribution in every leg, arming
+    the per-request phase-conservation invariant.  Failing cases are
+    shrunk within ``shrink_budget`` replays and, when ``out_dir`` is
+    given, dumped there as JSON reproducers.
     """
     if cfg is None:
         # tiny geometry with the write buffer on, so the cache-off leg
@@ -143,6 +146,7 @@ def run_fuzz(
             schemes=schemes,
             every=every,
             compare_jobs=(compare_jobs_case == i),
+            attribution=attribution,
         )
         outcome.cases += 1
         if result.ok:
@@ -160,6 +164,7 @@ def run_fuzz(
                     schemes=schemes,
                     every=every,
                     compare_jobs=False,
+                    attribution=attribution,
                 )
             except Exception:
                 return True
@@ -168,7 +173,7 @@ def run_fuzz(
         shrunk = shrink_trace(trace, probe, max_probes=shrink_budget)
         final = result if len(shrunk) == len(trace) else differential_replay(
             shrunk, cfg, sim_cfg, schemes=schemes, every=every,
-            compare_jobs=False,
+            compare_jobs=False, attribution=attribution,
         )
         if out_dir is not None:
             path = dump_counterexample(

@@ -86,6 +86,38 @@ class InvariantChecker:
             self._check_reachability()
         self.sweeps += 1
 
+    #: absolute tolerance (ms) for the attribution conservation law;
+    #: phase subtraction is exact (Sterbenz: all endpoints sit inside a
+    #: narrow window of a common magnitude), so only the final sum
+    #: accumulates rounding — orders of magnitude below this bound
+    ATTRIBUTION_TOL_MS = 1e-9
+
+    def check_attribution(
+        self, phases: dict, latency: float, rid: int = -1
+    ) -> None:
+        """Conservation law for latency attribution: the per-request
+        phase durations (:mod:`repro.obs.attribution`) must sum to the
+        recorded request latency.
+
+        Called per request by the engine when both the checker and
+        ``observability.attribution`` are enabled.  A violation means a
+        gating flash operation was not recorded (an un-instrumented
+        code path) or a background bracket leaked — the attribution
+        analogue of the counter-conservation sweep.
+        """
+        total = 0.0
+        for ms in phases.values():
+            total += ms
+        if abs(total - latency) > self.ATTRIBUTION_TOL_MS:
+            parts = ", ".join(
+                f"{k}={v:.9f}" for k, v in sorted(phases.items())
+            )
+            raise InvariantViolation(
+                f"attribution phases sum to {total:.12f} ms but request "
+                f"{rid} latency is {latency:.12f} ms "
+                f"(delta {total - latency:+.3e}; phases: {parts or 'none'})"
+            )
+
     # ------------------------------------------------------------------
     def _check_free_pool(self) -> None:
         arr = self.array

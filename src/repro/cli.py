@@ -18,11 +18,16 @@ Subcommands
     trace across all schemes with invariant sweeps on (point run), a
     seeded ``--fuzz N`` campaign over random synthetic workloads, or a
     ``--replay`` of a dumped counterexample.
+``profile``
+    Latency attribution over the pinned bench-gate scenarios: per-phase
+    breakdown tables, a Fig. 4-style stacked-bar SVG, optional phase
+    Chrome traces and an optional cProfile wall-clock harness.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -217,6 +222,133 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    """``repro profile``: where does each request's latency go?
+
+    Replays the pinned bench-gate scenarios (or a ``--scenario``
+    subset) with latency attribution on and writes, under ``--out``:
+
+    * ``breakdown.txt`` — per-scenario tables of mean ms per request
+      split by attribution phase and request class;
+    * ``profile.svg`` — the paper's Fig. 4 view: one stacked bar per
+      scenario, one segment per phase;
+    * ``attribution-<scenario>.json`` — the full attribution summary
+      (sketches included) for downstream analysis;
+    * with ``--trace``, ``trace-<scenario>.json`` — a Chrome trace
+      whose request slices carry per-phase sub-slices;
+    * with ``--cprofile``, ``cprofile-<scenario>.pstats`` plus a
+      ``cprofile.txt`` top-function report (wall-clock harness).
+    """
+    import cProfile
+    import io
+    import pstats
+
+    from .experiments.benchgate import scenarios
+    from .experiments.charts import stacked_bar_svg
+    from .flash.service import FlashService
+    from .ftl import make_ftl
+    from .obs.attribution import AttributionRecorder, PHASES
+    from .sim.engine import Simulator
+
+    available = {sc.name: sc for sc in scenarios()}
+    names = args.scenario or list(available)
+    unknown = [n for n in names if n not in available]
+    if unknown:
+        raise SystemExit(
+            f"unknown scenario(s) {unknown}; have {sorted(available)}"
+        )
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+
+    tables: list[str] = []
+    per_scenario_phase: dict[str, dict[str, float]] = {}
+    cprofile_reports: list[str] = []
+    for name in names:
+        sc = available[name]
+        cfg = sc.make_cfg()
+        trace = sc.make_trace(cfg)
+        sim_cfg = sc.make_sim_cfg().replace_observability(
+            enabled=True, attribution=True, trace=args.trace
+        )
+        service = FlashService(cfg)
+        ftl = make_ftl(sc.scheme, service)
+        sim = Simulator(ftl, sim_cfg)
+        if args.cprofile:
+            prof = cProfile.Profile()
+            prof.enable()
+            rep = sim.run(trace)
+            prof.disable()
+            pstats_path = out / f"cprofile-{name}.pstats"
+            prof.dump_stats(pstats_path)
+            buf = io.StringIO()
+            stats = pstats.Stats(prof, stream=buf)
+            stats.sort_stats("cumulative").print_stats(args.top)
+            cprofile_reports.append(
+                f"== {name} ({rep.requests} requests, "
+                f"{rep.wall_seconds:.2f}s wall) ==\n{buf.getvalue()}"
+            )
+            print(f"  cprofile: {pstats_path}")
+        else:
+            rep = sim.run(trace)
+        summary = rep.attribution or {}
+        with open(out / f"attribution-{name}.json", "w") as fh:
+            json.dump(summary, fh, indent=1, sort_keys=True)
+        if args.trace and sim.obs is not None and sim.obs.recorder is not None:
+            trace_path = out / f"trace-{name}.json"
+            sim.obs.recorder.write_chrome(trace_path)
+            print(f"  chrome trace: {trace_path}")
+
+        means = AttributionRecorder.mean_phase_breakdown(summary)
+        requests = summary.get("requests", {})
+        phases = [
+            p for p in PHASES
+            if any(cls.get(p, 0.0) > 0 for cls in means.values())
+        ]
+        rows = {
+            f"{cls} (n={requests.get(cls, 0)})": [
+                means[cls].get(p, 0.0) for p in phases
+            ]
+            for cls in sorted(means)
+        }
+        table = render_table(
+            f"{name} ({sc.scheme}): mean ms/request by phase",
+            phases,
+            rows,
+        )
+        tables.append(table)
+        print(table)
+        print()
+
+        totals = summary.get("phase_ms", {})
+        n_total = sum(requests.values()) or 1
+        per_scenario_phase[name] = {
+            p: sum(cls.get(p, 0.0) for cls in totals.values()) / n_total
+            for p in PHASES
+        }
+
+    breakdown_path = out / "breakdown.txt"
+    breakdown_path.write_text("\n\n".join(tables) + "\n")
+    print(f"wrote {breakdown_path}")
+
+    shown = [
+        p for p in PHASES
+        if any(d.get(p, 0.0) > 0 for d in per_scenario_phase.values())
+    ]
+    svg = stacked_bar_svg(
+        names,
+        {p: [per_scenario_phase[n].get(p, 0.0) for n in names] for p in shown},
+        title="Mean request latency by attribution phase (ms)",
+    )
+    svg_path = out / "profile.svg"
+    svg_path.write_text(svg)
+    print(f"wrote {svg_path}")
+    if cprofile_reports:
+        cp_path = out / "cprofile.txt"
+        cp_path.write_text("\n".join(cprofile_reports))
+        print(f"wrote {cp_path}")
+    return 0
+
+
 def cmd_compare(args) -> int:
     """``repro compare``: all three schemes on one trace.
 
@@ -337,6 +469,7 @@ def cmd_check(args) -> int:
             every=args.every,
             requests=args.requests,
             out_dir=args.out,
+            attribution=args.attribution,
             log=print,
         )
         print(
@@ -355,6 +488,7 @@ def cmd_check(args) -> int:
         every=args.every,
         compare_cache=not args.skip_cache,
         compare_jobs=not args.skip_jobs,
+        attribution=args.attribution,
     )
     print(res.summary())
     if not res.ok and args.out:
@@ -559,6 +693,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="sampler tick in simulated ms (0 disables)")
     p.set_defaults(func=cmd_trace)
 
+    p = sub.add_parser(
+        "profile",
+        help="latency attribution over the pinned bench scenarios",
+    )
+    p.add_argument("--scenario", action="append", metavar="NAME",
+                   help="bench-gate scenario to profile (repeatable; "
+                        "default: all five)")
+    p.add_argument("--out", default="profile-out",
+                   help="artifact output directory")
+    p.add_argument("--trace", action="store_true",
+                   help="also write per-scenario Chrome traces with "
+                        "phase sub-slices")
+    p.add_argument("--cprofile", action="store_true",
+                   help="wrap each run in cProfile and dump .pstats + "
+                        "a top-function report")
+    p.add_argument("--top", type=int, default=25,
+                   help="functions shown in the cProfile report")
+    p.set_defaults(func=cmd_profile)
+
     p = sub.add_parser("figures", help="regenerate paper figures")
     p.add_argument("names", nargs="*", help="figure ids (fig2..fig14, table2) or 'all'")
     p.add_argument("--scale", type=float, default=0.03)
@@ -640,6 +793,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the cache-on vs cache-off comparison")
     p.add_argument("--skip-jobs", action="store_true",
                    help="skip the --jobs 1 vs --jobs N comparison")
+    p.add_argument("--attribution", action="store_true",
+                   help="run every leg with latency attribution on, "
+                        "arming the per-request phase-conservation "
+                        "invariant")
     _add_common(p)
     p.set_defaults(func=cmd_check)
 

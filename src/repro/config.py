@@ -294,23 +294,32 @@ class ObservabilityConfig:
     #: simulated-time sampling tick in ms, 0 = no sampling
     #: (needs ``enabled``)
     sample_interval_ms: float = 0.0
+    #: per-request critical-path latency attribution + per-phase
+    #: tail-latency sketches (:mod:`repro.obs.attribution`); needs
+    #: ``enabled``
+    attribution: bool = False
 
     def validate(self) -> None:
         """Raise :class:`ConfigError` on inconsistent settings."""
         if self.sample_interval_ms < 0:
             raise ConfigError("sample_interval_ms must be non-negative")
-        if not self.enabled and (self.trace or self.sample_interval_ms > 0):
+        if not self.enabled and (
+            self.trace or self.sample_interval_ms > 0 or self.attribution
+        ):
             raise ConfigError(
-                "observability.trace / sample_interval_ms require "
-                "observability.enabled"
+                "observability.trace / sample_interval_ms / attribution "
+                "require observability.enabled"
             )
 
     @classmethod
     def full(cls, sample_interval_ms: float = 10.0) -> "ObservabilityConfig":
-        """Everything on: bus + spans + samplers (``repro trace`` uses
-        this)."""
+        """Everything on: bus + spans + samplers + attribution
+        (``repro trace`` uses this)."""
         return cls(
-            enabled=True, trace=True, sample_interval_ms=sample_interval_ms
+            enabled=True,
+            trace=True,
+            sample_interval_ms=sample_interval_ms,
+            attribution=True,
         )
 
 

@@ -298,9 +298,14 @@ class AcrossFTL(BaseFTL):
             payload = {}
         if not fully_covered:
             # merging needs the old across data
+            attr = self.service.attr
+            if attr is not None:
+                attr.read_label = "update_read"
             t = self.service.read_page(
                 entry.appn, now, self._kind(OpKind.DATA), timed=self.timed
             )
+            if attr is not None:
+                attr.read_label = None
             if not self.aging:
                 self.counters.update_reads += 1
             finish = max(finish, t)
@@ -348,9 +353,14 @@ class AcrossFTL(BaseFTL):
         finish = max(now, t)
         # the across page's data is needed for every sector the update
         # does not overwrite
+        attr = self.service.attr
+        if attr is not None:
+            attr.read_label = "update_read"
         t = self.service.read_page(
             entry.appn, now, self._kind(OpKind.DATA), timed=self.timed
         )
+        if attr is not None:
+            attr.read_label = None
         if not self.aging:
             self.counters.update_reads += 1
         finish = max(finish, t)
@@ -402,6 +412,7 @@ class AcrossFTL(BaseFTL):
         touched_area = False
         normal_pages = 0
         seen_aidx: set[int] = set()
+        normal_ppns: set[int] = set()
 
         for lpn, rel_lo, count in split_extent(offset, size, self.spp):
             t = self._pmt_cache.access(lpn, now, dirty=False, timed=self.timed)
@@ -430,17 +441,28 @@ class AcrossFTL(BaseFTL):
                 ppn = self._pmt[lpn]
                 if ppn not in plan:
                     normal_pages += 1
+                normal_ppns.add(ppn)
                 plan.setdefault(ppn, []).extend(
                     base + bit for bit in iter_bits(rem)
                 )
 
+        attr = self.service.attr
+        # a merged read's extra normal-page reads are the across-FTL
+        # re-align overhead the paper's Fig. 4 quantifies — label them
+        merged = attr is not None and touched_area and normal_pages > 0
         for ppn, sectors in plan.items():
+            if merged:
+                attr.read_label = (
+                    "merged_read" if ppn in normal_ppns else None
+                )
             t = self.service.read_page(
                 ppn, now, self._kind(OpKind.DATA), timed=self.timed
             )
             finish = max(finish, t)
             if found is not None:
                 self._read_stamps_from(ppn, sectors, found)
+        if attr is not None:
+            attr.read_label = None
 
         if touched_area and not self.aging:
             if normal_pages == 0:

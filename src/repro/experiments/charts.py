@@ -196,6 +196,123 @@ def grouped_bar_svg(
     return "".join(parts)
 
 
+#: fixed palette for stacked segments (phases are an 11-way vocabulary,
+#: beyond the three scheme slots); standalone SVGs can't rely on the
+#: report's CSS custom properties, so these are literal hex values
+_STACK_PALETTE = (
+    "#2a78d6", "#1baf7a", "#eda100", "#d0582b", "#7b5cd6",
+    "#2aa8c4", "#c23f86", "#7a8b2a", "#8a6d4f", "#5b6770", "#9aa53f",
+)
+
+#: standalone-SVG ink colors (no enclosing .viz-root to inherit from)
+_INK = "#0b0b0b"
+_INK_SOFT = "#52514e"
+_GRID = "#e4e3df"
+
+
+def stacked_bar_svg(
+    categories: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    *,
+    title: str = "",
+    unit: str = "ms",
+    width: int = 760,
+    height: int = 300,
+) -> str:
+    """A stacked bar chart: one bar per category, one segment per series
+    (the paper's Fig. 4 latency-breakdown view).
+
+    ``series`` maps a segment name (e.g. an attribution phase) to one
+    value per category; segments stack bottom-up in mapping order.
+    Returns a *self-contained* ``<svg>`` string — colors are literal,
+    not CSS custom properties, so the file renders outside the HTML
+    report (``repro profile`` writes it standalone).
+    """
+    margin_l, margin_r, margin_t, margin_b = 56, 160, 26, 26
+    plot_w = width - margin_l - margin_r
+    plot_h = height - margin_t - margin_b
+    totals = [
+        sum(vals[gi] for vals in series.values() if math.isfinite(vals[gi]))
+        for gi in range(len(categories))
+    ]
+    y_max = _nice_max(totals)
+
+    def y(v: float) -> float:
+        return margin_t + plot_h * (1 - v / y_max)
+
+    n_groups = max(1, len(categories))
+    group_w = plot_w / n_groups
+    bar_w = min(40.0, group_w * 0.6)
+
+    parts = [
+        f'<svg role="img" xmlns="http://www.w3.org/2000/svg" '
+        f'viewBox="0 0 {width} {height}" '
+        f'width="{width}" height="{height}">'
+    ]
+    if title:
+        parts.append(
+            f'<text x="{margin_l}" y="16" font-size="13" '
+            f'font-family="system-ui, sans-serif" fill="{_INK}">'
+            f"{_html.escape(title)}</text>"
+        )
+    for i in range(5):
+        gv = y_max * i / 4
+        gy = y(gv)
+        parts.append(
+            f'<line x1="{margin_l}" y1="{gy:.1f}" x2="{width - margin_r}" '
+            f'y2="{gy:.1f}" stroke="{_GRID}" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{margin_l - 6}" y="{gy + 4:.1f}" text-anchor="end" '
+            f'font-size="11" font-family="system-ui, sans-serif" '
+            f'fill="{_INK_SOFT}">{gv:g}</text>'
+        )
+    base_y = y(0)
+    names = list(series)
+    for gi, cat in enumerate(categories):
+        bx = margin_l + gi * group_w + (group_w - bar_w) / 2
+        level = 0.0
+        for si, sname in enumerate(names):
+            v = series[sname][gi]
+            if not math.isfinite(v) or v <= 0:
+                continue
+            y1 = y(level + v)
+            h = y(level) - y1
+            color = _STACK_PALETTE[si % len(_STACK_PALETTE)]
+            label = _html.escape(f"{cat} · {sname}: {_fmt(v)} {unit}")
+            parts.append(
+                f'<rect x="{bx:.1f}" y="{y1:.1f}" width="{bar_w:.1f}" '
+                f'height="{h:.1f}" fill="{color}">'
+                f"<title>{label}</title></rect>"
+            )
+            level += v
+        parts.append(
+            f'<text x="{margin_l + gi * group_w + group_w / 2:.1f}" '
+            f'y="{height - 8}" text-anchor="middle" font-size="11" '
+            f'font-family="system-ui, sans-serif" fill="{_INK_SOFT}">'
+            f"{_html.escape(str(cat))}</text>"
+        )
+    parts.append(
+        f'<line x1="{margin_l}" y1="{base_y:.1f}" x2="{width - margin_r}" '
+        f'y2="{base_y:.1f}" stroke="{_INK_SOFT}" stroke-width="1"/>'
+    )
+    lx = width - margin_r + 14
+    for si, sname in enumerate(names):
+        ly = margin_t + si * 17
+        color = _STACK_PALETTE[si % len(_STACK_PALETTE)]
+        parts.append(
+            f'<rect x="{lx}" y="{ly:.1f}" width="10" height="10" rx="3" '
+            f'fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{lx + 15}" y="{ly + 9:.1f}" font-size="11" '
+            f'font-family="system-ui, sans-serif" fill="{_INK_SOFT}">'
+            f"{_html.escape(sname)}</text>"
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
 def legend_html(series_names: Sequence[str]) -> str:
     """Swatch legend (always present for two or more series)."""
     if len(series_names) < 2:

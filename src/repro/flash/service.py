@@ -38,6 +38,9 @@ class FlashService:
         self.counters = counters if counters is not None else FlashOpCounters()
         # memoized geometry divisor: chip_of_ppn on the per-page hot path
         self._pages_per_chip = self.geom.pages_per_chip
+        # memoized timing scalars for the attribution segment boundaries
+        self._read_ms = cfg.timing.read_ms
+        self._transfer_ms = cfg.timing.transfer_ms
         #: observability event bus (repro.obs.events.EventBus) — installed
         #: by the engine when SimConfig.observability.enabled; FTL-side
         #: components share this reference, so disabled runs pay one
@@ -47,6 +50,11 @@ class FlashService:
         #: engine when SimConfig.faults.enabled; same `is None` contract
         #: as ``obs``, so fault-free runs stay on the fast path
         self.faults = None
+        #: latency-attribution recorder
+        #: (repro.obs.attribution.AttributionRecorder) — installed by the
+        #: engine when SimConfig.observability.attribution; same
+        #: `is None` contract, so undecomposed runs pay one branch
+        self.attr = None
         #: blocks that crossed the program-failure retirement threshold
         #: and await relocation of their valid pages; drained by
         #: :meth:`repro.ftl.gc.GarbageCollector.maybe_collect`
@@ -76,7 +84,11 @@ class FlashService:
             finish = now
         else:
             chip = ppn // self._pages_per_chip
+            attr = self.attr
+            if attr is not None:
+                wait_end = self.timeline.next_free(chip, now)
             finish = self.timeline.read(chip, now)
+            base_finish = finish
             faults = self.faults
             if faults is not None:
                 steps, uncorrectable = faults.read_outcome(ppn, now)
@@ -98,6 +110,19 @@ class FlashService:
                         f"exceeded the ECC budget after "
                         f"{faults.cfg.max_read_retries} retry steps"
                     )
+            if attr is not None:
+                if kind is OpKind.MAP:
+                    label = "map_read"
+                else:
+                    label = attr.read_label or "flash_read"
+                if self._transfer_ms > 0:
+                    segs = ((label, wait_end + self._read_ms),
+                            ("bus_xfer", base_finish))
+                else:
+                    segs = ((label, base_finish),)
+                if finish > base_finish:
+                    segs += (("media_retry", finish),)
+                attr.record(chip, now, wait_end, segs)
         obs = self.obs
         if obs is not None:
             obs.emit(FlashOp(
@@ -133,7 +158,11 @@ class FlashService:
             finish = now
         else:
             chip = ppn // self._pages_per_chip
+            attr = self.attr
+            if attr is not None:
+                wait_end = self.timeline.program_start(chip, now)
             finish = self.timeline.program(chip, now)
+            base_finish = finish
             faults = self.faults
             if faults is not None:
                 attempts, failures = faults.program_attempts(ppn)
@@ -150,6 +179,15 @@ class FlashService:
                         if not self.array.is_bad[block]:
                             self.retire_pending.add(block)
                 faults.note_program(ppn, finish)
+            if attr is not None:
+                if self._transfer_ms > 0:
+                    segs = (("bus_xfer", wait_end + self._transfer_ms),
+                            ("flash_program", base_finish))
+                else:
+                    segs = (("flash_program", base_finish),)
+                if finish > base_finish:
+                    segs += (("media_retry", finish),)
+                attr.record(chip, now, wait_end, segs)
         obs = self.obs
         if obs is not None:
             obs.emit(FlashOp(
@@ -172,6 +210,9 @@ class FlashService:
         if not aging and faults is not None and faults.erase_fails(block):
             finish = self.timeline.erase(chip, now)
             self.counters.erase_fails += 1
+            attr = self.attr
+            if attr is not None:
+                attr.note_background(chip, finish)
             obs = self.obs
             if obs is not None:
                 obs.emit(MediaFault(now, obs.current_request, "erase", block))
@@ -183,6 +224,9 @@ class FlashService:
             finish = now
         else:
             finish = self.timeline.erase(chip, now)
+            attr = self.attr
+            if attr is not None:
+                attr.note_background(chip, finish)
         obs = self.obs
         if obs is not None:
             obs.emit(FlashOp(

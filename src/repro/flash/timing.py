@@ -152,6 +152,19 @@ class ChipTimeline:
         busy = self._busy_until[chip]
         return busy if busy > now else now
 
+    def program_start(self, chip: int, now: float) -> float:
+        """When a program issued at ``now`` would start occupying
+        resources — the channel bus too when transfers are modelled
+        (programs transfer data in before the cell operation)."""
+        t = self._busy_until[chip]
+        if now > t:
+            t = now
+        if self._transfer_ms > 0:
+            b = self._bus_busy_until[chip // self.chips_per_channel]
+            if b > t:
+                t = b
+        return t
+
     def utilization(self, horizon_ms: float) -> np.ndarray:
         """Per-chip busy fraction over ``[0, horizon_ms]``."""
         if horizon_ms <= 0:

@@ -382,10 +382,15 @@ class BaseFTL(ABC):
             payload = {}
         if retained and old_ppn >= 0:
             # RMW: the old page holds live sectors the new page must keep
+            attr = service.attr
+            if attr is not None:
+                attr.read_label = "update_read"
             finish = service.read_page(
                 old_ppn, now,
                 OpKind.DATA if timed else OpKind.AGING, timed=timed,
             )
+            if attr is not None:
+                attr.read_label = None
             if timed:
                 self.counters.update_reads += 1
             if payload is not None:

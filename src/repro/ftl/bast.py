@@ -115,6 +115,19 @@ class BASTFTL(BaseFTL):
     # ------------------------------------------------------------------
     def _merge(self, lbn: int, now: float) -> None:
         """Fold a logical block's log into a fresh data block."""
+        attr = self.service.attr
+        if attr is not None:
+            # a merge is reclamation, not request service: background
+            # for latency attribution like generic GC
+            attr.suspend()
+            try:
+                self._merge_inner(lbn, now)
+            finally:
+                attr.resume()
+        else:
+            self._merge_inner(lbn, now)
+
+    def _merge_inner(self, lbn: int, now: float) -> None:
         log = self.logs.pop(lbn)
         old_pbn = int(self.block_map[lbn])
         arr = self.service.array
@@ -226,9 +239,14 @@ class BASTFTL(BaseFTL):
         log = self._log_for(lbn, now)
         old_ppn = self._ppn_of(lpn)
         if retained and old_ppn is not None:
+            attr = self.service.attr
+            if attr is not None:
+                attr.read_label = "update_read"
             finish = self.service.read_page(
                 old_ppn, now, self._kind(OpKind.DATA), timed=self.timed
             )
+            if attr is not None:
+                attr.read_label = None
             if not self.aging:
                 self.counters.update_reads += 1
             if payload is not None:

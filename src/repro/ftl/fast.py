@@ -124,6 +124,19 @@ class FASTFTL(BaseFTL):
     def _retire_oldest_log(self, now: float) -> None:
         """The FAST merge storm: merging every logical block that has a
         page in the oldest log block, then erasing it."""
+        attr = self.service.attr
+        if attr is not None:
+            # the merge storm is reclamation, not request service:
+            # background for latency attribution like generic GC
+            attr.suspend()
+            try:
+                self._retire_oldest_log_inner(now)
+            finally:
+                attr.resume()
+        else:
+            self._retire_oldest_log_inner(now)
+
+    def _retire_oldest_log_inner(self, now: float) -> None:
         block, lbns = self.log_blocks.popitem(last=False)
         if self._open_log == block:
             self._open_log = None
@@ -184,9 +197,14 @@ class FASTFTL(BaseFTL):
         ppn = self._log_slot(now)  # may retire logs & relocate old copies
         old_ppn = self._ppn_of(lpn)
         if retained and old_ppn is not None:
+            attr = self.service.attr
+            if attr is not None:
+                attr.read_label = "update_read"
             finish = self.service.read_page(
                 old_ppn, now, self._kind(OpKind.DATA), timed=self.timed
             )
+            if attr is not None:
+                attr.read_label = None
             if not self.aging:
                 self.counters.update_reads += 1
             if payload is not None:

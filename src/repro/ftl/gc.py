@@ -207,6 +207,12 @@ class GarbageCollector:
         if self._collecting:
             return now
         self._collecting = True
+        # GC work is background for latency attribution: it occupies
+        # chips (surfacing as gc_stall waits on later requests) but
+        # never gates the triggering request's completion
+        attr = self.service.attr
+        if attr is not None:
+            attr.suspend()
         finish = now
         try:
             finish = max(finish, self._drain_retirements(now, timed=timed))
@@ -234,4 +240,6 @@ class GarbageCollector:
                     break
         finally:
             self._collecting = False
+            if attr is not None:
+                attr.resume()
         return finish

@@ -98,14 +98,24 @@ class MappingCache:
         if obs is not None:
             obs.emit(CMTEvent(now, self.table_id, "miss", key))
         if tvpn in self._on_flash:
-            t = self._read(tvpn, now, timed)
-            if not dirty:
-                # a read lookup blocks: the mapping must be fetched
-                # before the data can be located.  A write lookup does
-                # not: the new entry is installed in DRAM immediately
-                # and merged with the flash copy in the background (the
-                # fetch still occupies a chip).
-                finish = t
+            # a read lookup blocks: the mapping must be fetched before
+            # the data can be located.  A write lookup does not: the new
+            # entry is installed in DRAM immediately and merged with the
+            # flash copy in the background (the fetch still occupies a
+            # chip) — so for attribution the dirty fetch is background
+            # work, the clean fetch a gating map_read.
+            if dirty:
+                attr = self.service.attr
+                if attr is not None:
+                    attr.suspend()
+                    try:
+                        self._read(tvpn, now, timed)
+                    finally:
+                        attr.resume()
+                else:
+                    self._read(tvpn, now, timed)
+            else:
+                finish = self._read(tvpn, now, timed)
         self._cached[tvpn] = dirty
         self._evict_overflow(now, timed)
         return finish

@@ -174,12 +174,17 @@ class MRSMFTL(BaseFTL):
             old_mask = mask_get(key, 0)
             if old_mask & ~(((1 << (rel_hi - rel_lo)) - 1) << rel_lo):
                 rmw_ppns.add(region_map[key][0])
+        attr = self.service.attr
+        if attr is not None and rmw_ppns:
+            attr.read_label = "update_read"
         for ppn in rmw_ppns:
             t = self.service.read_page(ppn, now, kind, timed=timed)
             if timed:
                 self.counters.update_reads += 1
             if t > finish:
                 finish = t
+        if attr is not None:
+            attr.read_label = None
 
         # phase 2: pack regions into pages, R slots per page
         start = finish

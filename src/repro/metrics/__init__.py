@@ -1,9 +1,11 @@
 """Measurement infrastructure: flash-operation counters, latency
-recording, and report assembly/normalisation for the paper's figures."""
+recording, bounded-memory latency sketches, and report
+assembly/normalisation for the paper's figures."""
 
 from .counters import FlashOpCounters, OpKind
 from .latency import LatencyRecorder, LatencySummary
 from .report import SimulationReport, geomean, normalize, render_table
+from .sketch import LogHistogram
 from .timeline import RequestLog
 
 __all__ = [
@@ -11,6 +13,7 @@ __all__ = [
     "OpKind",
     "LatencyRecorder",
     "LatencySummary",
+    "LogHistogram",
     "SimulationReport",
     "normalize",
     "geomean",

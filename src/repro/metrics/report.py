@@ -31,6 +31,14 @@ class SimulationReport:
     #: Mapping-table footprint in bytes (Fig. 12a).
     mapping_table_bytes: int = 0
     wall_seconds: float = 0.0
+    #: Latency-attribution aggregate
+    #: (:meth:`repro.obs.attribution.AttributionRecorder.summary`):
+    #: per-class request counts, per-phase summed ms, tail quantiles and
+    #: the serialised :class:`~repro.metrics.sketch.LogHistogram`
+    #: sketches.  None unless ``observability.attribution`` was on —
+    #: and then absent from :meth:`to_dict` output, so disabled runs
+    #: keep byte-identical report digests.
+    attribution: dict | None = None
 
     # -- headline metrics used by the figures ----------------------------
     @property
@@ -83,7 +91,7 @@ class SimulationReport:
         latency = lat.to_dict()
         latency["mean_read_ms"] = lat.mean_read_ms
         latency["mean_write_ms"] = lat.mean_write_ms
-        return {
+        d = {
             "scheme": self.scheme,
             "trace": self.trace_name,
             "requests": self.requests,
@@ -97,6 +105,11 @@ class SimulationReport:
             },
             "wall_seconds": self.wall_seconds,
         }
+        # emitted only when attribution ran: runs with observability
+        # off must keep byte-identical dumps (bench-gate digests)
+        if self.attribution is not None:
+            d["attribution"] = self.attribution
+        return d
 
     @classmethod
     def from_dict(cls, d: dict) -> "SimulationReport":
@@ -110,6 +123,7 @@ class SimulationReport:
             extra=dict(d.get("extra", {})),
             mapping_table_bytes=int(d.get("mapping_table_bytes", 0)),
             wall_seconds=float(d.get("wall_seconds", 0.0)),
+            attribution=d.get("attribution"),
         )
 
     def to_json(self, **kw) -> str:

@@ -1,0 +1,177 @@
+"""Bounded-memory log-bucketed latency histograms (HDR-style sketch).
+
+:class:`LogHistogram` records latency samples into geometrically spaced
+buckets: bucket ``i`` covers ``[min_value * growth**i,
+min_value * growth**(i+1))``.  Memory is bounded by the number of
+*distinct occupied* buckets (a sparse dict), not the sample count, so a
+million-request run costs a few hundred integers while still answering
+p50/p95/p99/p99.9 queries.
+
+Accuracy: a quantile estimate is the geometric midpoint of its bucket,
+so the relative error is at most ``sqrt(growth) - 1`` (~2% at the
+default ``growth = 1.04``) and always within one bucket (< 5% relative)
+of the exact sample — the bound the attribution acceptance tests
+verify against exact numpy percentiles.
+
+Everything is deterministic and insertion-order independent:
+``to_dict``/``from_dict`` round-trip through JSON (bucket keys are
+stringified for JSON object compatibility) and two sketches fed the
+same multiset of samples compare equal.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+
+class LogHistogram:
+    """Sparse logarithmic histogram over non-negative latencies (ms)."""
+
+    __slots__ = ("min_value", "growth", "_log_growth", "buckets",
+                 "zero_count", "count", "total")
+
+    def __init__(self, min_value: float = 1e-4, growth: float = 1.04):
+        if min_value <= 0:
+            raise ValueError("min_value must be positive")
+        if growth <= 1.0:
+            raise ValueError("growth must be > 1")
+        self.min_value = min_value
+        self.growth = growth
+        self._log_growth = math.log(growth)
+        #: bucket index -> sample count (sparse)
+        self.buckets: dict[int, int] = {}
+        #: samples below ``min_value`` (including exact zeros)
+        self.zero_count = 0
+        self.count = 0
+        self.total = 0.0
+
+    # ------------------------------------------------------------------
+    def _index(self, value: float) -> int:
+        return int(math.log(value / self.min_value) / self._log_growth)
+
+    def _bucket_lo(self, index: int) -> float:
+        return self.min_value * self.growth ** index
+
+    def add(self, value: float, n: int = 1) -> None:
+        """Record ``value`` (ms) ``n`` times; negatives are clamped to
+        the zero bucket (attribution phases can round to -0.0)."""
+        self.count += n
+        if value > 0:
+            self.total += value * n
+        if value < self.min_value:
+            self.zero_count += n
+            return
+        i = self._index(value)
+        self.buckets[i] = self.buckets.get(i, 0) + n
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Add every value in ``values`` with weight 1."""
+        for v in values:
+            self.add(v)
+
+    def merge(self, other: "LogHistogram") -> None:
+        """Fold another sketch with identical parameters into this one."""
+        if (other.min_value, other.growth) != (self.min_value, self.growth):
+            raise ValueError("cannot merge sketches with different buckets")
+        self.count += other.count
+        self.total += other.total
+        self.zero_count += other.zero_count
+        for i, n in other.buckets.items():
+            self.buckets[i] = self.buckets.get(i, 0) + n
+
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0 <= q <= 1).
+
+        Returns the geometric midpoint of the bucket holding the
+        ``ceil(q * count)``-th smallest sample: relative error at most
+        ``sqrt(growth) - 1`` against the true sample value.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(q * self.count))
+        if rank <= self.zero_count:
+            return 0.0
+        seen = self.zero_count
+        last = 0
+        for i in sorted(self.buckets):
+            seen += self.buckets[i]
+            last = i
+            if seen >= rank:
+                break
+        lo = self._bucket_lo(last)
+        return lo * math.sqrt(self.growth)
+
+    def quantiles(self, qs=(0.5, 0.95, 0.99, 0.999)) -> dict[str, float]:
+        """The standard tail summary: ``{"p50": ..., ..., "p99.9": ...}``."""
+        out = {}
+        for q in qs:
+            pct = q * 100.0
+            name = f"p{pct:g}"
+            out[name] = self.quantile(q)
+        return out
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serialisable dump (bucket keys stringified)."""
+        return {
+            "min_value": self.min_value,
+            "growth": self.growth,
+            "count": self.count,
+            "total": self.total,
+            "zero_count": self.zero_count,
+            "buckets": {str(i): n for i, n in sorted(self.buckets.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "LogHistogram":
+        """Rebuild a sketch from :meth:`to_dict` output (round trip)."""
+        h = cls(
+            min_value=float(d.get("min_value", 1e-4)),
+            growth=float(d.get("growth", 1.04)),
+        )
+        h.count = int(d.get("count", 0))
+        h.total = float(d.get("total", 0.0))
+        h.zero_count = int(d.get("zero_count", 0))
+        h.buckets = {int(k): int(v) for k, v in d.get("buckets", {}).items()}
+        return h
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, LogHistogram):
+            return NotImplemented
+        return (
+            self.min_value == other.min_value
+            and self.growth == other.growth
+            and self.count == other.count
+            and self.zero_count == other.zero_count
+            and self.buckets == other.buckets
+        )
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        return (
+            f"LogHistogram(count={self.count}, "
+            f"occupied_buckets={len(self.buckets)}, mean={self.mean:.4f})"
+        )
+
+    # ------------------------------------------------------------------
+    def bucket_bounds(self) -> list[tuple[float, float, int]]:
+        """Occupied buckets as ``(lo_ms, hi_ms, count)`` in order
+        (Prometheus exposition and plotting input)."""
+        out = []
+        if self.zero_count:
+            out.append((0.0, self.min_value, self.zero_count))
+        for i in sorted(self.buckets):
+            out.append(
+                (self._bucket_lo(i), self._bucket_lo(i + 1), self.buckets[i])
+            )
+        return out

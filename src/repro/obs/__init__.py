@@ -22,8 +22,10 @@ the artifacts at end of run.
 
 from __future__ import annotations
 
+import json as _json
 from pathlib import Path
 
+from .attribution import AttributionRecorder, PHASES, REQUEST_CLASSES
 from .events import (
     BadBlockRetired,
     BufferEvict,
@@ -40,8 +42,10 @@ from .events import (
     ReadRetry,
     RequestArrive,
     RequestComplete,
+    RequestPhases,
 )
 from .export import (
+    attribution_prometheus_text,
     json_snapshot,
     prometheus_text,
     write_json_snapshot,
@@ -51,6 +55,7 @@ from .samplers import ChipUtilizationSampler, GaugeSampler, SamplerSet
 from .trace import TraceRecorder, load_chrome
 
 __all__ = [
+    "AttributionRecorder",
     "BadBlockRetired",
     "BufferEvict",
     "BufferLookup",
@@ -66,11 +71,15 @@ __all__ = [
     "GaugeSampler",
     "MediaFault",
     "Observability",
+    "PHASES",
+    "REQUEST_CLASSES",
     "ReadRetry",
     "RequestArrive",
     "RequestComplete",
+    "RequestPhases",
     "SamplerSet",
     "TraceRecorder",
+    "attribution_prometheus_text",
     "json_snapshot",
     "load_chrome",
     "prometheus_text",
@@ -99,6 +108,9 @@ class Observability:
             SamplerSet(config.sample_interval_ms)
             if config.sample_interval_ms > 0
             else None
+        )
+        self.attribution: AttributionRecorder | None = (
+            AttributionRecorder() if config.attribution else None
         )
 
     # ------------------------------------------------------------------
@@ -142,8 +154,11 @@ class Observability:
         """Dump every configured artifact under ``outdir``.
 
         Returns ``{artifact kind: written path}``; kinds are
-        ``chrome_trace``, ``spans_jsonl``, ``prometheus`` and
-        ``snapshot_json`` (the first two only when tracing was on).
+        ``chrome_trace``, ``spans_jsonl``, ``prometheus``,
+        ``snapshot_json`` and ``attribution_json`` (the first two only
+        when tracing was on, the last only with attribution on — the
+        Prometheus file then also carries the per-phase histogram
+        families).
         """
         outdir = Path(outdir)
         outdir.mkdir(parents=True, exist_ok=True)
@@ -157,8 +172,16 @@ class Observability:
             paths["spans_jsonl"] = str(jsonl)
         prom = outdir / "metrics.prom"
         write_prometheus(prom, counters, self.samplers)
+        if self.attribution is not None:
+            with open(prom, "a") as fh:
+                fh.write(attribution_prometheus_text(self.attribution))
         paths["prometheus"] = str(prom)
         snap = outdir / "snapshot.json"
         write_json_snapshot(snap, counters, self.samplers, extra)
         paths["snapshot_json"] = str(snap)
+        if self.attribution is not None:
+            attr_path = outdir / "attribution.json"
+            with open(attr_path, "w") as fh:
+                _json.dump(self.attribution.summary(), fh, indent=1)
+            paths["attribution_json"] = str(attr_path)
         return paths

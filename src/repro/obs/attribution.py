@@ -1,0 +1,269 @@
+"""Per-request critical-path latency attribution.
+
+:class:`AttributionRecorder` decomposes every host request's latency
+into named phases (the paper's Fig. 4 motivation study asks *where* an
+across-page request's extra latency goes):
+
+=================  ====================================================
+``queue``          NCQ host-queue wait (device accepted the request
+                   after its arrival)
+``cache``          DRAM write-buffer / metadata service time
+``map_read``       mapping-translation flash reads (CMT misses)
+``flash_read``     data-page flash reads on the critical path
+``update_read``    RMW old-data reads (paper's update reads)
+``merged_read``    across-FTL merged-read extra page reads
+``flash_program``  page program cell time
+``bus_xfer``       channel data-transfer time (``timing.transfer_ms``)
+``media_retry``    read-retry / reprogram penalties (:mod:`repro.faults`)
+``gc_stall``       waiting on a chip occupied by background work (GC
+                   migrations/erases, dirty-CMT write-back fetches)
+``chip_wait``      waiting on a chip occupied by other host requests
+=================  ====================================================
+
+The decomposition is a **frontier ledger**: a request's critical-path
+frontier starts at its service ``start`` and every *gating* flash
+operation (one whose completion folds into the request finish time)
+advances it.  Chip wait before an operation begins is split against the
+recorded end of background work on that chip (``gc_stall`` vs
+``chip_wait``); the operation's own timeline segments (cell time, bus
+transfer, retry penalties) are then credited to their phases for
+whatever portion extends past the frontier.  Operations that finish
+behind the frontier — parallel sub-requests off the critical path —
+contribute nothing, which is exactly the paper's completion rule
+(a request completes when its *slowest* sub-request does).
+
+Because the frontier only ever advances to recorded completion times
+and the engine folds the same times into the request finish, the
+recorded phases sum **exactly** to the recorded request latency.  That
+conservation law is enforced per-request by
+:meth:`repro.check.invariants.InvariantChecker.check_attribution`
+(tolerance 1e-9 ms) and doubles as a tripwire for un-instrumented
+gating operations.
+
+Per ``request class x phase`` durations additionally stream into
+bounded-memory :class:`~repro.metrics.sketch.LogHistogram` sketches, so
+p50/p95/p99/p99.9 per phase stay available on million-request runs
+without retaining samples.
+
+Everything here is **off by default** — the flash service holds an
+``attr`` reference that stays ``None`` unless
+``SimConfig.observability.attribution`` is set, so normal runs pay one
+``is None`` branch per operation.
+"""
+
+from __future__ import annotations
+
+from ..metrics.sketch import LogHistogram
+
+#: closed phase vocabulary (stacked-bar ordering: service phases first,
+#: waits last)
+PHASES = (
+    "queue",
+    "cache",
+    "map_read",
+    "flash_read",
+    "update_read",
+    "merged_read",
+    "flash_program",
+    "bus_xfer",
+    "media_retry",
+    "gc_stall",
+    "chip_wait",
+)
+
+#: request classes attribution aggregates over (the engine's Fig. 4
+#: across/normal split, per direction, plus trims)
+REQUEST_CLASSES = (
+    "read_normal",
+    "read_across",
+    "write_normal",
+    "write_across",
+    "trim",
+)
+
+
+class AttributionRecorder:
+    """Critical-path phase ledger for the request currently in service.
+
+    The engine calls :meth:`begin`/:meth:`complete` around each request;
+    :class:`~repro.flash.service.FlashService` calls :meth:`record` for
+    every timed flash operation; FTL layers bracket non-gating work
+    (GC, log-block merges, dirty CMT fetches) with
+    :meth:`suspend`/:meth:`resume` and tag re-align overhead reads by
+    setting :attr:`read_label`.
+    """
+
+    def __init__(self, min_value: float = 1e-4, growth: float = 1.04):
+        #: phase accumulator of the in-flight request (None = no request)
+        self._acc: dict | None = None
+        #: critical-path frontier of the in-flight request (ms)
+        self._frontier = 0.0
+        #: suspend depth: >0 means ops are background (non-gating)
+        self._suspend = 0
+        #: chip -> latest recorded end of background work on it
+        self._bg_busy: dict[int, float] = {}
+        #: label override for the next data reads ("update_read" /
+        #: "merged_read"); None = plain "flash_read"
+        self.read_label: str | None = None
+        #: (request class, phase) -> latency sketch; phase "total" holds
+        #: the end-to-end request latency
+        self.sketches: dict[tuple[str, str], LogHistogram] = {}
+        #: per-class completed-request counts
+        self.class_counts: dict[str, int] = {}
+        #: per-class x phase summed milliseconds (breakdown tables)
+        self.phase_ms: dict[str, dict[str, float]] = {}
+        self._hist_args = (min_value, growth)
+
+    # ------------------------------------------------------------------
+    # request lifecycle (engine)
+    # ------------------------------------------------------------------
+    def begin(self, arrival: float, start: float) -> None:
+        """Open the ledger for a request accepted at ``start``."""
+        acc: dict[str, float] = {}
+        if start > arrival:
+            acc["queue"] = start - arrival
+        self._acc = acc
+        self._frontier = start
+        self.read_label = None
+
+    def advance(self, phase: str, end: float) -> None:
+        """Credit ``phase`` with frontier time up to ``end`` (DRAM-side
+        gates the flash service never sees: cache folds, trim finishes)."""
+        acc = self._acc
+        if acc is None:
+            return
+        if end > self._frontier:
+            acc[phase] = acc.get(phase, 0.0) + (end - self._frontier)
+            self._frontier = end
+
+    def complete(self, cls: str, latency: float) -> dict[str, float]:
+        """Close the ledger: fold phases into the per-class sketches and
+        return the phase dict (the conservation-check input)."""
+        acc = self._acc if self._acc is not None else {}
+        self._acc = None
+        self.read_label = None
+        self.class_counts[cls] = self.class_counts.get(cls, 0) + 1
+        totals = self.phase_ms.setdefault(cls, {})
+        sketches = self.sketches
+        for phase, ms in acc.items():
+            totals[phase] = totals.get(phase, 0.0) + ms
+            key = (cls, phase)
+            h = sketches.get(key)
+            if h is None:
+                h = sketches[key] = LogHistogram(*self._hist_args)
+            h.add(ms)
+        key = (cls, "total")
+        h = sketches.get(key)
+        if h is None:
+            h = sketches[key] = LogHistogram(*self._hist_args)
+        h.add(latency)
+        return acc
+
+    # ------------------------------------------------------------------
+    # background bracketing (GC, merges, dirty CMT fetches, trim)
+    # ------------------------------------------------------------------
+    def suspend(self) -> None:
+        """Ops until :meth:`resume` are background: they never advance
+        the frontier, only mark their chips as busy with background
+        work (subsequent waits on those chips count as ``gc_stall``)."""
+        self._suspend += 1
+
+    def resume(self) -> None:
+        """Re-enter normal recording after :meth:`suspend`."""
+        self._suspend -= 1
+
+    def note_background(self, chip: int, end: float) -> None:
+        """Record background occupancy of ``chip`` until ``end``
+        (erases are issued inside suspend brackets but also arrive here
+        directly, so the attribution of later waits never depends on
+        bracket placement around the erase itself)."""
+        if end > self._bg_busy.get(chip, 0.0):
+            self._bg_busy[chip] = end
+
+    # ------------------------------------------------------------------
+    # flash operations (FlashService)
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        chip: int,
+        issue: float,
+        wait_end: float,
+        segs: tuple,
+    ) -> None:
+        """Fold one timed flash operation into the ledger.
+
+        ``issue`` is when the FTL issued the op, ``wait_end`` when it
+        started occupying its first resource, and ``segs`` the op's
+        timeline as ascending ``(phase, end_ms)`` pairs.  Only the
+        portion past the current frontier lands in the ledger, so
+        off-critical-path parallel sub-requests cost nothing.
+        """
+        if self._suspend:
+            end = segs[-1][1]
+            if end > self._bg_busy.get(chip, 0.0):
+                self._bg_busy[chip] = end
+            return
+        acc = self._acc
+        if acc is None:
+            # op outside any request (end-of-run metadata flush)
+            return
+        f = self._frontier
+        if wait_end > f:
+            w0 = f if f > issue else issue
+            bg = self._bg_busy.get(chip, 0.0)
+            if bg > w0:
+                g1 = bg if bg < wait_end else wait_end
+                acc["gc_stall"] = acc.get("gc_stall", 0.0) + (g1 - w0)
+                w0 = g1
+            if wait_end > w0:
+                acc["chip_wait"] = acc.get("chip_wait", 0.0) + (wait_end - w0)
+            f = wait_end
+        prev = wait_end
+        for phase, end in segs:
+            if end > f:
+                s0 = f if f > prev else prev
+                acc[phase] = acc.get(phase, 0.0) + (end - s0)
+                f = end
+            prev = end
+        self._frontier = f
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def quantiles(
+        self, qs=(0.5, 0.95, 0.99, 0.999)
+    ) -> dict[str, dict[str, dict[str, float]]]:
+        """``{class: {phase: {"p50": ..., "p99.9": ...}}}``."""
+        out: dict[str, dict[str, dict[str, float]]] = {}
+        for (cls, phase), h in sorted(self.sketches.items()):
+            out.setdefault(cls, {})[phase] = h.quantiles(qs)
+        return out
+
+    def summary(self) -> dict:
+        """JSON-serialisable aggregate for
+        :attr:`~repro.metrics.report.SimulationReport.attribution`."""
+        return {
+            "requests": dict(sorted(self.class_counts.items())),
+            "phase_ms": {
+                cls: {p: totals[p] for p in sorted(totals)}
+                for cls, totals in sorted(self.phase_ms.items())
+            },
+            "quantiles": self.quantiles(),
+            "sketches": {
+                f"{cls}/{phase}": h.to_dict()
+                for (cls, phase), h in sorted(self.sketches.items())
+            },
+        }
+
+    @staticmethod
+    def mean_phase_breakdown(summary: dict) -> dict[str, dict[str, float]]:
+        """Per-class *mean* ms per phase from a :meth:`summary` dict
+        (the ``repro profile`` breakdown-table input)."""
+        out: dict[str, dict[str, float]] = {}
+        requests = summary.get("requests", {})
+        for cls, totals in summary.get("phase_ms", {}).items():
+            n = requests.get(cls, 0)
+            if not n:
+                continue
+            out[cls] = {p: ms / n for p, ms in totals.items()}
+        return out

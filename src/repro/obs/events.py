@@ -59,6 +59,23 @@ class RequestComplete(Event):
 
 
 @dataclass(frozen=True, slots=True)
+class RequestPhases(Event):
+    """Critical-path latency attribution of a completed request.
+
+    Emitted just before :class:`RequestComplete` when
+    ``SimConfig.observability.attribution`` is on.  ``phases`` is a
+    tuple of ``(phase name, milliseconds)`` pairs (sorted by name) from
+    the :data:`repro.obs.attribution.PHASES` vocabulary; the values sum
+    to the request latency (the conservation law
+    :meth:`repro.check.invariants.InvariantChecker.check_attribution`
+    enforces).
+    """
+
+    rid: int
+    phases: tuple
+
+
+@dataclass(frozen=True, slots=True)
 class BufferLookup(Event):
     """Write-buffer (DRAM data cache) read lookup: hit or miss."""
 

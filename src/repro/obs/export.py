@@ -4,11 +4,17 @@
 (plus optional sampler gauges and per-chip utilisation) in the
 Prometheus text exposition format, so a run's final state — or a
 long-lived service wrapping the simulator — can be scraped or diffed
-with standard tooling.  ``json_snapshot`` captures the same data as a
-plain JSON-serialisable dict including the full sampler time series.
+with standard tooling.  ``attribution_prometheus_text`` renders the
+latency-attribution sketches (:mod:`repro.obs.attribution`) as native
+Prometheus histogram families.  ``json_snapshot`` captures the same
+data as a plain JSON-serialisable dict including the full sampler time
+series.
 
-All metric names carry the ``repro_`` prefix; counters end in
-``_total`` per Prometheus naming conventions.
+Exposition-format contract (the lint test pins it): every metric family
+gets exactly one ``# HELP`` and one ``# TYPE`` line, emitted before its
+first sample; label values are escaped per the spec (backslash, quote,
+newline).  All metric names carry the ``repro_`` prefix; counters end
+in ``_total`` per Prometheus naming conventions.
 """
 
 from __future__ import annotations
@@ -26,11 +32,59 @@ _HELP = {
     "repro_update_reads_total": "RMW-induced flash reads",
     "repro_merged_reads_total": "Across-FTL merged-read extra page reads",
     "repro_gc_stalls_total": "GC passes that found no space-freeing victim",
+    # media reliability (repro.faults; all zero with injection off)
+    "repro_read_retries_total": "Read-retry steps walked past the ECC budget",
+    "repro_uncorrectable_reads_total":
+        "Reads whose errors survived the whole retry table",
+    "repro_program_fails_total": "Program-status failures (reprogram pulses)",
+    "repro_erase_fails_total": "Erase-status failures (block retired)",
+    "repro_bad_blocks_total": "Blocks retired as bad",
+    "repro_fault_relocations_total":
+        "Valid pages relocated off retiring blocks",
+}
+
+#: HELP text for the sampler-derived gauge families (anything not
+#: listed falls back to a generic line so every family still gets one)
+_GAUGE_HELP = {
+    "repro_queue_depth": "Outstanding host requests at the last sample",
+    "repro_free_blocks": "Erased blocks across all planes",
+    "repro_amt_occupancy": "Live across-area mapping-table entries",
+    "repro_chip_utilization": "Per-chip busy fraction since start of run",
 }
 
 
 def _escape(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels(labels: dict | None) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape(str(v))}"' for k, v in labels.items()
+    )
+    return "{" + inner + "}"
+
+
+class _Exposition:
+    """Line builder enforcing one HELP/TYPE pair per metric family."""
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self._families: set[str] = set()
+
+    def family(self, name: str, mtype: str, help_text: str) -> None:
+        if name in self._families:
+            return
+        self._families.add(name)
+        self.lines.append(f"# HELP {name} {help_text}")
+        self.lines.append(f"# TYPE {name} {mtype}")
+
+    def sample(self, name: str, labels: dict | None, value) -> None:
+        self.lines.append(f"{name}{_labels(labels)} {value}")
+
+    def text(self) -> str:
+        return "\n".join(self.lines) + "\n"
 
 
 def prometheus_text(
@@ -44,21 +98,11 @@ def prometheus_text(
     its gauge samplers export their latest value and any chip-utilisation
     sampler exports one ``repro_chip_utilization`` gauge per chip.
     """
-    lines: list[str] = []
+    exp = _Exposition()
 
     def counter(name: str, value: int, labels: dict | None = None) -> None:
-        if _HELP.get(name):
-            help_line = f"# HELP {name} {_HELP[name]}"
-            if help_line not in lines:
-                lines.append(help_line)
-                lines.append(f"# TYPE {name} counter")
-        label = ""
-        if labels:
-            inner = ",".join(
-                f'{k}="{_escape(str(v))}"' for k, v in labels.items()
-            )
-            label = "{" + inner + "}"
-        lines.append(f"{name}{label} {value}")
+        exp.family(name, "counter", _HELP.get(name, name))
+        exp.sample(name, labels, value)
 
     for kind in OpKind:
         counter("repro_flash_reads_total", counters.reads[kind],
@@ -72,6 +116,12 @@ def prometheus_text(
     counter("repro_update_reads_total", counters.update_reads)
     counter("repro_merged_reads_total", counters.merged_reads)
     counter("repro_gc_stalls_total", counters.gc_stalls)
+    counter("repro_read_retries_total", counters.read_retries)
+    counter("repro_uncorrectable_reads_total", counters.uncorrectable_reads)
+    counter("repro_program_fails_total", counters.program_fails)
+    counter("repro_erase_fails_total", counters.erase_fails)
+    counter("repro_bad_blocks_total", counters.bad_blocks)
+    counter("repro_fault_relocations_total", counters.fault_relocations)
 
     gauges: dict[str, float] = {}
     chip_util = None
@@ -84,13 +134,61 @@ def prometheus_text(
         gauges.update(extra_gauges)
     for name, value in sorted(gauges.items()):
         metric = f"repro_{name}"
-        lines.append(f"# TYPE {metric} gauge")
-        lines.append(f"{metric} {value}")
+        exp.family(
+            metric, "gauge",
+            _GAUGE_HELP.get(metric, f"Sampled gauge {name}"),
+        )
+        exp.sample(metric, None, value)
     if chip_util is not None and chip_util.latest() is not None:
-        lines.append("# TYPE repro_chip_utilization gauge")
+        exp.family(
+            "repro_chip_utilization", "gauge",
+            _GAUGE_HELP["repro_chip_utilization"],
+        )
         for chip, util in enumerate(chip_util.latest()):
-            lines.append(f'repro_chip_utilization{{chip="{chip}"}} {util}')
-    return "\n".join(lines) + "\n"
+            exp.sample("repro_chip_utilization", {"chip": chip}, util)
+    return exp.text()
+
+
+def attribution_prometheus_text(recorder) -> str:
+    """Render an :class:`~repro.obs.attribution.AttributionRecorder`'s
+    sketches as Prometheus *histogram* families.
+
+    One family, ``repro_request_phase_latency_ms``, labelled by request
+    ``class`` and ``phase`` (the pseudo-phase ``total`` carries the
+    end-to-end request latency); cumulative ``_bucket`` samples use the
+    sketches' logarithmic upper bounds, terminated by ``+Inf``, plus
+    the conventional ``_sum`` and ``_count``.  Request counts per class
+    export as ``repro_requests_total``.
+    """
+    exp = _Exposition()
+    name = "repro_request_phase_latency_ms"
+    exp.family(
+        name, "histogram",
+        "Critical-path latency attribution by request class and phase",
+    )
+    for (cls, phase), hist in sorted(recorder.sketches.items()):
+        base = {"class": cls, "phase": phase}
+        cum = 0
+        for _lo, hi, count in hist.bucket_bounds():
+            cum += count
+            exp.sample(
+                f"{name}_bucket", {**base, "le": f"{hi:.6g}"}, cum
+            )
+        exp.sample(f"{name}_bucket", {**base, "le": "+Inf"}, hist.count)
+        exp.sample(f"{name}_sum", base, hist.total)
+        exp.sample(f"{name}_count", base, hist.count)
+    exp.family(
+        "repro_requests_total", "counter",
+        "Completed host requests by attribution class",
+    )
+    for cls, n in sorted(recorder.class_counts.items()):
+        exp.sample("repro_requests_total", {"class": cls}, n)
+    return exp.text()
+
+
+#: `extra` value types json_snapshot accepts as-is; numpy scalars are
+#: converted via .item() first, everything else must survive json.dumps
+_EXTRA_TYPES = (int, float, str, bool, type(None), list, dict)
 
 
 def json_snapshot(
@@ -98,16 +196,46 @@ def json_snapshot(
     samplers=None,
     extra: dict | None = None,
 ) -> dict:
-    """JSON-serialisable snapshot: counters + full sampler series."""
+    """JSON-serialisable snapshot: counters + full sampler series.
+
+    ``extra`` values must be JSON-serialisable: ``int``, ``float``,
+    ``str``, ``bool``, ``None``, or ``list``/``dict`` compositions of
+    those.  Numpy scalars are converted via their ``.item()`` method.
+    Anything else raises :class:`TypeError` naming the offending key —
+    silently dropping a value would corrupt archived snapshots.
+    """
     snap: dict = {"counters": counters.snapshot()}
     if samplers is not None:
         snap["series"] = samplers.series()
     if extra:
-        snap["extra"] = {
-            k: v
-            for k, v in extra.items()
-            if isinstance(v, (int, float, str, bool, list, dict))
-        }
+        cleaned = {}
+        for k, v in extra.items():
+            item = getattr(v, "item", None)
+            if item is not None and not isinstance(v, _EXTRA_TYPES):
+                # numpy scalar (np.int64 etc.): unwrap to the Python
+                # type; a multi-element ndarray raises here and falls
+                # through to the TypeError below
+                try:
+                    v = item()
+                except (TypeError, ValueError):
+                    pass
+            if isinstance(v, (list, dict)):
+                try:
+                    json.dumps(v)
+                except (TypeError, ValueError) as exc:
+                    raise TypeError(
+                        f"json_snapshot extra[{k!r}] is not "
+                        f"JSON-serialisable: {exc}"
+                    ) from exc
+            elif not isinstance(v, _EXTRA_TYPES):
+                raise TypeError(
+                    f"json_snapshot extra[{k!r}] has unsupported type "
+                    f"{type(v).__name__}; accepted: int, float, str, "
+                    f"bool, None, list, dict (numpy scalars are "
+                    f"unwrapped automatically)"
+                )
+            cleaned[k] = v
+        snap["extra"] = cleaned
     return snap
 
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 import json
 from typing import Optional
 
+from .attribution import PHASES
 from .events import (
     BufferLookup,
     EventBus,
@@ -32,6 +33,7 @@ from .events import (
     GCStall,
     RequestArrive,
     RequestComplete,
+    RequestPhases,
 )
 
 #: number of parallel display lanes for request slices (requests whose
@@ -62,6 +64,7 @@ class TraceRecorder:
         bus.subscribe(FlashOp, self._on_flash)
         bus.subscribe(GCEvent, self._on_gc)
         bus.subscribe(GCStall, self._on_gc_stall)
+        bus.subscribe(RequestPhases, self._on_phases)
 
     # -- event handlers --------------------------------------------------
     def _on_arrive(self, ev: RequestArrive) -> None:
@@ -78,6 +81,7 @@ class TraceRecorder:
             "paths": [],
             "flash_ops": [],
             "gc_victims": 0,
+            "phases": None,
         }
 
     def _on_complete(self, ev: RequestComplete) -> None:
@@ -122,18 +126,39 @@ class TraceRecorder:
     def _on_gc_stall(self, ev: GCStall) -> None:
         self.gc_stalls.append(ev)
 
+    def _on_phases(self, ev: RequestPhases) -> None:
+        span = self._open.get(ev.rid)
+        if span is not None:
+            span["phases"] = {name: ms for name, ms in ev.phases}
+
     # -- exports ---------------------------------------------------------
     def __len__(self) -> int:
         return len(self.spans)
 
     def to_chrome(self) -> dict:
-        """The Chrome trace-viewer JSON object (``traceEvents`` list)."""
-        events: list[dict] = [
+        """The Chrome trace-viewer JSON object (``traceEvents`` list).
+
+        Metadata records lead: process names plus a ``thread_name`` for
+        every request lane and every chip row that carries events.  The
+        timed events that follow are sorted by timestamp (the validity
+        contract the Chrome-trace test pins).  Spans carrying
+        attribution phases (``observability.attribution``) additionally
+        render each phase as a nested sub-slice on the request's lane,
+        so the viewer shows *where* each request's latency went.
+        """
+        meta: list[dict] = [
             {"ph": "M", "pid": 1, "name": "process_name",
              "args": {"name": "requests"}},
             {"ph": "M", "pid": 2, "name": "process_name",
              "args": {"name": "flash chips"}},
         ]
+        for lane in range(REQUEST_LANES):
+            meta.append({
+                "ph": "M", "pid": 1, "tid": lane, "name": "thread_name",
+                "args": {"name": f"lane {lane}"},
+            })
+        chips: set[int] = set()
+        timed: list[dict] = []
         lane_free_until = [float("-inf")] * REQUEST_LANES
         for span in self.spans:
             start = span["arrival_ms"]
@@ -151,7 +176,7 @@ class TraceRecorder:
             name = span["op"]
             if span["across"]:
                 name += " (across)"
-            events.append({
+            timed.append({
                 "name": name,
                 "ph": "X",
                 "pid": 1,
@@ -168,15 +193,36 @@ class TraceRecorder:
                     "gc_victims": span["gc_victims"],
                 },
             })
+            if span["phases"]:
+                # sequential phase sub-slices: a latency decomposition
+                # laid end-to-end (phases sum to the span duration),
+                # not a reconstruction of when each phase ran
+                t0 = start
+                for phase in PHASES:
+                    ms = span["phases"].get(phase, 0.0)
+                    if ms <= 0.0:
+                        continue
+                    timed.append({
+                        "name": f"phase:{phase}",
+                        "ph": "X",
+                        "pid": 1,
+                        "tid": lane,
+                        "ts": t0 * 1000.0,
+                        "dur": ms * 1000.0,
+                        "args": {"rid": span["rid"]},
+                    })
+                    t0 += ms
             for fo in span["flash_ops"]:
-                events.append(_chrome_flash(fo, span["rid"]))
+                chips.add(fo["chip"])
+                timed.append(_chrome_flash(fo, span["rid"]))
         for ev in self.orphan_flash:
-            events.append(_chrome_flash({
+            chips.add(ev.chip)
+            timed.append(_chrome_flash({
                 "op": ev.op, "kind": ev.kind, "chip": ev.chip,
                 "start_ms": ev.t, "finish_ms": ev.finish, "ppn": ev.ppn,
             }, -1))
         for ev in self.gc_stalls:
-            events.append({
+            timed.append({
                 "name": "GC stall",
                 "ph": "i",
                 "s": "g",
@@ -185,7 +231,13 @@ class TraceRecorder:
                 "ts": ev.t * 1000.0,
                 "args": {"plane": ev.plane, "free_blocks": ev.free_blocks},
             })
-        return {"traceEvents": events, "displayTimeUnit": "ms"}
+        for chip in sorted(chips):
+            meta.append({
+                "ph": "M", "pid": 2, "tid": chip, "name": "thread_name",
+                "args": {"name": f"chip {chip}"},
+            })
+        timed.sort(key=lambda e: e["ts"])
+        return {"traceEvents": meta + timed, "displayTimeUnit": "ms"}
 
     def write_chrome(self, path) -> None:
         """Write :meth:`to_chrome` as JSON to ``path``."""

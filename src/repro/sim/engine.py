@@ -32,7 +32,12 @@ from ..metrics.report import SimulationReport
 from ..metrics.series import CounterSeries, Snapshot
 from ..metrics.timeline import RequestLog
 from ..obs import Observability
-from ..obs.events import BufferLookup, RequestArrive, RequestComplete
+from ..obs.events import (
+    BufferLookup,
+    RequestArrive,
+    RequestComplete,
+    RequestPhases,
+)
 from ..traces.model import OP_TRIM, OP_WRITE, Trace
 from .oracle import SectorOracle
 
@@ -105,11 +110,15 @@ class Simulator:
         #: disabled, so every hot-path hook is a single `is None` branch
         self.obs: Optional[Observability] = None
         self._bus = None
+        #: latency-attribution recorder (observability.attribution);
+        #: None on the fast path like the bus
+        self._attr = None
         self._next_rid = 0
         self._now = 0.0
         if self.sim_cfg.observability.enabled:
             self.obs = Observability(self.sim_cfg.observability)
             self._bus = self.obs.bus
+            self._attr = self.obs.attribution
             self.obs.bind(
                 timeline=ftl.service.timeline,
                 array=ftl.service.array,
@@ -157,12 +166,14 @@ class Simulator:
     def _attach_obs(self) -> None:
         """Install the event bus on every instrumented component."""
         self.ftl.service.obs = self._bus
+        self.ftl.service.attr = self._attr
         if self.cache is not None:
             self.cache.obs = self._bus
 
     def _detach_obs(self) -> None:
         """Silence the bus (device aging must not flood the trace)."""
         self.ftl.service.obs = None
+        self.ftl.service.attr = None
         if self.cache is not None:
             self.cache.obs = None
 
@@ -341,9 +352,21 @@ class Simulator:
             bus.now = start
             bus.current_request = rid
             bus.emit(RequestArrive(arrival, rid, op, offset, size, across))
+        attr = self._attr
+        if attr is not None:
+            attr.begin(arrival, start)
 
         if op == OP_TRIM:
-            finish = self.ftl.trim(offset, size, start)
+            if attr is not None:
+                # any flash work a trim triggers (across-area rollback)
+                # is non-gating: the trim completes at DRAM speed
+                attr.suspend()
+                try:
+                    finish = self.ftl.trim(offset, size, start)
+                finally:
+                    attr.resume()
+            else:
+                finish = self.ftl.trim(offset, size, start)
             if self.cache is not None:
                 self.cache.discard(offset, size)
             if self.oracle is not None:
@@ -357,7 +380,17 @@ class Simulator:
             # a trim never induces flash programs)
             if self.request_log is not None:
                 self.request_log.append(arrival, op, across, latency, 0)
+            phases = None
+            if attr is not None:
+                attr.advance("cache", finish)
+                phases = attr.complete("trim", latency)
+                if self.checker is not None:
+                    self.checker.check_attribution(phases, latency, rid)
             if bus is not None:
+                if phases:
+                    bus.emit(RequestPhases(
+                        finish, rid, tuple(sorted(phases.items()))
+                    ))
                 bus.emit(RequestComplete(finish, rid, latency))
                 self.obs.maybe_sample(finish)
             return latency
@@ -372,12 +405,16 @@ class Simulator:
                 t = start + self._cache_ms
                 if t > finish:
                     finish = t
+                if attr is not None:
+                    attr.advance("cache", t)
         else:
             if self.cache is not None and self.cache.full_hit(offset, size):
                 counters.cache_hits += 1
                 if bus is not None:
                     bus.emit(BufferLookup(start, rid, True))
                 finish = start + self._cache_ms
+                if attr is not None:
+                    attr.advance("cache", finish)
                 found = self.cache.get_stamps(offset, size) if self.oracle else None
             else:
                 if bus is not None and self.cache is not None:
@@ -400,7 +437,19 @@ class Simulator:
             self.flush_sectors[cls] += size
         if self.request_log is not None:
             self.request_log.append(arrival, op, across, latency, induced)
+        phases = None
+        if attr is not None:
+            cls = ("write_" if op == OP_WRITE else "read_") + (
+                "across" if across else "normal"
+            )
+            phases = attr.complete(cls, latency)
+            if self.checker is not None:
+                self.checker.check_attribution(phases, latency, rid)
         if bus is not None:
+            if phases:
+                bus.emit(RequestPhases(
+                    finish, rid, tuple(sorted(phases.items()))
+                ))
             bus.emit(RequestComplete(finish, rid, latency))
             self.obs.maybe_sample(finish)
         return latency
@@ -507,4 +556,7 @@ class Simulator:
             extra=extra,
             mapping_table_bytes=self.ftl.mapping_table_bytes(),
             wall_seconds=_time.perf_counter() - t0,
+            attribution=(
+                self._attr.summary() if self._attr is not None else None
+            ),
         )

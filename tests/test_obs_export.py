@@ -84,10 +84,31 @@ class TestJsonSnapshot:
         assert snap["extra"]["scheme"] == "across"
         json.dumps(snap)  # must be plain JSON-serialisable
 
-    def test_non_serialisable_extras_dropped(self):
-        snap = json_snapshot(_counters(), None, {"obj": object(), "n": 1})
-        assert "obj" not in snap["extra"]
-        assert snap["extra"]["n"] == 1
+    def test_non_serialisable_extras_raise(self):
+        """Silently dropping a value would corrupt archived snapshots;
+        unsupported `extra` types must raise, naming the key."""
+        with pytest.raises(TypeError, match="'obj'"):
+            json_snapshot(_counters(), None, {"obj": object(), "n": 1})
+
+    def test_numpy_scalars_unwrapped(self):
+        import numpy as np
+
+        snap = json_snapshot(
+            _counters(), None,
+            {"n": np.int64(7), "f": np.float64(0.5), "b": np.bool_(True)},
+        )
+        assert snap["extra"] == {"n": 7, "f": 0.5, "b": True}
+        json.dumps(snap)
+
+    def test_nested_non_serialisable_raises(self):
+        with pytest.raises(TypeError, match="'bad'"):
+            json_snapshot(_counters(), None, {"bad": [object()]})
+
+    def test_ndarray_raises_with_key(self):
+        import numpy as np
+
+        with pytest.raises(TypeError, match="'arr'"):
+            json_snapshot(_counters(), None, {"arr": np.zeros(3)})
 
 
 class TestSamplerTick:

@@ -1,0 +1,101 @@
+"""Log-bucketed latency sketches (repro.metrics.sketch)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.sketch import LogHistogram
+
+
+def _filled(values, **kw):
+    h = LogHistogram(**kw)
+    for v in values:
+        h.add(v)
+    return h
+
+
+class TestAccounting:
+    def test_count_and_total(self):
+        h = _filled([0.5, 1.0, 2.0])
+        assert h.count == 3
+        assert h.total == pytest.approx(3.5)
+
+    def test_zero_and_negative_go_to_zero_bucket(self):
+        h = _filled([0.0, -1.0, 1e-9, 0.5])
+        assert h.count == 4
+        assert h.zero_count == 3
+        assert h.total == pytest.approx(0.5 + 1e-9)
+
+    def test_weighted_add(self):
+        h = LogHistogram()
+        h.add(2.0, n=5)
+        assert h.count == 5
+        assert h.total == pytest.approx(10.0)
+
+
+class TestQuantiles:
+    def test_empty_returns_zero(self):
+        assert LogHistogram().quantile(0.99) == 0.0
+
+    def test_relative_error_bound(self):
+        """Every quantile is within the bucket's geometric half-width
+        (sqrt(growth) - 1 relative) of the exact value."""
+        rng = np.random.default_rng(7)
+        values = rng.lognormal(mean=0.0, sigma=1.5, size=5_000)
+        h = _filled(values)
+        bound = np.sqrt(h.growth) - 1.0
+        for q in (0.5, 0.9, 0.99, 0.999):
+            exact = float(np.quantile(values, q))
+            est = h.quantile(q)
+            assert abs(est - exact) / exact <= bound + 1e-9, (q, est, exact)
+
+    def test_named_quantiles(self):
+        h = _filled([1.0] * 100)
+        qs = h.quantiles()
+        assert set(qs) == {"p50", "p95", "p99", "p99.9"}
+        for v in qs.values():
+            assert v == pytest.approx(1.0, rel=0.05)
+
+    def test_all_zero_samples(self):
+        h = _filled([0.0] * 10)
+        assert h.quantile(0.99) == 0.0
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        h = _filled([0.0, 0.3, 5.0, 700.0, 700.0])
+        h2 = LogHistogram.from_dict(h.to_dict())
+        assert h2 == h
+        assert h2.quantile(0.5) == h.quantile(0.5)
+
+    def test_dict_is_json_safe(self):
+        import json
+
+        d = _filled([0.1, 2.0]).to_dict()
+        json.loads(json.dumps(d))
+
+    def test_merge_equals_union(self):
+        rng = np.random.default_rng(3)
+        a_vals = rng.exponential(2.0, 500)
+        b_vals = rng.exponential(0.5, 300)
+        a = _filled(a_vals)
+        a.merge(_filled(b_vals))
+        both = _filled(np.concatenate([a_vals, b_vals]))
+        assert a == both
+
+
+class TestBucketBounds:
+    def test_counts_sum_and_bounds_enclose(self):
+        values = [0.0, 0.2, 0.2, 3.0, 50.0]
+        h = _filled(values)
+        bounds = h.bucket_bounds()
+        assert sum(c for _, _, c in bounds) == h.count
+        # first entry is the zero bucket
+        lo0, hi0, c0 = bounds[0]
+        assert lo0 == 0.0 and c0 == h.zero_count
+        for lo, hi, _c in bounds[1:]:
+            assert 0.0 < lo < hi
+
+    def test_bounds_ascend(self):
+        h = _filled([0.1, 1.0, 10.0, 100.0])
+        his = [hi for _, hi, _ in h.bucket_bounds()]
+        assert his == sorted(his)
