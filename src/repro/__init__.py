@@ -41,6 +41,7 @@ from .check import (
 from .config import (
     CheckConfig,
     FaultConfig,
+    FrontendConfig,
     SCHEMES,
     SimConfig,
     SSDConfig,
@@ -107,6 +108,7 @@ __all__ = [
     "TimingConfig",
     "FaultConfig",
     "CheckConfig",
+    "FrontendConfig",
     "SCHEMES",
     # substrate
     "FlashService",

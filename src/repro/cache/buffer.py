@@ -77,8 +77,37 @@ class DataCache:
                 self.obs.emit(BufferEvict(self.obs.now, evicted))
 
     def put_found(self, offset: int, size: int, found: Optional[dict]) -> None:
-        """Read-allocate: cache the sectors a flash read returned."""
-        self.put(offset, size, found)
+        """Read-allocate: cache only the sectors the flash read actually
+        returned data for.
+
+        Marking the whole requested extent cached (the old behaviour)
+        invented DRAM copies of sectors that hold no data — a later
+        read of an unwritten/trimmed extent then "hit" and skipped
+        flash, changing both timing and, with the oracle on, what
+        ``get_stamps`` could return.  ``found`` is only populated when
+        payload tracking is on (oracle runs); with ``found is None``
+        the service path reports nothing about per-sector validity, so
+        the legacy full-extent allocation is the only option (and keeps
+        oracle-off replays — the pinned bench digests — unchanged).
+        """
+        if found is None:
+            self.put(offset, size, None)
+            return
+        if not found:
+            return
+        end = offset + size
+        run_start = -1
+        prev = -2
+        for sec in sorted(found):
+            if sec < offset or sec >= end:
+                continue
+            if sec != prev + 1:
+                if run_start >= 0:
+                    self.put(run_start, prev - run_start + 1, found)
+                run_start = sec
+            prev = sec
+        if run_start >= 0:
+            self.put(run_start, prev - run_start + 1, found)
 
     # ------------------------------------------------------------------
     def full_hit(self, offset: int, size: int) -> bool:

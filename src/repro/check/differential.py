@@ -13,6 +13,10 @@ digests cannot:
   (:func:`repro.experiments.parallel.execute_runs`) must produce
   bit-identical reports (canonical digest, wall time excluded) to the
   same runs executed in-process.
+* **Frontend on/off, any queue depth** (opt-in) — the event-driven
+  frontend (:mod:`repro.sim.frontend`) reorders execution but its
+  hazard rules pin data semantics to arrival order, so its oracle read
+  digest must equal the sequential replay's at every host queue depth.
 
 Every replay runs with the runtime invariant checker enabled, so a
 sweep violation or oracle mismatch inside any leg is reported as a
@@ -36,7 +40,8 @@ class ReplayFailure:
     """One divergence or in-run violation found by the harness."""
 
     #: "invariant" | "oracle" | "error" | "scheme-divergence" |
-    #: "cache-divergence" | "jobs-divergence"
+    #: "cache-divergence" | "jobs-divergence" | "frontend-divergence" |
+    #: "qd-divergence"
     kind: str
     #: scheme the failure occurred in (None for cross-run comparisons)
     scheme: str | None
@@ -122,6 +127,8 @@ def differential_replay(
     compare_jobs: bool = False,
     jobs: int = 2,
     attribution: bool = False,
+    frontend: bool = False,
+    qd_sweep: tuple = (),
 ) -> DifferentialResult:
     """Replay ``trace`` across ``schemes`` and cross-check the results.
 
@@ -133,6 +140,14 @@ def differential_replay(
     report digests compared against the in-process runs.
     ``attribution`` arms the per-request phase-conservation invariant
     on every leg (see :func:`checked_sim_cfg`).
+
+    ``frontend`` adds, per scheme, a replay with the event-driven
+    frontend enabled (:mod:`repro.sim.frontend`): its hazard rules must
+    reproduce arrival semantics, so the oracle read digest must match
+    the sequential leg exactly ("frontend-divergence" otherwise).
+    ``qd_sweep`` (implies the frontend legs) additionally replays at
+    each listed host queue depth — reordering freedom may change every
+    latency, but never a returned sector version ("qd-divergence").
     """
     sim_cfg = checked_sim_cfg(sim_cfg, every=every, attribution=attribution)
     result = DifferentialResult(trace_name=trace.name)
@@ -180,6 +195,50 @@ def differential_replay(
                         f"{digests[scheme][:12]} (on) vs {got[:12]} (off)",
                     )
                 )
+
+    if frontend or qd_sweep:
+        fe_sim = sim_cfg.replace_frontend(enabled=True)
+        for scheme in schemes:
+            if scheme not in digests:
+                continue  # the sequential leg already failed
+            report, failure = _checked_run(scheme, trace, cfg, fe_sim)
+            if failure is not None:
+                result.failures.append(replace(
+                    failure, detail=f"(frontend leg) {failure.detail}"
+                ))
+                continue
+            got = report.extra["check_read_digest"]
+            if got != digests[scheme]:
+                result.failures.append(
+                    ReplayFailure(
+                        "frontend-divergence",
+                        scheme,
+                        f"read contents differ with the event-driven "
+                        f"frontend on: {digests[scheme][:12]} (sequential) "
+                        f"vs {got[:12]} (frontend)",
+                    )
+                )
+                continue
+            for qd in qd_sweep:
+                qd_sim = replace(fe_sim, queue_depth=qd)
+                report, failure = _checked_run(scheme, trace, cfg, qd_sim)
+                if failure is not None:
+                    result.failures.append(replace(
+                        failure, detail=f"(frontend qd={qd} leg) "
+                        f"{failure.detail}"
+                    ))
+                    continue
+                got = report.extra["check_read_digest"]
+                if got != digests[scheme]:
+                    result.failures.append(
+                        ReplayFailure(
+                            "qd-divergence",
+                            scheme,
+                            f"read contents differ at queue depth {qd}: "
+                            f"{digests[scheme][:12]} (sequential) vs "
+                            f"{got[:12]} (frontend qd={qd})",
+                        )
+                    )
 
     if compare_jobs and result.reports:
         result.failures.extend(

@@ -103,6 +103,7 @@ def run_fuzz(
     shrink_budget: int = 64,
     compare_jobs_case: int | None = 0,
     attribution: bool = False,
+    frontend: bool = False,
     log: Optional[Callable[[str], None]] = None,
 ) -> FuzzOutcome:
     """Run ``n`` seeded differential fuzz cases on a small geometry.
@@ -111,9 +112,11 @@ def run_fuzz(
     on a pre-aged (GC-pressured) device.  The expensive process-pool
     comparison runs only for ``compare_jobs_case`` (None disables it).
     ``attribution`` turns on latency attribution in every leg, arming
-    the per-request phase-conservation invariant.  Failing cases are
-    shrunk within ``shrink_budget`` replays and, when ``out_dir`` is
-    given, dumped there as JSON reproducers.
+    the per-request phase-conservation invariant.  ``frontend`` adds a
+    per-scheme replay through the event-driven frontend and compares
+    its oracle read digest against the sequential leg.  Failing cases
+    are shrunk within ``shrink_budget`` replays and, when ``out_dir``
+    is given, dumped there as JSON reproducers.
     """
     if cfg is None:
         # tiny geometry with the write buffer on, so the cache-off leg
@@ -147,6 +150,7 @@ def run_fuzz(
             every=every,
             compare_jobs=(compare_jobs_case == i),
             attribution=attribution,
+            frontend=frontend,
         )
         outcome.cases += 1
         if result.ok:
@@ -165,6 +169,7 @@ def run_fuzz(
                     every=every,
                     compare_jobs=False,
                     attribution=attribution,
+                    frontend=frontend,
                 )
             except Exception:
                 return True
@@ -173,7 +178,7 @@ def run_fuzz(
         shrunk = shrink_trace(trace, probe, max_probes=shrink_budget)
         final = result if len(shrunk) == len(trace) else differential_replay(
             shrunk, cfg, sim_cfg, schemes=schemes, every=every,
-            compare_jobs=False, attribution=attribution,
+            compare_jobs=False, attribution=attribution, frontend=frontend,
         )
         if out_dir is not None:
             path = dump_counterexample(

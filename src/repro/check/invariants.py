@@ -118,6 +118,37 @@ class InvariantChecker:
                 f"(delta {total - latency:+.3e}; phases: {parts or 'none'})"
             )
 
+    def check_hazard_order(self, issuing, held, inflight) -> None:
+        """Ordering law for the event-driven frontend: a request being
+        released must not overlap (with at least one side mutating) any
+        request still held back by the scheduler or already in flight.
+
+        Called by :meth:`repro.sim.frontend.FrontendScheduler.dispatch`
+        at every release decision; the interval arithmetic here is
+        deliberately independent of the scheduler's own
+        ``Request.conflicts`` so a bug in its hazard test cannot also
+        hide the violation.  TRIMs count as writes; read/read overlap
+        is allowed.
+        """
+        from ..traces.model import OP_READ
+
+        lo = issuing.offset
+        hi = issuing.offset + issuing.size
+        is_read = issuing.op == OP_READ
+        for group, other in (
+            [("in-flight", o) for o in inflight]
+            + [("held", o) for o in held]
+        ):
+            if is_read and other.op == OP_READ:
+                continue
+            if lo < other.offset + other.size and other.offset < hi:
+                raise InvariantViolation(
+                    f"hazard-order violation: request {issuing.rid} "
+                    f"(op={issuing.op}, [{lo},{hi})) released over "
+                    f"{group} request {other.rid} (op={other.op}, "
+                    f"[{other.offset},{other.offset + other.size}))"
+                )
+
     # ------------------------------------------------------------------
     def _check_free_pool(self) -> None:
         arr = self.array

@@ -24,6 +24,7 @@ import numpy as np
 from ..config import (
     CheckConfig,
     FaultConfig,
+    FrontendConfig,
     ObservabilityConfig,
     SimConfig,
     SSDConfig,
@@ -109,6 +110,8 @@ def sim_cfg_from_dict(doc: dict) -> SimConfig:
     doc["observability"] = ObservabilityConfig(**doc["observability"])
     doc["faults"] = FaultConfig(**doc["faults"])
     doc["check"] = CheckConfig(**doc.get("check") or {})
+    # dumps from before the frontend block existed rebuild as default
+    doc["frontend"] = FrontendConfig(**doc.get("frontend") or {})
     cfg = SimConfig(**doc)
     cfg.validate()
     return cfg

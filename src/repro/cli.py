@@ -76,11 +76,15 @@ def _device(args) -> SSDConfig:
 
 
 def _sim_cfg(args) -> SimConfig:
-    return SimConfig(
+    cfg = SimConfig(
         aged_used=args.aged_used,
         aged_valid=args.aged_valid,
         progress=getattr(args, "progress", False),
+        queue_depth=getattr(args, "queue_depth", None),
     )
+    if getattr(args, "event_frontend", False):
+        cfg = cfg.replace_frontend(enabled=True)
+    return cfg
 
 
 def _store(args):
@@ -119,6 +123,12 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--aged-valid", type=float, default=0.398)
     p.add_argument("--progress", action="store_true",
                    help="print a throttled progress line to stderr")
+    p.add_argument("--queue-depth", type=int, metavar="N",
+                   help="host NCQ depth (default: unlimited)")
+    p.add_argument("--event-frontend", action="store_true",
+                   help="replay through the event-driven frontend "
+                        "(hazard-aware NCQ with per-chip schedulers) "
+                        "instead of the sequential loop")
 
 
 def cmd_characterize(args) -> int:
@@ -470,6 +480,7 @@ def cmd_check(args) -> int:
             requests=args.requests,
             out_dir=args.out,
             attribution=args.attribution,
+            frontend=args.frontend,
             log=print,
         )
         print(
@@ -480,6 +491,17 @@ def cmd_check(args) -> int:
 
     cfg = _device(args)
     trace = _load_trace(args, cfg)
+    qd_sweep: tuple = ()
+    if args.qd_sweep:
+        try:
+            qd_sweep = tuple(
+                int(q) for q in args.qd_sweep.split(",") if q.strip()
+            )
+        except ValueError:
+            raise SystemExit(
+                f"--qd-sweep expects comma-separated integers, "
+                f"got {args.qd_sweep!r}"
+            )
     res = differential_replay(
         trace,
         cfg,
@@ -489,6 +511,8 @@ def cmd_check(args) -> int:
         compare_cache=not args.skip_cache,
         compare_jobs=not args.skip_jobs,
         attribution=args.attribution,
+        frontend=args.frontend,
+        qd_sweep=qd_sweep,
     )
     print(res.summary())
     if not res.ok and args.out:
@@ -797,6 +821,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run every leg with latency attribution on, "
                         "arming the per-request phase-conservation "
                         "invariant")
+    p.add_argument("--frontend", action="store_true",
+                   help="also replay each scheme through the "
+                        "event-driven frontend (hazard-aware NCQ) and "
+                        "compare its oracle read digest against the "
+                        "sequential leg")
+    p.add_argument("--qd-sweep", metavar="Q1,Q2,...",
+                   help="with --frontend: additionally replay at each "
+                        "listed host queue depth (point runs only), "
+                        "e.g. 1,8,32")
     _add_common(p)
     p.set_defaults(func=cmd_check)
 

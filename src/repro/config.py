@@ -457,6 +457,42 @@ class FaultConfig:
 
 
 @dataclass(frozen=True)
+class FrontendConfig:
+    """Event-driven frontend options (:mod:`repro.sim.frontend`).
+
+    Off by default: the engine replays the trace through the legacy
+    sequential loop (bit-identical to every pinned golden/bench
+    digest).  When ``enabled``, :meth:`repro.sim.engine.Simulator.run`
+    instead drives a time-ordered event heap
+    (:mod:`repro.sim.events`): requests *arrive*, wait in a frontend
+    queue until they are free of LBA-overlap RAW/WAW/WAR hazards
+    against every in-flight request, *issue* through per-chip command
+    schedulers (:mod:`repro.sim.nand_sched`) and *complete* when the
+    synchronous timing model says so.  Reads that fully hit the DRAM
+    data cache are served without occupying a NAND queue slot, and
+    TRIMs complete at DRAM speed outside the NAND queue.
+    """
+
+    #: master switch: replay through the discrete-event frontend
+    enabled: bool = False
+    #: how many waiting requests each dispatch scan may look past the
+    #: queue head (out-of-order admission window; 1 = strict FIFO)
+    window: int = 64
+    #: outstanding command budget per chip scheduler
+    per_chip_depth: int = 1
+    #: reorder queued chip commands read-first (reads are latency-
+    #: critical; programs are 26x longer and can wait)
+    read_priority: bool = True
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on inconsistent settings."""
+        if self.window <= 0:
+            raise ConfigError("frontend.window must be positive")
+        if self.per_chip_depth <= 0:
+            raise ConfigError("frontend.per_chip_depth must be positive")
+
+
+@dataclass(frozen=True)
 class CheckConfig:
     """Runtime invariant-checking options (:mod:`repro.check`).
 
@@ -532,6 +568,9 @@ class SimConfig:
     faults: FaultConfig = field(default_factory=FaultConfig)
     #: Runtime invariant checking (:mod:`repro.check`); off by default.
     check: CheckConfig = field(default_factory=CheckConfig)
+    #: Event-driven frontend (:mod:`repro.sim.frontend`); off by
+    #: default — the legacy sequential replay loop stays bit-identical.
+    frontend: FrontendConfig = field(default_factory=FrontendConfig)
     #: Print a throttled progress line (requests/s, % done, ETA) to
     #: stderr during the replay loop (``--progress`` on the CLI).
     progress: bool = False
@@ -551,6 +590,7 @@ class SimConfig:
         self.observability.validate()
         self.faults.validate()
         self.check.validate()
+        self.frontend.validate()
 
     @classmethod
     def paper_aging(cls, **kw) -> "SimConfig":
@@ -575,6 +615,13 @@ class SimConfig:
         """Copy with invariant-checking overrides (validated)."""
         check = dataclasses.replace(self.check, **kw)
         cfg = replace(self, check=check)
+        cfg.validate()
+        return cfg
+
+    def replace_frontend(self, **kw) -> "SimConfig":
+        """Copy with frontend-field overrides (validated)."""
+        frontend = dataclasses.replace(self.frontend, **kw)
+        cfg = replace(self, frontend=frontend)
         cfg.validate()
         return cfg
 

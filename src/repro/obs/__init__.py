@@ -38,6 +38,7 @@ from .events import (
     FTLDecision,
     GCEvent,
     GCStall,
+    HazardStall,
     MediaFault,
     ReadRetry,
     RequestArrive,
@@ -69,6 +70,7 @@ __all__ = [
     "GCEvent",
     "GCStall",
     "GaugeSampler",
+    "HazardStall",
     "MediaFault",
     "Observability",
     "PHASES",

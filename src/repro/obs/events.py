@@ -76,6 +76,24 @@ class RequestPhases(Event):
 
 
 @dataclass(frozen=True, slots=True)
+class HazardStall(Event):
+    """The event-driven frontend held a request back behind an
+    LBA-overlap hazard (:mod:`repro.sim.frontend`).
+
+    Emitted once per stalled request, at the first dispatch scan that
+    found it blocked; ``blocker`` is the rid of the conflicting
+    waiting/in-flight request it must order behind.  ``kind`` names the
+    hazard class: ``raw`` (read-after-write), ``waw``
+    (write-after-write) or ``war`` (write-after-read); TRIMs count as
+    writes.
+    """
+
+    rid: int
+    blocker: int
+    kind: str
+
+
+@dataclass(frozen=True, slots=True)
 class BufferLookup(Event):
     """Write-buffer (DRAM data cache) read lookup: hit or miss."""
 

@@ -34,11 +34,12 @@ from ..metrics.timeline import RequestLog
 from ..obs import Observability
 from ..obs.events import (
     BufferLookup,
+    HazardStall,
     RequestArrive,
     RequestComplete,
     RequestPhases,
 )
-from ..traces.model import OP_TRIM, OP_WRITE, Trace
+from ..traces.model import OP_READ, OP_TRIM, OP_WRITE, Trace
 from .oracle import SectorOracle
 
 
@@ -47,20 +48,42 @@ _PROGRESS_EVERY_S = 0.5
 
 
 def _print_progress(
-    name: str, done: int, total: int, elapsed: float, *, final: bool = False
-) -> None:
+    name: str,
+    done: int,
+    total: int,
+    elapsed: float,
+    *,
+    final: bool = False,
+    prev_width: int = 0,
+) -> int:
     """Throttled replay progress on stderr (stdout stays machine-
-    readable): requests/s, % of trace, and an ETA from the current rate."""
+    readable): requests/s, % of trace, and an ETA from the current rate.
+
+    Returns the width of the line just written; callers thread it back
+    as ``prev_width`` so a shrinking line (rate/ETA losing digits) is
+    padded with spaces instead of leaving stale characters after the
+    carriage return.  A mid-run ``rate == 0`` (clock granularity, or a
+    first request still aging the device) renders the ETA as ``?``
+    rather than dividing by zero or claiming completion.
+    """
     rate = done / elapsed if elapsed > 0 else 0.0
     pct = 100.0 * done / total if total else 100.0
-    eta = (total - done) / rate if rate > 0 else 0.0
-    sys.stderr.write(
-        f"\r[{name}] {done}/{total} ({pct:5.1f}%) "
-        f"{rate:8.0f} req/s  ETA {eta:6.1f}s"
+    if rate > 0:
+        eta = f"{(total - done) / rate:6.1f}s"
+    elif done >= total:
+        eta = f"{0.0:6.1f}s"
+    else:
+        eta = "     ?s"
+    line = (
+        f"[{name}] {done}/{total} ({pct:5.1f}%) "
+        f"{rate:8.0f} req/s  ETA {eta}"
     )
+    pad = prev_width - len(line)
+    sys.stderr.write("\r" + line + (" " * pad if pad > 0 else ""))
     if final:
         sys.stderr.write("\n")
     sys.stderr.flush()
+    return len(line)
 
 
 class Simulator:
@@ -115,6 +138,9 @@ class Simulator:
         self._attr = None
         self._next_rid = 0
         self._now = 0.0
+        #: event-driven frontend scheduler (SimConfig.frontend); bound
+        #: during _run_frontend, None on the legacy sequential path
+        self._frontend = None
         if self.sim_cfg.observability.enabled:
             self.obs = Observability(self.sim_cfg.observability)
             self._bus = self.obs.bus
@@ -191,7 +217,18 @@ class Simulator:
 
     def _inflight(self) -> int:
         """Requests issued but not yet complete at the current sim time
-        (bounded scan: good enough for a sampled gauge)."""
+        (bounded scan: good enough for a sampled gauge).
+
+        ``self._now`` is advanced to the sampling timestamp before
+        every ``obs.maybe_sample`` call — sampling happens at request
+        *completion* time, so comparing against the service start time
+        would count the just-finished request (and any other request
+        completing inside its service window) as still outstanding.
+        In frontend mode the scheduler tracks the in-flight set
+        exactly.
+        """
+        if self._frontend is not None:
+            return self._frontend.inflight_count()
         now = self._now
         return sum(1 for c in self._completions if c > now)
 
@@ -387,6 +424,13 @@ class Simulator:
                 if self.checker is not None:
                     self.checker.check_attribution(phases, latency, rid)
             if bus is not None:
+                # advance the clock to the completion/sampling
+                # timestamp: the in-flight gauge compares against
+                # self._now, and sampling at `finish` while the clock
+                # still reads `start` would count every request
+                # completing inside [start, finish] as outstanding
+                self._now = finish
+                bus.now = finish
                 if phases:
                     bus.emit(RequestPhases(
                         finish, rid, tuple(sorted(phases.items()))
@@ -446,6 +490,10 @@ class Simulator:
             if self.checker is not None:
                 self.checker.check_attribution(phases, latency, rid)
         if bus is not None:
+            # same clock advance as the trim branch: sample at the
+            # completion timestamp, not the stale service-start time
+            self._now = finish
+            bus.now = finish
             if phases:
                 bus.emit(RequestPhases(
                     finish, rid, tuple(sorted(phases.items()))
@@ -455,14 +503,11 @@ class Simulator:
         return latency
 
     # ------------------------------------------------------------------
-    # full trace
+    # legacy sequential replay loop
     # ------------------------------------------------------------------
-    def run(self, trace: Trace) -> SimulationReport:
-        """Age (if configured), replay the whole trace, flush metadata,
-        and assemble the report."""
-        t0 = _time.perf_counter()
-        self.age_device()
-        last = 0.0
+    def _run_legacy(self, trace: Trace) -> float:
+        """Service the trace one request at a time (the pinned-digest
+        replay model); returns the last arrival timestamp."""
         process = self.process
         checker = self.checker
         qd = self.sim_cfg.queue_depth
@@ -470,12 +515,17 @@ class Simulator:
         #: completion times of the at-most-qd outstanding requests; a
         #: slot frees when the *earliest-finishing* one completes (NCQ
         #: semantics), not the oldest-submitted (FIFO would mis-time
-        #: every replay where a later short request finishes first)
+        #: every replay where a later short request finishes first).
+        #: Metadata-only TRIMs bypass the queue entirely: they complete
+        #: at DRAM speed without holding a NAND slot, so they neither
+        #: wait for a slot nor gate the admission of later requests.
         outstanding: list[float] = []
         progress = self.sim_cfg.progress
+        last = 0.0
         n = len(trace)
         loop_t0 = _time.perf_counter()
         next_prog = loop_t0 + _PROGRESS_EVERY_S
+        prog_width = 0
         for i, (op, offset, size, ts) in enumerate(
             zip(
                 trace.ops.tolist(),
@@ -485,12 +535,13 @@ class Simulator:
             )
         ):
             start = None
-            if qd is not None and len(outstanding) >= qd:
+            takes_slot = op != OP_TRIM
+            if takes_slot and qd is not None and len(outstanding) >= qd:
                 # the device accepts this request only once the
                 # earliest-finishing outstanding one has completed
                 start = max(ts, heapq.heappop(outstanding))
             process(op, offset, size, ts, start)
-            if qd is not None:
+            if takes_slot and qd is not None:
                 heapq.heappush(outstanding, completions[-1])
             last = ts
             if checker is not None:
@@ -505,17 +556,360 @@ class Simulator:
             if progress:
                 wall = _time.perf_counter()
                 if wall >= next_prog:
-                    _print_progress(trace.name, i + 1, n, wall - loop_t0)
+                    prog_width = _print_progress(
+                        trace.name, i + 1, n, wall - loop_t0,
+                        prev_width=prog_width,
+                    )
                     next_prog = wall + _PROGRESS_EVERY_S
         if progress:
             _print_progress(
-                trace.name, n, n, _time.perf_counter() - loop_t0, final=True
+                trace.name, n, n, _time.perf_counter() - loop_t0,
+                final=True, prev_width=prog_width,
             )
+        return last
+
+    # ------------------------------------------------------------------
+    # discrete-event frontend replay loop (SimConfig.frontend)
+    # ------------------------------------------------------------------
+    def _run_frontend(self, trace: Trace) -> float:
+        """Replay through the event heap: requests arrive, wait out
+        LBA-overlap hazards in the frontend scheduler, issue through
+        per-chip command queues and complete when the timing model
+        says so.  Returns the last arrival timestamp.
+
+        Ordering contract: oracle stamps/snapshots are taken at
+        *arrival* (trace order) and reads fold into the content digest
+        in arrival order, so the digest is invariant across queue
+        depths, chip budgets and schemes — the frontend's hazard rules
+        must reproduce arrival semantics, and the oracle proves it.
+        """
+        from .events import EV_ARRIVE, EV_COMPLETE, EventHeap
+        from .frontend import FrontendScheduler
+        from .nand_sched import NandScheduler
+
+        fe_cfg = self.sim_cfg.frontend
+        bus = self._bus
+        heap = EventHeap()
+        self._fe_heap = heap
+
+        def push_issue(req, now: float) -> None:
+            from .events import EV_ISSUE
+
+            heap.push(now, EV_ISSUE, req)
+
+        nand = NandScheduler(
+            self.cfg.num_chips,
+            per_chip_depth=fe_cfg.per_chip_depth,
+            read_priority=fe_cfg.read_priority,
+            issue=push_issue,
+        )
+        fe = FrontendScheduler(
+            queue_depth=self.sim_cfg.queue_depth,
+            window=fe_cfg.window,
+            nand=nand,
+            predict_chip=self._fe_predict_chip,
+            probe_cache=self._fe_probe_cache,
+            issue=push_issue,
+            on_stall=self._fe_stall if bus is not None else None,
+            checker=self.checker,
+        )
+        self._frontend = fe
+        #: out-of-order completions buffered until every earlier-arrived
+        #: read has folded into the digest
+        self._fe_pending_reads = {}
+        self._fe_next_read = 0
+        self._fe_read_count = 0
+
+        times = trace.times.tolist()
+        ops = trace.ops.tolist()
+        offsets = trace.offsets.tolist()
+        sizes = trace.sizes.tolist()
+        n = len(times)
+        last = 0.0
+        completed = 0
+        checker = self.checker
+        progress = self.sim_cfg.progress
+        loop_t0 = _time.perf_counter()
+        next_prog = loop_t0 + _PROGRESS_EVERY_S
+        prog_width = 0
+        if n:
+            heap.push(times[0], EV_ARRIVE, 0)
+        while heap:
+            t, kind, payload = heap.pop()
+            self._now = t
+            if bus is not None:
+                bus.now = t
+            if kind == EV_COMPLETE:
+                self._fe_complete(payload, t)
+                fe.on_complete(payload, t)
+                completed += 1
+                if checker is not None:
+                    checker.maybe_check(completed)
+                if (
+                    self.series is not None
+                    and completed % self.sim_cfg.snapshot_every == 0
+                ):
+                    self.series.append(
+                        Snapshot.capture(completed, t, self.ftl.counters)
+                    )
+                if progress:
+                    wall = _time.perf_counter()
+                    if wall >= next_prog:
+                        prog_width = _print_progress(
+                            trace.name, completed, n, wall - loop_t0,
+                            prev_width=prog_width,
+                        )
+                        next_prog = wall + _PROGRESS_EVERY_S
+            elif kind == EV_ARRIVE:
+                i = payload
+                last = times[i]
+                if i + 1 < n:
+                    # arrivals stream from the (time-sorted) trace one
+                    # at a time, keeping the heap small
+                    heap.push(times[i + 1], EV_ARRIVE, i + 1)
+                fe.add(
+                    self._fe_arrive(ops[i], offsets[i], sizes[i], times[i])
+                )
+            else:  # EV_ISSUE
+                self._fe_issue(payload, t)
+            fe.dispatch(t)
+        if fe.waiting or fe.inflight or self._fe_pending_reads:
+            raise SimulationError(
+                f"frontend drained with {len(fe.waiting)} waiting / "
+                f"{len(fe.inflight)} in-flight request(s) and "
+                f"{len(self._fe_pending_reads)} unfolded read(s)"
+            )
+        if progress:
+            _print_progress(
+                trace.name, n, n, _time.perf_counter() - loop_t0,
+                final=True, prev_width=prog_width,
+            )
+        return last
+
+    def _fe_arrive(self, op: int, offset: int, size: int, ts: float):
+        """Build the per-request state at its arrival event: validate
+        the extent, assign oracle stamps (writes) or snapshot expected
+        versions (reads) in trace order, and announce it on the bus."""
+        from .frontend import Request
+
+        if size <= 0:
+            raise SimulationError(f"request size must be positive, got {size}")
+        if offset < 0 or offset + size > self.ftl.logical_pages * self.spp:
+            raise SimulationError(
+                f"request [{offset}, {offset + size}) outside logical space"
+            )
+        spp = self.spp
+        across = (
+            size <= spp and (offset + size - 1) // spp == offset // spp + 1
+        )
+        rid = self._next_rid
+        self._next_rid += 1
+        req = Request(rid, op, offset, size, ts, across)
+        oracle = self.oracle
+        if oracle is not None:
+            if op == OP_WRITE:
+                req.stamps = oracle.stamp_write(offset, size)
+            elif op == OP_TRIM:
+                oracle.trim(offset, size)
+            else:
+                req.expect = oracle.snapshot(offset, size)
+        if op == OP_READ:
+            req.read_index = self._fe_read_count
+            self._fe_read_count += 1
+        if self._bus is not None:
+            self._bus.emit(
+                RequestArrive(ts, rid, op, offset, size, across)
+            )
+        return req
+
+    def _fe_predict_chip(self, req) -> int:
+        """Predict which chip a NAND-bound request touches first (the
+        chip-queue assignment; a heuristic, see
+        :mod:`repro.sim.nand_sched`): mapped reads go to their first
+        LPN's current chip, everything else hashes the LPN across
+        chips."""
+        lpn = req.offset // self.spp
+        if req.op == OP_READ:
+            ppn = self.ftl._pmt[lpn]
+            if ppn >= 0:
+                return self.ftl.geom.chip_of_ppn(ppn)
+        return lpn % self.cfg.num_chips
+
+    def _fe_probe_cache(self, req, now: float) -> bool:
+        """One-time DRAM-cache lookup for a hazard-clear read.
+
+        Probe-once is sound for hits (a hit is served immediately) and
+        a deliberate simplification for misses: a WAR hazard prevents
+        any overlapping *write* from issuing before this read, so the
+        only way the extent could become cached before issue is via a
+        concurrent overlapping read's fill — that read then goes to
+        flash anyway, which is timing-pessimistic but never stale.
+        """
+        cache = self.cache
+        if cache is None:
+            return False
+        hit = cache.full_hit(req.offset, req.size)
+        if hit:
+            self.ftl.counters.cache_hits += 1
+        if self._bus is not None:
+            self._bus.emit(BufferLookup(now, req.rid, hit))
+        return hit
+
+    def _fe_stall(self, req, blocker, now: float) -> None:
+        """Publish the first hazard stall of a request on the bus."""
+        if req.op == OP_READ:
+            kind = "raw"
+        elif blocker.op == OP_READ:
+            kind = "war"
+        else:
+            kind = "waw"
+        self._bus.emit(HazardStall(now, req.rid, blocker.rid, kind))
+
+    def _fe_issue(self, req, now: float) -> None:
+        """Service a released request through the (synchronous) FTL
+        timing model and schedule its completion event.
+
+        The attribution ledger opens and closes inside this one event
+        — every gating flash operation of the request resolves
+        synchronously here — so the single-request frontier recorder
+        keeps working with many requests in flight.
+        """
+        op = req.op
+        bus = self._bus
+        if bus is not None:
+            bus.current_request = req.rid
+        attr = self._attr
+        if attr is not None:
+            attr.begin(req.arrival, now)
+        counters = self.ftl.counters
+        writes_before = counters._measured_writes
+        cache = self.cache
+        if op == OP_TRIM:
+            if attr is not None:
+                # flash work a trim triggers (across-area rollback) is
+                # non-gating: the trim completes at DRAM speed
+                attr.suspend()
+                try:
+                    finish = self.ftl.trim(req.offset, req.size, now)
+                finally:
+                    attr.resume()
+            else:
+                finish = self.ftl.trim(req.offset, req.size, now)
+            if cache is not None:
+                cache.discard(req.offset, req.size)
+            if attr is not None:
+                attr.advance("cache", finish)
+        elif op == OP_WRITE:
+            finish = self.ftl.write(req.offset, req.size, now, req.stamps)
+            if cache is not None:
+                cache.put(req.offset, req.size, req.stamps)
+                t = now + self._cache_ms
+                if t > finish:
+                    finish = t
+                if attr is not None:
+                    attr.advance("cache", t)
+        elif req.cache_hit:
+            finish = now + self._cache_ms
+            if attr is not None:
+                attr.advance("cache", finish)
+            req.found = (
+                cache.get_stamps(req.offset, req.size)
+                if self.oracle is not None
+                else None
+            )
+        else:
+            finish, found = self.ftl.read(req.offset, req.size, now)
+            if cache is not None:
+                cache.put_found(req.offset, req.size, found)
+            req.found = found
+        req.induced = counters._measured_writes - writes_before
+        req.issue_t = now
+        req.finish = finish
+        if attr is not None:
+            latency = finish - req.arrival
+            if op == OP_TRIM:
+                cls = "trim"
+            else:
+                cls = ("write_" if op == OP_WRITE else "read_") + (
+                    "across" if req.across else "normal"
+                )
+            req.phases = attr.complete(cls, latency)
+            if self.checker is not None:
+                self.checker.check_attribution(req.phases, latency, req.rid)
+        from .events import EV_COMPLETE
+
+        self._fe_heap.push(finish, EV_COMPLETE, req)
+
+    def _fe_complete(self, req, now: float) -> None:
+        """Account a completed request: latency buckets, flush/TRIM
+        counters, request log, oracle verification against the
+        arrival snapshot, and arrival-order digest folding."""
+        op = req.op
+        finish = req.finish
+        latency = finish - req.arrival
+        self._completions.append(finish)
+        if op == OP_TRIM:
+            self.trim_count += 1
+            if self.request_log is not None:
+                self.request_log.append(req.arrival, op, req.across, latency, 0)
+        else:
+            self.recorder.record(op == OP_WRITE, req.across, latency, req.size)
+            if op == OP_WRITE:
+                cls = "across" if req.across else "normal"
+                self.flush_writes[cls] += req.induced
+                self.flush_sectors[cls] += req.size
+            if self.request_log is not None:
+                self.request_log.append(
+                    req.arrival, op, req.across, latency, req.induced
+                )
+            if op == OP_READ and self.oracle is not None:
+                self.oracle.verify_expected(
+                    req.offset, req.size, req.found, req.expect
+                )
+                if self._read_digest is not None:
+                    # completions may run out of arrival order; the
+                    # digest must not, or it would differ across queue
+                    # depths — buffer and fold in read-arrival order
+                    pend = self._fe_pending_reads
+                    pend[req.read_index] = (req.offset, req.size, req.found)
+                    nxt = self._fe_next_read
+                    while nxt in pend:
+                        self._update_read_digest(*pend.pop(nxt))
+                        nxt += 1
+                    self._fe_next_read = nxt
+        bus = self._bus
+        if bus is not None:
+            if req.phases:
+                bus.emit(RequestPhases(
+                    finish, req.rid, tuple(sorted(req.phases.items()))
+                ))
+            bus.emit(RequestComplete(finish, req.rid, latency))
+            self.obs.maybe_sample(finish)
+
+    # ------------------------------------------------------------------
+    # full trace
+    # ------------------------------------------------------------------
+    def run(self, trace: Trace) -> SimulationReport:
+        """Age (if configured), replay the whole trace, flush metadata,
+        and assemble the report.
+
+        Two replay loops share everything else: the legacy sequential
+        loop (default; bit-identical to all pinned golden/bench
+        digests) and the discrete-event frontend
+        (``SimConfig.frontend.enabled``) that overlaps in-flight
+        requests under hazard ordering (:mod:`repro.sim.frontend`).
+        """
+        t0 = _time.perf_counter()
+        self.age_device()
+        if self.sim_cfg.frontend.enabled:
+            last = self._run_frontend(trace)
+        else:
+            last = self._run_legacy(trace)
         self.ftl.flush_metadata(last)
-        if checker is not None:
+        if self.checker is not None:
             # unconditional end-of-run sweep (after the metadata flush,
             # so dirty translation pages are accounted on flash too)
-            checker.check_now()
+            self.checker.check_now()
         if self.obs is not None:
             self.obs.finish(last)
 
@@ -547,6 +941,10 @@ class Simulator:
             extra["check_sweeps"] = self.checker.sweeps
             if self._read_digest is not None:
                 extra["check_read_digest"] = self._read_digest.hexdigest()
+        if self._frontend is not None:
+            extra["frontend_hazard_stalls"] = self._frontend.hazard_stalls
+            extra["frontend_cache_bypass"] = self._frontend.cache_bypass
+            extra["frontend_reordered"] = self._frontend.nand.reordered
         return SimulationReport(
             scheme=self.ftl.name,
             trace_name=trace.name,

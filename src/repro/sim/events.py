@@ -1,0 +1,72 @@
+"""Time-ordered event heap for the discrete-event frontend.
+
+The event-driven replay loop (:meth:`repro.sim.engine.Simulator.run`
+with ``SimConfig.frontend.enabled``) advances simulated time by popping
+events from a single binary heap.  Three event kinds cover the request
+lifecycle:
+
+``ARRIVE``
+    the host submitted a request (trace timestamp); the frontend
+    scheduler takes custody of it.
+``ISSUE``
+    the frontend/NAND schedulers released the request to the FTL; the
+    engine services it synchronously and learns its completion time.
+``COMPLETE``
+    the request's slowest sub-operation landed; accounting runs and
+    the NCQ slot / chip budget it held are released.
+
+Ordering is total and deterministic: events sort by ``(time, kind
+priority, sequence)``.  At equal timestamps completions run before
+arrivals (a freed NCQ slot is visible to a request arriving at the
+same instant) and arrivals before issues (an issue decided while
+processing time ``t`` happens after every external event at ``t``);
+the monotone sequence number breaks the remaining ties in push order,
+so replays are reproducible across runs and worker processes.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+#: event-kind identifiers double as same-timestamp sort priorities
+EV_COMPLETE = 0
+EV_ARRIVE = 1
+EV_ISSUE = 2
+
+EVENT_KINDS = ("complete", "arrive", "issue")
+"""Human-readable names indexed by the ``EV_*`` identifiers."""
+
+
+class EventHeap:
+    """Deterministic time-ordered queue of ``(time, kind, payload)``.
+
+    A thin wrapper over :mod:`heapq` that owns the tie-breaking rule;
+    the payload is opaque to the heap (the engine stores its per-request
+    state object there).
+    """
+
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, int, object]] = []
+        self._seq = 0
+
+    def push(self, t: float, kind: int, payload) -> None:
+        """Schedule ``payload`` for time ``t``."""
+        self._seq += 1
+        heapq.heappush(self._heap, (t, kind, self._seq, payload))
+
+    def pop(self) -> tuple[float, int, object]:
+        """Remove and return the earliest ``(time, kind, payload)``."""
+        t, kind, _seq, payload = heapq.heappop(self._heap)
+        return t, kind, payload
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the earliest event (None when empty)."""
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -44,21 +44,42 @@ class SectorOracle:
         for sec in range(offset, offset + size):
             self._versions.pop(sec, None)
 
+    def snapshot(self, offset: int, size: int) -> dict[int, int]:
+        """Current versions of ``[offset, offset+size)`` — the stamps a
+        read arriving *now* must observe.  The event-driven frontend
+        snapshots every read at arrival and verifies the completion
+        against the snapshot (:meth:`verify_expected`), so hazard-
+        ordered out-of-order execution is held to arrival semantics."""
+        versions = self._versions
+        return {
+            sec: versions[sec]
+            for sec in range(offset, offset + size)
+            if sec in versions
+        }
+
     def verify(self, offset: int, size: int, found: dict | None) -> None:
-        """Check a read result against ground truth."""
+        """Check a read result against the *current* ground truth (the
+        sequential replay loop verifies at service time)."""
+        self.verify_expected(offset, size, found, self._versions)
+
+    def verify_expected(
+        self, offset: int, size: int, found: dict | None, expected: dict
+    ) -> None:
+        """Check a read result against an explicit version map (a
+        :meth:`snapshot`, or the live table for :meth:`verify`)."""
         found = found or {}
         for sec in range(offset, offset + size):
-            expected = self._versions.get(sec)
+            expected_v = expected.get(sec)
             got = found.get(sec)
-            if expected is None:
+            if expected_v is None:
                 if got is not None:
                     raise OracleMismatch(
                         f"sector {sec}: never written but read returned "
                         f"stamp {got}"
                     )
-            elif got != expected:
+            elif got != expected_v:
                 raise OracleMismatch(
-                    f"sector {sec}: expected stamp {expected}, got {got}"
+                    f"sector {sec}: expected stamp {expected_v}, got {got}"
                 )
         self.reads_verified += 1
 

@@ -93,6 +93,47 @@ class TestEviction:
         assert len(cache) == 4
 
 
+class TestPutFound:
+    """Read-allocation caches only sectors the flash read returned.
+
+    Regression: ``put_found`` marked the *whole requested extent*
+    cached, inventing DRAM copies of unwritten/trimmed sectors — a
+    later read of such an extent then "hit" and skipped flash.
+    """
+
+    def test_unreturned_sectors_stay_uncached(self, cache):
+        # the read asked for [0, 16) but flash only held [0, 8)
+        cache.put_found(0, 16, stamps_for(0, 8, 1))
+        assert not cache.full_hit(0, 16)
+        assert cache.full_hit(0, 8)
+
+    def test_empty_result_caches_nothing(self, cache):
+        cache.put_found(0, 16, {})
+        assert len(cache) == 0
+        assert not cache.full_hit(0, 16)
+
+    def test_none_falls_back_to_full_extent(self, cache):
+        # payload tracking off: the service path reports nothing about
+        # per-sector validity, so the legacy allocation is kept
+        cache.put_found(0, 16, None)
+        assert cache.full_hit(0, 16)
+
+    def test_sparse_result_caches_each_run(self, cache):
+        found = {**stamps_for(2, 3, 1), **stamps_for(10, 4, 2)}
+        cache.put_found(0, 16, found)
+        assert cache.full_hit(2, 3)
+        assert cache.full_hit(10, 4)
+        assert not cache.full_hit(5, 5)   # the gap stays uncached
+        assert cache.get_stamps(2, 3) == stamps_for(2, 3, 1)
+
+    def test_out_of_extent_sectors_ignored(self, cache):
+        found = stamps_for(0, 32, 1)  # wider than the request
+        cache.put_found(8, 8, found)
+        assert cache.full_hit(8, 8)
+        assert not cache.full_hit(0, 8)
+        assert not cache.full_hit(16, 8)
+
+
 def test_capacity_must_be_positive():
     with pytest.raises(ValueError):
         DataCache(0, 16)

@@ -150,3 +150,36 @@ class TestRun:
         assert rep.metric("gc_collections") == rep.extra["gc_collections"]
         with pytest.raises(KeyError):
             rep.metric("nope")
+
+
+class TestPrintProgress:
+    """The stderr progress line: width padding and ETA guards."""
+
+    def test_shrinking_line_padded_to_previous_width(self, capsys):
+        from repro.sim.engine import _print_progress
+
+        # huge rate overflows its 8-char field -> a wide first line
+        w1 = _print_progress("t", 999999, 1000000, 1e-6)
+        w2 = _print_progress("t", 10, 1000000, 10.0, prev_width=w1)
+        err = capsys.readouterr().err
+        second = err.rsplit("\r", 1)[1]
+        # the narrower second line is space-padded so no characters of
+        # the first line survive after the carriage return
+        assert w2 < w1
+        assert len(second) == w1
+
+    def test_zero_rate_renders_unknown_eta(self, capsys):
+        from repro.sim.engine import _print_progress
+
+        _print_progress("t", 0, 100, 0.0)
+        err = capsys.readouterr().err
+        assert "?s" in err
+        assert "inf" not in err and "nan" not in err
+
+    def test_final_line_shows_zero_eta(self, capsys):
+        from repro.sim.engine import _print_progress
+
+        _print_progress("t", 100, 100, 0.0, final=True)
+        err = capsys.readouterr().err
+        assert "?s" not in err
+        assert err.endswith("\n")

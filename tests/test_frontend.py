@@ -1,0 +1,481 @@
+"""Event-driven frontend: hazard ordering, NCQ slots, per-chip
+schedulers, and the arrival-semantics data contract."""
+
+import numpy as np
+import pytest
+
+from repro.check import differential_replay
+from repro.config import FrontendConfig, SCHEMES, SimConfig, SSDConfig
+from repro.errors import ConfigError
+from repro.flash.service import FlashService
+from repro.ftl import make_ftl
+from repro.sim.engine import Simulator
+from repro.sim.events import EV_ARRIVE, EV_COMPLETE, EV_ISSUE, EventHeap
+from repro.sim.frontend import FrontendScheduler, Request
+from repro.sim.nand_sched import NandScheduler
+from repro.traces.model import OP_READ, OP_TRIM, OP_WRITE, Trace
+from repro.traces.synthetic import SyntheticSpec, generate_trace
+from repro.units import MIB
+
+
+# ----------------------------------------------------------------------
+# config block
+# ----------------------------------------------------------------------
+class TestFrontendConfig:
+    def test_disabled_by_default(self):
+        cfg = SimConfig()
+        assert not cfg.frontend.enabled
+        cfg.validate()
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            FrontendConfig(window=0).validate()
+        with pytest.raises(ConfigError):
+            FrontendConfig(per_chip_depth=0).validate()
+
+    def test_replace_frontend(self):
+        cfg = SimConfig().replace_frontend(enabled=True, window=8)
+        assert cfg.frontend.enabled and cfg.frontend.window == 8
+        assert not SimConfig().frontend.enabled
+
+
+# ----------------------------------------------------------------------
+# event heap ordering
+# ----------------------------------------------------------------------
+class TestEventHeap:
+    def test_time_ordering(self):
+        h = EventHeap()
+        h.push(2.0, EV_ARRIVE, "b")
+        h.push(1.0, EV_ARRIVE, "a")
+        assert h.peek_time() == 1.0
+        assert h.pop() == (1.0, EV_ARRIVE, "a")
+        assert h.pop() == (2.0, EV_ARRIVE, "b")
+        assert not h
+
+    def test_kind_priority_at_equal_time(self):
+        # completions before arrivals before issues at the same instant
+        h = EventHeap()
+        h.push(5.0, EV_ISSUE, "i")
+        h.push(5.0, EV_ARRIVE, "a")
+        h.push(5.0, EV_COMPLETE, "c")
+        assert [h.pop()[2] for _ in range(3)] == ["c", "a", "i"]
+
+    def test_push_order_breaks_remaining_ties(self):
+        h = EventHeap()
+        for name in ("x", "y", "z"):
+            h.push(1.0, EV_ARRIVE, name)
+        assert [h.pop()[2] for _ in range(3)] == ["x", "y", "z"]
+
+
+# ----------------------------------------------------------------------
+# scheduler unit tests
+# ----------------------------------------------------------------------
+def make_scheduler(issued, *, queue_depth=None, window=64, cache_hit=False,
+                   num_chips=4, per_chip_depth=8):
+    """A FrontendScheduler whose issue path just records rids."""
+    sink = lambda req, now: issued.append(req.rid)  # noqa: E731
+    nand = NandScheduler(
+        num_chips, per_chip_depth=per_chip_depth, issue=sink
+    )
+    return FrontendScheduler(
+        queue_depth=queue_depth,
+        window=window,
+        nand=nand,
+        predict_chip=lambda req: 0,
+        probe_cache=lambda req, now: cache_hit,
+        issue=sink,
+    )
+
+
+def req(rid, op, offset, size, arrival=0.0):
+    return Request(rid, op, offset, size, arrival, False)
+
+
+class TestHazardOrdering:
+    def test_waw_blocks_overlapping_write(self):
+        issued = []
+        fe = make_scheduler(issued)
+        w0 = req(0, OP_WRITE, 0, 16)
+        w1 = req(1, OP_WRITE, 8, 16)  # overlaps [8, 16)
+        fe.add(w0)
+        fe.add(w1)
+        fe.dispatch(0.0)
+        assert issued == [0]
+        assert fe.hazard_stalls == 1
+        fe.on_complete(w0, 1.0)
+        fe.dispatch(1.0)
+        assert issued == [0, 1]
+
+    def test_raw_blocks_read_behind_write(self):
+        issued = []
+        fe = make_scheduler(issued)
+        w0 = req(0, OP_WRITE, 100, 8)
+        r1 = req(1, OP_READ, 104, 8)
+        fe.add(w0)
+        fe.add(r1)
+        fe.dispatch(0.0)
+        assert issued == [0]
+        fe.on_complete(w0, 1.0)
+        fe.dispatch(1.0)
+        assert issued == [0, 1]
+
+    def test_war_blocks_write_behind_read(self):
+        issued = []
+        fe = make_scheduler(issued)
+        r0 = req(0, OP_READ, 100, 8)
+        w1 = req(1, OP_WRITE, 100, 8)
+        fe.add(r0)
+        fe.add(w1)
+        fe.dispatch(0.0)
+        assert issued == [0]
+        fe.on_complete(r0, 1.0)
+        fe.dispatch(1.0)
+        assert issued == [0, 1]
+
+    def test_trim_counts_as_write_both_ways(self):
+        issued = []
+        fe = make_scheduler(issued)
+        t0 = req(0, OP_TRIM, 0, 32)
+        r1 = req(1, OP_READ, 16, 4)   # RAW vs the trim
+        t2 = req(2, OP_TRIM, 16, 4)   # WAR vs the read (transitively)
+        for r in (t0, r1, t2):
+            fe.add(r)
+        fe.dispatch(0.0)
+        assert issued == [0]
+        fe.on_complete(t0, 1.0)
+        fe.dispatch(1.0)
+        assert issued == [0, 1]
+        fe.on_complete(r1, 2.0)
+        fe.dispatch(2.0)
+        assert issued == [0, 1, 2]
+
+    def test_reads_never_conflict(self):
+        issued = []
+        fe = make_scheduler(issued)
+        fe.add(req(0, OP_READ, 0, 16))
+        fe.add(req(1, OP_READ, 0, 16))
+        fe.dispatch(0.0)
+        assert issued == [0, 1]
+        assert fe.hazard_stalls == 0
+
+    def test_nonconflicting_request_overtakes_stalled_one(self):
+        issued = []
+        fe = make_scheduler(issued)
+        w0 = req(0, OP_WRITE, 0, 16)
+        w1 = req(1, OP_WRITE, 0, 16)    # WAW-stalled behind w0
+        w2 = req(2, OP_WRITE, 1000, 16)  # independent extent
+        for r in (w0, w1, w2):
+            fe.add(r)
+        fe.dispatch(0.0)
+        assert issued == [0, 2]
+
+    def test_transitive_order_through_held_requests(self):
+        # w1 stalls behind w0; w2 overlaps w1 (but not w0) and must
+        # not overtake it — arrival order within a conflict chain
+        issued = []
+        fe = make_scheduler(issued)
+        w0 = req(0, OP_WRITE, 0, 16)
+        w1 = req(1, OP_WRITE, 8, 16)
+        w2 = req(2, OP_WRITE, 20, 8)  # overlaps w1's [8, 24) only
+        for r in (w0, w1, w2):
+            fe.add(r)
+        fe.dispatch(0.0)
+        assert issued == [0]
+        fe.on_complete(w0, 1.0)
+        fe.dispatch(1.0)
+        assert issued == [0, 1]
+
+    def test_window_bounds_the_scan(self):
+        issued = []
+        fe = make_scheduler(issued, window=2)
+        fe.add(req(0, OP_WRITE, 0, 8))
+        fe.add(req(1, OP_WRITE, 0, 8))    # stalled, scanned
+        fe.add(req(2, OP_WRITE, 100, 8))  # beyond the window
+        fe.dispatch(0.0)
+        assert issued == [0]
+
+
+class TestNCQSlots:
+    def test_queue_depth_caps_nand_bound_requests(self):
+        issued = []
+        fe = make_scheduler(issued, queue_depth=2)
+        for i in range(4):
+            fe.add(req(i, OP_WRITE, 100 * i, 8))
+        fe.dispatch(0.0)
+        assert issued == [0, 1]
+        assert fe.slots_used == 2
+
+    def test_trim_bypasses_the_nand_queue(self):
+        issued = []
+        fe = make_scheduler(issued, queue_depth=1)
+        w0 = req(0, OP_WRITE, 0, 8)
+        t1 = req(1, OP_TRIM, 1000, 8)
+        fe.add(w0)
+        fe.add(t1)
+        fe.dispatch(0.0)
+        # the trim issues despite the single NCQ slot being held
+        assert issued == [0, 1]
+        assert fe.slots_used == 1
+        assert not t1.holds_slot
+
+    def test_cache_hit_read_bypasses_the_nand_queue(self):
+        issued = []
+        fe = make_scheduler(issued, queue_depth=1, cache_hit=True)
+        fe.add(req(0, OP_WRITE, 0, 8))
+        fe.add(req(1, OP_READ, 1000, 8))
+        fe.dispatch(0.0)
+        assert issued == [0, 1]
+        assert fe.cache_bypass == 1
+
+    def test_slot_frees_on_completion(self):
+        issued = []
+        fe = make_scheduler(issued, queue_depth=1)
+        w0 = req(0, OP_WRITE, 0, 8)
+        w1 = req(1, OP_WRITE, 100, 8)
+        fe.add(w0)
+        fe.add(w1)
+        fe.dispatch(0.0)
+        assert issued == [0]
+        fe.on_complete(w0, 1.0)
+        fe.dispatch(1.0)
+        assert issued == [0, 1]
+        assert fe.slots_used == 1
+
+
+class TestNandScheduler:
+    def test_per_chip_depth_queues_excess(self):
+        issued = []
+        nand = NandScheduler(2, per_chip_depth=1,
+                             issue=lambda r, t: issued.append(r.rid))
+        a, b, c = (req(i, OP_WRITE, 0, 8) for i in range(3))
+        a.chip = b.chip = 0
+        c.chip = 1
+        nand.submit(a, 0.0)
+        nand.submit(b, 0.0)  # chip 0 busy -> queued
+        nand.submit(c, 0.0)  # chip 1 idle -> issues
+        assert issued == [0, 2]
+        assert nand.queued() == 1
+        nand.on_complete(a, 1.0)
+        assert issued == [0, 2, 1]
+
+    def test_read_priority_pulls_read_ahead(self):
+        issued = []
+        nand = NandScheduler(1, per_chip_depth=1, read_priority=True,
+                             issue=lambda r, t: issued.append(r.rid))
+        w0, w1 = req(0, OP_WRITE, 0, 8), req(1, OP_WRITE, 16, 8)
+        r2 = req(2, OP_READ, 32, 8)
+        for r in (w0, w1, r2):
+            r.chip = 0
+            nand.submit(r, 0.0)
+        assert issued == [0]
+        nand.on_complete(w0, 1.0)
+        # the queued read overtakes the older queued write
+        assert issued == [0, 2]
+        assert nand.reordered == 1
+
+    def test_fifo_without_read_priority(self):
+        issued = []
+        nand = NandScheduler(1, per_chip_depth=1, read_priority=False,
+                             issue=lambda r, t: issued.append(r.rid))
+        w0, w1 = req(0, OP_WRITE, 0, 8), req(1, OP_WRITE, 16, 8)
+        r2 = req(2, OP_READ, 32, 8)
+        for r in (w0, w1, r2):
+            r.chip = 0
+            nand.submit(r, 0.0)
+        nand.on_complete(w0, 1.0)
+        assert issued == [0, 1]
+        assert nand.reordered == 0
+
+
+# ----------------------------------------------------------------------
+# end-to-end: engine with the frontend on
+# ----------------------------------------------------------------------
+def fe_sim_cfg(**kw):
+    base = dict(check_oracle=True, frontend=FrontendConfig(enabled=True))
+    base.update(kw)
+    return SimConfig(**base)
+
+
+def mixed_trace(n=300, seed=11, footprint=4000):
+    rng = np.random.default_rng(seed)
+    ops = rng.choice(
+        [OP_WRITE, OP_READ, OP_TRIM], size=n, p=[0.5, 0.45, 0.05]
+    ).astype(np.uint8)
+    offsets = rng.integers(0, footprint, n).astype(np.int64)
+    sizes = rng.integers(1, 32, n).astype(np.int64)
+    times = np.sort(rng.uniform(0, 50, n))
+    return Trace("mixed", times, ops, offsets, sizes)
+
+
+class TestFrontendEngine:
+    def run(self, sim_cfg, trace=None, scheme="across"):
+        svc = FlashService(SSDConfig.tiny())
+        sim = Simulator(make_ftl(scheme, svc), sim_cfg)
+        report = sim.run(trace if trace is not None else mixed_trace())
+        return sim, report
+
+    def test_oracle_verifies_every_read(self):
+        sim, report = self.run(fe_sim_cfg(queue_depth=8))
+        assert report.extra["oracle_reads_verified"] > 0
+        assert "frontend_hazard_stalls" in report.extra
+
+    def test_all_requests_accounted(self):
+        trace = mixed_trace()
+        _, report = self.run(fe_sim_cfg(), trace)
+        n_trims = int((trace.ops == OP_TRIM).sum())
+        assert report.extra["trim_count"] == n_trims
+        counted = sum(
+            s.count for s in report.latency.summaries().values()
+        )
+        assert counted == len(trace) - n_trims
+
+    def test_digest_matches_sequential_replay(self):
+        checked = fe_sim_cfg(queue_depth=16).replace_check(
+            enabled=True, every=100
+        )
+        _, fe_report = self.run(checked)
+        seq = checked.replace_frontend(enabled=False)
+        _, seq_report = self.run(seq)
+        assert (
+            fe_report.extra["check_read_digest"]
+            == seq_report.extra["check_read_digest"]
+        )
+
+    def test_deterministic_across_runs(self):
+        from repro.experiments.benchgate import report_digest
+
+        cfg = fe_sim_cfg(queue_depth=8)
+        _, a = self.run(cfg)
+        _, b = self.run(cfg)
+        assert report_digest(a) == report_digest(b)
+
+    def test_trim_completes_at_dram_speed_under_full_queue(self):
+        # a slow big write holds the single NCQ slot; the trim neither
+        # waits for the slot nor holds one
+        ssd = SSDConfig.tiny()
+        trace = Trace(
+            "trimq",
+            np.zeros(3),
+            np.array([OP_WRITE, OP_TRIM, OP_WRITE], dtype=np.uint8),
+            np.array([0, 5000 * 16, 6000 * 16], dtype=np.int64),
+            np.array([512, 16, 16], dtype=np.int64),
+        )
+        svc = FlashService(ssd)
+        sim = Simulator(
+            make_ftl("ftl", svc),
+            fe_sim_cfg(queue_depth=1, record_requests=True),
+        )
+        sim.run(trace)
+        log = sim.request_log
+        # rows land in completion order under the frontend; select by op
+        trim_lat = log.latency[log.op == OP_TRIM]
+        write_lat = np.sort(log.latency[log.op == OP_WRITE])
+        assert trim_lat[0] == pytest.approx(ssd.timing.cache_access_ms)
+        # the second write did wait for the big write's NCQ slot
+        assert write_lat[0] > trim_lat[0]
+
+    def test_hazard_stall_events_emitted(self):
+        from repro.config import ObservabilityConfig
+        from repro.obs.events import HazardStall
+
+        svc = FlashService(SSDConfig.tiny())
+        sim = Simulator(
+            make_ftl("ftl", svc),
+            fe_sim_cfg(
+                observability=ObservabilityConfig(enabled=True),
+            ),
+        )
+        stalls = []
+        sim._bus.subscribe(HazardStall, stalls.append)
+        trace = Trace(
+            "waw",
+            np.zeros(2),
+            np.full(2, OP_WRITE, dtype=np.uint8),
+            np.array([0, 8], dtype=np.int64),
+            np.array([16, 16], dtype=np.int64),
+        )
+        sim.run(trace)
+        assert len(stalls) == 1
+        assert stalls[0].kind == "waw"
+        assert (stalls[0].rid, stalls[0].blocker) == (1, 0)
+
+    def test_hazard_invariant_checked_under_fuzzlike_load(self):
+        checked = fe_sim_cfg(queue_depth=4).replace_check(
+            enabled=True, every=64
+        )
+        _, report = self.run(checked, mixed_trace(400, seed=5))
+        assert report.extra["check_sweeps"] > 0
+
+
+class TestFrontendDifferential:
+    @pytest.fixture(scope="class")
+    def small_trace(self):
+        cfg = SSDConfig.tiny()
+        spec = SyntheticSpec(
+            "fe-diff",
+            250,
+            0.6,
+            0.25,
+            9.0,
+            footprint_sectors=int(cfg.logical_sectors * 0.6),
+            seed=23,
+        )
+        return generate_trace(spec)
+
+    def test_digests_agree_across_queue_depths(self, small_trace):
+        cfg = SSDConfig.tiny().replace(write_buffer_bytes=2 * MIB)
+        res = differential_replay(
+            small_trace,
+            cfg,
+            SimConfig(),
+            schemes=("across",),
+            every=100,
+            compare_cache=False,
+            compare_jobs=False,
+            frontend=True,
+            qd_sweep=(1, 8, 32),
+        )
+        assert res.ok, res.summary()
+
+    def test_frontend_divergence_detected(self, small_trace, monkeypatch):
+        import repro.check.differential as diff
+        from repro.experiments.runner import run_trace
+
+        def skewed(scheme, trace, cfg, sim_cfg=None, **kw):
+            report = run_trace(scheme, trace, cfg, sim_cfg, **kw)
+            if sim_cfg is not None and sim_cfg.frontend.enabled:
+                report.extra["check_read_digest"] = "deadbeef" * 8
+            return report
+
+        monkeypatch.setattr(
+            "repro.experiments.runner.run_trace", skewed
+        )
+        cfg = SSDConfig.tiny().replace(write_buffer_bytes=2 * MIB)
+        res = diff.differential_replay(
+            small_trace,
+            cfg,
+            SimConfig(),
+            schemes=("ftl",),
+            every=100,
+            compare_cache=False,
+            compare_jobs=False,
+            frontend=True,
+        )
+        assert not res.ok
+        assert any(f.kind == "frontend-divergence" for f in res.failures)
+
+
+class TestFrontendJobsDeterminism:
+    def test_jobs_1_vs_4_bit_identical(self):
+        from repro.experiments.benchgate import report_digest
+        from repro.experiments.parallel import RunSpec, execute_runs
+        from repro.experiments.runner import run_trace
+
+        cfg = SSDConfig.tiny().replace(write_buffer_bytes=2 * MIB)
+        trace = mixed_trace(200, seed=3)
+        sim_cfg = fe_sim_cfg(queue_depth=8)
+        specs = [RunSpec.make(s, trace, cfg, sim_cfg) for s in SCHEMES]
+        pooled = execute_runs(specs, jobs=4)
+        for scheme, pooled_report in zip(SCHEMES, pooled.reports):
+            serial = run_trace(scheme, trace, cfg, sim_cfg)
+            assert report_digest(serial) == report_digest(pooled_report)

@@ -126,13 +126,14 @@ class TestDeepQueues:
         assert Simulator(make_ftl("ftl", svc))._completions.maxlen == 128
 
     def test_gauge_tracks_beyond_128(self):
-        from repro.config import ObservabilityConfig
+        from repro.config import FrontendConfig, ObservabilityConfig
 
         svc = FlashService(SSDConfig.tiny())
         sim = Simulator(
             make_ftl("ftl", svc),
             SimConfig(
                 queue_depth=192,
+                frontend=FrontendConfig(enabled=True),
                 observability=ObservabilityConfig(
                     enabled=True, sample_interval_ms=0.01
                 ),
@@ -141,3 +142,49 @@ class TestDeepQueues:
         sim.run(burst_trace(256))
         series = sim.obs.samplers.series()["queue_depth"]
         assert max(series["values"]) > 128
+
+
+class TestGaugeClock:
+    """Regression: ``_inflight`` compared completion times against
+    ``self._now``, which still held the request *start* time when
+    ``obs.maybe_sample(finish)`` sampled at completion time — so the
+    just-finished request (and anything else completing inside its
+    service window) was counted as still outstanding."""
+
+    def test_serial_replay_gauge_reads_zero(self):
+        from repro.config import ObservabilityConfig
+
+        svc = FlashService(SSDConfig.tiny())
+        sim = Simulator(
+            make_ftl("ftl", svc),
+            SimConfig(
+                queue_depth=1,
+                observability=ObservabilityConfig(
+                    enabled=True, sample_interval_ms=0.01
+                ),
+            ),
+        )
+        sim.run(burst_trace(64))
+        series = sim.obs.samplers.series()["queue_depth"]
+        # QD=1 fully serialises: at every completion-time sample no
+        # other request is in flight (the stale clock read >= 1 here,
+        # because the sampled request itself counted as outstanding)
+        assert series["values"]
+        assert max(series["values"]) == 0
+
+    def test_gauge_bounded_by_queue_depth(self):
+        from repro.config import ObservabilityConfig
+
+        svc = FlashService(SSDConfig.tiny())
+        sim = Simulator(
+            make_ftl("ftl", svc),
+            SimConfig(
+                queue_depth=4,
+                observability=ObservabilityConfig(
+                    enabled=True, sample_interval_ms=0.01
+                ),
+            ),
+        )
+        sim.run(burst_trace(128))
+        series = sim.obs.samplers.series()["queue_depth"]
+        assert max(series["values"]) <= 4
