@@ -39,6 +39,7 @@ from .check import (
     shrink_trace,
 )
 from .config import (
+    BatchConfig,
     CheckConfig,
     FaultConfig,
     FrontendConfig,
@@ -108,6 +109,7 @@ __all__ = [
     "TimingConfig",
     "FaultConfig",
     "CheckConfig",
+    "BatchConfig",
     "FrontendConfig",
     "SCHEMES",
     # substrate

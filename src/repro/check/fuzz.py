@@ -104,6 +104,7 @@ def run_fuzz(
     compare_jobs_case: int | None = 0,
     attribution: bool = False,
     frontend: bool = False,
+    batch: bool = False,
     log: Optional[Callable[[str], None]] = None,
 ) -> FuzzOutcome:
     """Run ``n`` seeded differential fuzz cases on a small geometry.
@@ -114,7 +115,9 @@ def run_fuzz(
     ``attribution`` turns on latency attribution in every leg, arming
     the per-request phase-conservation invariant.  ``frontend`` adds a
     per-scheme replay through the event-driven frontend and compares
-    its oracle read digest against the sequential leg.  Failing cases
+    its oracle read digest against the sequential leg; ``batch`` does
+    the same with the batch execution layer on (plus a batch+frontend
+    leg when both are set).  Failing cases
     are shrunk within ``shrink_budget`` replays and, when ``out_dir``
     is given, dumped there as JSON reproducers.
     """
@@ -151,6 +154,7 @@ def run_fuzz(
             compare_jobs=(compare_jobs_case == i),
             attribution=attribution,
             frontend=frontend,
+            batch=batch,
         )
         outcome.cases += 1
         if result.ok:
@@ -170,6 +174,7 @@ def run_fuzz(
                     compare_jobs=False,
                     attribution=attribution,
                     frontend=frontend,
+                    batch=batch,
                 )
             except Exception:
                 return True
@@ -179,6 +184,7 @@ def run_fuzz(
         final = result if len(shrunk) == len(trace) else differential_replay(
             shrunk, cfg, sim_cfg, schemes=schemes, every=every,
             compare_jobs=False, attribution=attribution, frontend=frontend,
+            batch=batch,
         )
         if out_dir is not None:
             path = dump_counterexample(

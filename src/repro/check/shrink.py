@@ -22,6 +22,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..config import (
+    BatchConfig,
     CheckConfig,
     FaultConfig,
     FrontendConfig,
@@ -110,8 +111,10 @@ def sim_cfg_from_dict(doc: dict) -> SimConfig:
     doc["observability"] = ObservabilityConfig(**doc["observability"])
     doc["faults"] = FaultConfig(**doc["faults"])
     doc["check"] = CheckConfig(**doc.get("check") or {})
-    # dumps from before the frontend block existed rebuild as default
+    # dumps from before the frontend/batch blocks existed rebuild as
+    # defaults
     doc["frontend"] = FrontendConfig(**doc.get("frontend") or {})
+    doc["batch"] = BatchConfig(**doc.get("batch") or {})
     cfg = SimConfig(**doc)
     cfg.validate()
     return cfg

@@ -60,12 +60,12 @@ def _load_trace(args, cfg: SSDConfig) -> Trace:
             trace = loaders[args.format](args.trace)
         return trace.clamped_to(int(cfg.logical_sectors * 0.9))
     from .experiments.workloads import lun_specs
-    from .traces.synthetic import VDIWorkloadGenerator
+    from .traces.synthetic import generate_trace
 
     specs = {s.name: s for s in lun_specs(cfg, scale=args.scale)}
     if args.lun not in specs:
         raise SystemExit(f"unknown lun preset {args.lun!r}; have {sorted(specs)}")
-    return VDIWorkloadGenerator(specs[args.lun]).generate()
+    return generate_trace(specs[args.lun])
 
 
 def _device(args) -> SSDConfig:
@@ -481,6 +481,7 @@ def cmd_check(args) -> int:
             out_dir=args.out,
             attribution=args.attribution,
             frontend=args.frontend,
+            batch=args.batch,
             log=print,
         )
         print(
@@ -513,6 +514,7 @@ def cmd_check(args) -> int:
         attribution=args.attribution,
         frontend=args.frontend,
         qd_sweep=qd_sweep,
+        batch=args.batch,
     )
     print(res.summary())
     if not res.ok and args.out:
@@ -652,6 +654,8 @@ def cmd_bench(args) -> int:
         argv += ["--out", args.out]
     if args.check:
         argv.append("--check")
+    if args.batch:
+        argv.append("--batch")
     return benchgate.main(argv)
 
 
@@ -791,6 +795,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--check", action="store_true",
                    help="exit nonzero on output drift or >15%% "
                         "normalized-throughput regression vs the baseline")
+    p.add_argument("--batch", action="store_true",
+                   help="run the scenarios through the batch execution "
+                        "layer (digests must match the scalar baseline)")
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(
@@ -826,6 +833,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "event-driven frontend (hazard-aware NCQ) and "
                         "compare its oracle read digest against the "
                         "sequential leg")
+    p.add_argument("--batch", action="store_true",
+                   help="also replay each scheme through the batch "
+                        "execution layer (vectorised kernels) and "
+                        "compare its oracle read digest against the "
+                        "scalar leg; with --frontend a combined "
+                        "batch+frontend leg runs too")
     p.add_argument("--qd-sweep", metavar="Q1,Q2,...",
                    help="with --frontend: additionally replay at each "
                         "listed host queue depth (point runs only), "

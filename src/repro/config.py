@@ -493,6 +493,44 @@ class FrontendConfig:
 
 
 @dataclass(frozen=True)
+class BatchConfig:
+    """Batched/vectorised replay options (:mod:`repro.sim.kernels`).
+
+    Off by default: the engine steps the trace one request at a time
+    (bit-identical to every pinned golden/bench digest).  When
+    ``enabled``, the trace is decoded into columnar numpy segments
+    (:mod:`repro.traces.columnar`) and the engine replays *hazard-free
+    batches*: runs of consecutive reads go through vectorised kernels
+    (flat-PMT/AMT lookup, sector-mask math, counter accumulation and
+    chip-timeline advancement), and — with ``aging`` — device warm-up
+    writes go through fused per-scheme ``write_run`` kernels.  Output
+    is bit-identical to the scalar loop by contract, enforced by the
+    golden-hotpath fixture, the BENCH gate digests and the ``batch``
+    differential-replay leg (``repro check --batch``).
+
+    Composes with :class:`FrontendConfig`: with both enabled the
+    :class:`~repro.sim.frontend.FrontendScheduler` releases hazard-free
+    batches per dispatch round instead of single requests.
+    """
+
+    #: master switch: decode the trace into columnar segments and
+    #: replay through the batch execution layer
+    enabled: bool = False
+    #: largest decoded segment / released batch (bounds kernel working
+    #: sets; hazard windows and checker sweep points segment further)
+    max_batch: int = 512
+    #: route device-aging writes through the fused per-scheme
+    #: ``write_run`` kernels (bit-identical; the dominant replay cost
+    #: on aged scenarios)
+    aging: bool = True
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on inconsistent settings."""
+        if self.max_batch <= 0:
+            raise ConfigError("batch.max_batch must be positive")
+
+
+@dataclass(frozen=True)
 class CheckConfig:
     """Runtime invariant-checking options (:mod:`repro.check`).
 
@@ -571,6 +609,9 @@ class SimConfig:
     #: Event-driven frontend (:mod:`repro.sim.frontend`); off by
     #: default — the legacy sequential replay loop stays bit-identical.
     frontend: FrontendConfig = field(default_factory=FrontendConfig)
+    #: Batched/vectorised replay kernels (:mod:`repro.sim.kernels`);
+    #: off by default — opt-in, output bit-identical by contract.
+    batch: BatchConfig = field(default_factory=BatchConfig)
     #: Print a throttled progress line (requests/s, % done, ETA) to
     #: stderr during the replay loop (``--progress`` on the CLI).
     progress: bool = False
@@ -591,6 +632,7 @@ class SimConfig:
         self.faults.validate()
         self.check.validate()
         self.frontend.validate()
+        self.batch.validate()
 
     @classmethod
     def paper_aging(cls, **kw) -> "SimConfig":
@@ -622,6 +664,13 @@ class SimConfig:
         """Copy with frontend-field overrides (validated)."""
         frontend = dataclasses.replace(self.frontend, **kw)
         cfg = replace(self, frontend=frontend)
+        cfg.validate()
+        return cfg
+
+    def replace_batch(self, **kw) -> "SimConfig":
+        """Copy with batch-kernel overrides (validated)."""
+        batch = dataclasses.replace(self.batch, **kw)
+        cfg = replace(self, batch=batch)
         cfg.validate()
         return cfg
 

@@ -62,28 +62,38 @@ class Scenario:
     make_trace: Callable[[SSDConfig], Any]
     make_sim_cfg: Callable[[], SimConfig]
 
-    def run(self) -> SimulationReport:
-        """Simulate the scenario on a fresh device."""
+    def run(self, *, batch: bool = False) -> SimulationReport:
+        """Simulate the scenario on a fresh device.
+
+        ``batch`` replays through the batch execution layer
+        (``SimConfig.batch``): the report — and hence the pinned digest
+        and flash-op counts — must come out identical, only the wall
+        time may differ.  That is exactly what the gate checks when
+        ``repro bench --batch`` compares against the committed
+        baseline."""
         from .runner import run_trace
 
         cfg = self.make_cfg()
         trace = self.make_trace(cfg)
-        return run_trace(self.scheme, trace, cfg, self.make_sim_cfg())
+        sim_cfg = self.make_sim_cfg()
+        if batch:
+            sim_cfg = sim_cfg.replace_batch(enabled=True)
+        return run_trace(self.scheme, trace, cfg, sim_cfg)
 
 
 def _lun1_trace(cfg: SSDConfig, scale: float):
-    from ..traces.synthetic import VDIWorkloadGenerator
+    from ..traces.synthetic import generate_trace
     from .workloads import lun_specs
 
     spec = next(
         s for s in lun_specs(cfg, scale=scale, footprint_fraction=0.8)
         if s.name == "lun1"
     )
-    return VDIWorkloadGenerator(spec).generate()
+    return generate_trace(spec)
 
 
 def _faults_trace(cfg: SSDConfig):
-    from ..traces.synthetic import SyntheticSpec, VDIWorkloadGenerator
+    from ..traces.synthetic import SyntheticSpec, generate_trace
 
     spec = SyntheticSpec(
         name="faults-stress",
@@ -94,7 +104,7 @@ def _faults_trace(cfg: SSDConfig):
         footprint_sectors=int(cfg.logical_sectors * 0.6),
         seed=77,
     )
-    return VDIWorkloadGenerator(spec).generate()
+    return generate_trace(spec)
 
 
 def _aged_sim_cfg() -> SimConfig:
@@ -185,19 +195,44 @@ def calibrate(rounds: int = 5) -> float:
 # ----------------------------------------------------------------------
 # measurement
 # ----------------------------------------------------------------------
-def measure(progress: Callable[[str], None] | None = None) -> dict:
-    """Run every pinned scenario; returns the bench document."""
+#: full-suite measurement passes; each scenario's best wall is kept
+#: (same best-of-rounds rationale as :func:`calibrate` — a background
+#: blip on a shared host must not read as a throughput regression)
+MEASURE_PASSES = 3
+
+
+def measure(
+    progress: Callable[[str], None] | None = None,
+    *,
+    batch: bool = False,
+    passes: int = MEASURE_PASSES,
+) -> dict:
+    """Run every pinned scenario; returns the bench document.
+
+    ``batch`` runs every scenario through the batch execution layer —
+    same digests by contract, different wall times by design.
+
+    The whole suite runs ``passes`` times — each pass identical to a
+    single-shot run, including a cleared trace memo so every pass pays
+    the same generation cost — and each scenario keeps its best wall.
+    Simulation is deterministic, so the repeats double as a free
+    determinism check: a digest that changes between passes is a bug
+    and raises immediately."""
+    from ..traces.synthetic import _TRACE_MEMO
+
     calibration = calibrate()
-    entries = []
-    for sc in scenarios():
-        if progress is not None:
-            progress(f"running {sc.name} ...")
-        t0 = time.perf_counter()
-        report = sc.run()
-        wall = time.perf_counter() - t0
-        rps = report.requests / wall if wall > 0 else 0.0
-        entries.append(
-            {
+    best: dict[str, dict] = {}
+    order: list[str] = []
+    for rep in range(max(1, passes)):
+        _TRACE_MEMO.clear()
+        for sc in scenarios():
+            if progress is not None:
+                progress(f"running {sc.name} (pass {rep + 1}) ...")
+            t0 = time.perf_counter()
+            report = sc.run(batch=batch)
+            wall = time.perf_counter() - t0
+            rps = report.requests / wall if wall > 0 else 0.0
+            entry = {
                 "name": sc.name,
                 "scheme": sc.scheme,
                 "requests": report.requests,
@@ -209,12 +244,24 @@ def measure(progress: Callable[[str], None] | None = None) -> dict:
                 "total_flash_writes": report.counters.total_writes,
                 "erases": report.counters.erases,
             }
-        )
+            prev = best.get(sc.name)
+            if prev is None:
+                best[sc.name] = entry
+                order.append(sc.name)
+                continue
+            if prev["digest"] != entry["digest"]:
+                raise RuntimeError(
+                    f"{sc.name}: non-deterministic report digest across "
+                    f"measurement passes — {prev['digest'][:12]} vs "
+                    f"{entry['digest'][:12]}"
+                )
+            if entry["wall_seconds"] < prev["wall_seconds"]:
+                best[sc.name] = entry
     return {
         "format": 1,
         "calibration_score": round(calibration, 2),
         "tolerance": THROUGHPUT_TOLERANCE,
-        "scenarios": entries,
+        "scenarios": [best[name] for name in order],
     }
 
 
@@ -298,9 +345,18 @@ def main(argv: list[str] | None = None) -> int:
         help="fail (exit 1) on output drift or throughput regression "
         "against the baseline",
     )
+    parser.add_argument(
+        "--batch", action="store_true",
+        help="run every scenario through the batch execution layer "
+        "(SimConfig.batch); digests must still match the scalar "
+        "baseline bit for bit",
+    )
     args = parser.parse_args(argv)
 
-    doc = measure(progress=lambda msg: print(f"[bench] {msg}", flush=True))
+    doc = measure(
+        progress=lambda msg: print(f"[bench] {msg}", flush=True),
+        batch=args.batch,
+    )
     out_path = Path(args.out or default_output_name())
     out_path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
     print(f"[bench] wrote {out_path}")

@@ -17,7 +17,7 @@ from typing import Any
 from ..config import SCHEMES
 from ..metrics.report import geomean, normalize, render_table
 from ..traces.stats import across_page_ratio, characterize
-from ..traces.synthetic import VDIWorkloadGenerator, trace_collection
+from ..traces.synthetic import generate_trace, trace_collection
 from ..units import KIB
 from .runner import ExperimentContext
 from .workloads import TABLE2_SPECS
@@ -55,7 +55,7 @@ def fig2(ctx: ExperimentContext, count: int = 61) -> FigureResult:
     )
     ratios = []
     for spec in specs:
-        trace = VDIWorkloadGenerator(spec).generate()
+        trace = generate_trace(spec)
         ratios.append(across_page_ratio(trace, 8 * KIB))
     mean = sum(ratios) / len(ratios)
     rows = {

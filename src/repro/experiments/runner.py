@@ -19,7 +19,7 @@ from ..ftl import make_ftl
 from ..metrics.report import SimulationReport
 from ..sim.engine import Simulator
 from ..traces.model import Trace
-from ..traces.synthetic import VDIWorkloadGenerator
+from ..traces.synthetic import generate_trace
 from .parallel import ResultStore, RunSpec, execute_runs, run_filename
 
 
@@ -94,7 +94,7 @@ class ExperimentContext:
                 seed_base=self.seed_base,
             ):
                 if spec.name not in self._traces:
-                    self._traces[spec.name] = VDIWorkloadGenerator(spec).generate()
+                    self._traces[spec.name] = generate_trace(spec)
             if name not in self._traces:
                 raise KeyError(f"unknown lun preset {name!r}")
         return self._traces[name]

@@ -21,7 +21,7 @@ from typing import Any, Callable, Sequence
 from ..config import SCHEMES, SimConfig, SSDConfig
 from ..metrics.report import SimulationReport, render_table
 from ..traces.model import Trace
-from ..traces.synthetic import SyntheticSpec, VDIWorkloadGenerator
+from ..traces.synthetic import SyntheticSpec, generate_trace
 from .parallel import ResultStore, RunSpec, execute_runs
 
 MetricFn = Callable[[SimulationReport], float]
@@ -153,7 +153,7 @@ def sweep_workload(
     for point in points:
         spec = replace(base_spec, **{field: point})
         spec.validate()
-        trace = VDIWorkloadGenerator(spec).generate()
+        trace = generate_trace(spec)
         for s in schemes:
             grid.append((str(point), RunSpec.make(s, trace, cfg, sim_cfg)))
     return _run_grid(

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 from ..config import SSDConfig
 from ..traces.model import Trace
-from ..traces.synthetic import SyntheticSpec, VDIWorkloadGenerator
+from ..traces.synthetic import SyntheticSpec, generate_trace
 
 
 @dataclass(frozen=True)
@@ -72,4 +72,4 @@ def lun_specs(
 
 def lun_traces(cfg: SSDConfig, **kw) -> list[Trace]:
     """Generate the six calibrated traces for a device config."""
-    return [VDIWorkloadGenerator(spec).generate() for spec in lun_specs(cfg, **kw)]
+    return [generate_trace(spec) for spec in lun_specs(cfg, **kw)]

@@ -419,6 +419,49 @@ class BaseFTL(ABC):
         self._pmt_mask[lpn] = old_mask | new_mask
         return t if t > finish else finish
 
+    # ------------------------------------------------------------------
+    # batched aging writes (SimConfig.batch)
+    # ------------------------------------------------------------------
+    def write_run(self, offsets, sizes, target: int) -> int:
+        """Service a run of untimed aging writes (already clamped to the
+        logical space by the engine), stopping once the AGING write
+        counter reaches ``target``.  Returns how many requests of the
+        run were consumed.
+
+        This generic implementation is a scalar loop over :meth:`write`
+        — bit-identical to the engine's legacy per-request aging loop by
+        construction.  Schemes may override it with a fused kernel, but
+        any override must (a) produce exactly the same device state,
+        counters and mapping tables, and (b) fall back here whenever a
+        precondition of its fast path does not hold (payload tracking,
+        observability, timed mode).  The batch-vs-legacy report-digest
+        tests and the ``repro check --batch`` differential leg enforce
+        the equivalence.
+        """
+        counters = self.counters
+        write = self.write
+        aging = OpKind.AGING
+        consumed = 0
+        for offset, size in zip(offsets, sizes):
+            write(offset, size, 0.0, None)
+            consumed += 1
+            if counters.writes[aging] >= target:
+                break
+        return consumed
+
+    def _write_run_fallback(self) -> bool:
+        """True when a fused :meth:`write_run` override must delegate to
+        the generic scalar loop: the fast paths below inline the
+        untimed, payload-free, unobserved flavour of every flash/cache
+        operation, so any of these features being live would change
+        behaviour."""
+        return (
+            self.timed
+            or self.track_payload
+            or self.service.obs is not None
+            or self.service.attr is not None
+        )
+
     def _read_stamps_from(self, ppn: int, sectors: list[int], out: dict) -> None:
         """Copy the stamps of ``sectors`` found at ``ppn`` into ``out``."""
         meta = self.service.array.meta(ppn)

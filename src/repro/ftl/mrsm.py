@@ -25,6 +25,7 @@ pay one entry per region.
 from __future__ import annotations
 
 import math
+from operator import itemgetter
 from typing import Optional
 
 import numpy as np
@@ -33,7 +34,7 @@ from ..errors import ConfigError, MappingError
 from ..metrics.counters import OpKind
 from .allocator import STREAM_GC
 from .base import BaseFTL, iter_bits, mask_range
-from .meta import RegionPageMeta
+from .meta import MapPageMeta, RegionPageMeta
 
 #: a region entry records offset, size, PPN and slot ("a complicated
 #: mapping data structure to record the offset and size information",
@@ -232,6 +233,339 @@ class MRSMFTL(BaseFTL):
         return finish
 
     # ------------------------------------------------------------------
+    def write_run(self, offsets, sizes, target: int) -> int:
+        """Fused aging-write kernel (SimConfig.batch): region split,
+        tree-depth-memoised cache touches, region RMW reads, slot kills,
+        R-slot packing and GC checks inlined with the untimed /
+        payload-free / unobserved branches resolved.
+
+        Bit-identical to the generic scalar loop over :meth:`write`
+        (enforced by the batch-vs-legacy digest tests and
+        ``repro check --batch``); delegates to :meth:`BaseFTL.write_run`
+        whenever a fast-path precondition fails.
+        """
+        if self._write_run_fallback():
+            return super().write_run(offsets, sizes, target)
+        from ..errors import FlashProtocolError
+        from ..flash.array import PAGE_FREE, PAGE_INVALID, PAGE_VALID
+
+        c = self.counters
+        writes = c.writes
+        reads = c.reads
+        aging = OpKind.AGING
+        spp = self.spp
+        R = self.R
+        rs = self.region_sectors
+        region_map = self.region_map
+        map_get = region_map.get
+        region_mask = self.region_mask
+        mask_get = region_mask.get
+        fragmented = self._ever_fragmented
+        cache = self._cache
+        epp = cache.entries_per_page
+        cached = cache._cached
+        move_to_end = cached.move_to_end
+        popitem = cached.popitem
+        access = cache.access
+        on_flash = cache._on_flash
+        capacity_pages = cache.capacity_pages
+        unlimited = cache.unlimited
+        # flash locations of table 1's translation pages (the cache's
+        # read/program callbacks consult the same dict)
+        map_table = self._map_ppn.setdefault(1, {})
+        tree_touches = self._tree_touches
+        tt_val, tt_lo, tt_hi = self._tt_val, self._tt_lo, self._tt_hi
+        service = self.service
+        arr = service.array
+        state = arr._state
+        wp = arr._write_ptr
+        valid_count = arr._valid_count
+        last_mod = arr._last_mod
+        meta_of = arr._meta
+        allocator = self.allocator
+        allocate = allocator.allocate
+        order = allocator._plane_order
+        active = allocator._active[0]
+        n_planes = len(order)
+        ppb = allocator._ppb
+        gc = self.gc
+        maybe_collect = gc.maybe_collect
+        retire_pending = gc._retire_pending
+        free_blocks = gc._free_blocks
+        ok_free = gc._ok_free_count
+        pages_per_plane = self.geom.pages_per_plane
+        new_meta = object.__new__
+
+        full_mask = (1 << rs) - 1
+        consumed = 0
+        for offset, size in zip(offsets, sizes):
+            end = offset + size
+            # --- region split (inlined _split_regions): only the first
+            # and last pieces need offset arithmetic, interior pieces
+            # are whole regions
+            key = offset // rs
+            last_key = (end - 1) // rs
+            base = key * rs
+            if key == last_key:
+                pieces = [(key, offset - base, end - base)]
+            else:
+                pieces = [(key, offset - base, rs)]
+                append_piece = pieces.append
+                for kk in range(key + 1, last_key):
+                    append_piece((kk, 0, rs))
+                append_piece((last_key, 0, end - last_key * rs))
+            # --- persistent fragmentation marking: only the boundary
+            # pages can be partially covered, interior pages never are
+            first_lpn = offset // spp
+            last_lpn = (end - 1) // spp
+            if offset - first_lpn * spp:
+                fragmented.add(first_lpn)
+            if (last_lpn + 1) * spp - end:
+                fragmented.add(last_lpn)
+            # --- phase 1: cache touches + region-level RMW.  The merged
+            # masks are stashed per piece: one request's region keys are
+            # distinct and phase 2 is their only writer, so the values
+            # phase 2 would recompute are exactly these.
+            rmw_ppns: set[int] = set()
+            merged = []
+            tvpn = pieces[0][0] // epp
+            if tvpn == pieces[-1][0] // epp:
+                # all pieces touch one translation page (~99.7% of
+                # aging writes): the n identical LRU touches collapse
+                # to one — same final recency order, dirty flag and
+                # hit/miss/DRAM totals.  tt_val is constant here
+                # because phase 1 never grows region_map.
+                n = len(region_map)
+                if n > tt_hi or n < tt_lo:
+                    tree_touches()
+                    tt_val = self._tt_val
+                    tt_lo = self._tt_lo
+                    tt_hi = self._tt_hi
+                c.dram_accesses += tt_val * len(pieces)
+                if unlimited:
+                    cache.hits += len(pieces)
+                elif tvpn in cached:
+                    cache.hits += len(pieces)
+                    move_to_end(tvpn)
+                    cached[tvpn] = True
+                else:
+                    # inlined access() miss (dirty, untimed): fetch the
+                    # flash-resident copy if any, install hot, spill the
+                    # LRU overflow — the request's remaining touches
+                    # re-hit the fresh entry
+                    cache.misses += 1
+                    cache.hits += len(pieces) - 1
+                    if tvpn in on_flash:
+                        # untimed map fetch (read_map_page callback)
+                        fppn = map_table[tvpn]
+                        if state[fppn] != PAGE_VALID:
+                            raise FlashProtocolError(
+                                f"read of non-valid PPN {fppn}"
+                            )
+                        arr.total_page_reads += 1
+                        reads[aging] += 1
+                    cached[tvpn] = True
+                    while len(cached) > capacity_pages:
+                        etvpn, was_dirty = popitem(last=False)
+                        cache.evictions += 1
+                        if not was_dirty:
+                            continue
+                        # untimed translation write-back (the
+                        # program_map_page callback): invalidate the
+                        # stale flash copy, program the new one, GC-
+                        # check the plane written
+                        old = map_table.get(etvpn)
+                        if old is not None:
+                            if state[old] != PAGE_VALID:
+                                raise FlashProtocolError(
+                                    f"invalidate of non-valid PPN {old}"
+                                )
+                            state[old] = PAGE_INVALID
+                            ob = old // ppb
+                            valid_count[ob] -= 1
+                            del meta_of[old]
+                            seq = arr.mod_seq + 1
+                            arr.mod_seq = seq
+                            last_mod[ob] = seq
+                            del map_table[etvpn]
+                        cur = allocator._cursor
+                        plane = order[cur]
+                        block = active[plane]
+                        mppn = -1
+                        if block is not None:
+                            p = wp[block]
+                            if p < ppb:
+                                mppn = block * ppb + p
+                                allocator._cursor = (
+                                    cur + 1 if cur + 1 < n_planes else 0
+                                )
+                        if mppn < 0:
+                            mppn = allocate(0)
+                        if state[mppn] != PAGE_FREE:
+                            raise FlashProtocolError(
+                                f"program of non-free PPN {mppn}"
+                            )
+                        block = mppn // ppb
+                        page = mppn - block * ppb
+                        if page != wp[block]:
+                            raise FlashProtocolError(
+                                f"out-of-order program: block {block} "
+                                f"expects page {wp[block]}, got {page}"
+                            )
+                        state[mppn] = PAGE_VALID
+                        wp[block] = page + 1
+                        valid_count[block] += 1
+                        arr.total_programs += 1
+                        meta_of[mppn] = MapPageMeta(1, etvpn)
+                        seq = arr.mod_seq + 1
+                        arr.mod_seq = seq
+                        last_mod[block] = seq
+                        writes[aging] += 1
+                        plane = mppn // pages_per_plane
+                        if retire_pending or len(free_blocks[plane]) < ok_free:
+                            maybe_collect(plane, 0.0, timed=False)
+                        map_table[etvpn] = mppn
+                        on_flash.add(etvpn)
+                append_merged = merged.append
+                for key, rel_lo, rel_hi in pieces:
+                    if rel_lo == 0 and rel_hi == rs:
+                        # whole-region overwrite: the stored mask is a
+                        # subset of full, so no RMW and merged == full
+                        append_merged(full_mask)
+                        continue
+                    old_mask = mask_get(key, 0)
+                    new_mask = ((1 << (rel_hi - rel_lo)) - 1) << rel_lo
+                    if old_mask & ~new_mask:
+                        rmw_ppns.add(region_map[key][0])
+                    append_merged(old_mask | new_mask)
+            else:
+                for key, rel_lo, rel_hi in pieces:
+                    tvpn = key // epp
+                    if tvpn in cached:
+                        n = len(region_map)
+                        if n > tt_hi or n < tt_lo:
+                            tree_touches()
+                            tt_val = self._tt_val
+                            tt_lo = self._tt_lo
+                            tt_hi = self._tt_hi
+                        c.dram_accesses += tt_val
+                        cache.hits += 1
+                        move_to_end(tvpn)
+                        cached[tvpn] = True
+                    else:
+                        access(key, 0.0, dirty=True, timed=False)
+                    if rel_lo == 0 and rel_hi == rs:
+                        merged.append(full_mask)
+                        continue
+                    old_mask = mask_get(key, 0)
+                    new_mask = ((1 << (rel_hi - rel_lo)) - 1) << rel_lo
+                    if old_mask & ~new_mask:
+                        rmw_ppns.add(region_map[key][0])
+                    merged.append(old_mask | new_mask)
+            for ppn in rmw_ppns:
+                # untimed aging read of the partially-overwritten page
+                if state[ppn] != PAGE_VALID:
+                    raise FlashProtocolError(f"read of non-valid PPN {ppn}")
+                arr.total_page_reads += 1
+                reads[aging] += 1
+            # --- phase 2: pack regions into pages, R slots per page
+            for i in range(0, len(pieces), R):
+                group = pieces[i : i + R]
+                # plain loop, not a listcomp: no per-group extra frame
+                slots = []
+                for key, _lo, _hi in group:
+                    slots.append((key, True))
+                masks = merged[i : i + R]
+                # __new__ + direct slot stores: same object as
+                # RegionPageMeta(slots, masks, None) without the
+                # constructor frame (one meta per programmed page)
+                meta = new_meta(RegionPageMeta)
+                meta.slots = slots
+                meta.masks = masks
+                meta.payloads = None
+                # inlined _kill_slot; a group's keys were usually packed
+                # together by an earlier write, so they share one region
+                # page: cache its meta and count live slots down instead
+                # of rescanning after every kill (same aliveness result)
+                last_ppn0 = -1
+                mslots = None
+                live_left = 0
+                for key, _lo, _hi in group:
+                    loc = map_get(key)
+                    if loc is None:
+                        continue
+                    ppn0, slot = loc
+                    if ppn0 != last_ppn0:
+                        mslots = meta_of[ppn0].slots
+                        last_ppn0 = ppn0
+                        live_left = 0
+                        for _skey, lv in mslots:
+                            if lv:
+                                live_left += 1
+                    skey, live = mslots[slot]
+                    if skey != key or not live:
+                        raise MappingError(
+                            f"slot bookkeeping broken for region {key}"
+                        )
+                    mslots[slot] = (key, False)
+                    live_left -= 1
+                    if not live_left:
+                        if state[ppn0] != PAGE_VALID:
+                            raise FlashProtocolError(
+                                f"invalidate of non-valid PPN {ppn0}"
+                            )
+                        state[ppn0] = PAGE_INVALID
+                        old_block = ppn0 // ppb
+                        valid_count[old_block] -= 1
+                        del meta_of[ppn0]
+                        seq = arr.mod_seq + 1
+                        arr.mod_seq = seq
+                        last_mod[old_block] = seq
+                        last_ppn0 = -1  # page gone; never reuse its meta
+                # allocate (round-robin fast path, exact fallback)
+                cur = allocator._cursor
+                plane = order[cur]
+                block = active[plane]
+                ppn = -1
+                if block is not None:
+                    p = wp[block]
+                    if p < ppb:
+                        ppn = block * ppb + p
+                        allocator._cursor = cur + 1 if cur + 1 < n_planes else 0
+                if ppn < 0:
+                    ppn = allocate(0)
+                # program (untimed, AGING kind)
+                if state[ppn] != PAGE_FREE:
+                    raise FlashProtocolError(f"program of non-free PPN {ppn}")
+                block = ppn // ppb
+                page = ppn - block * ppb
+                if page != wp[block]:
+                    raise FlashProtocolError(
+                        f"out-of-order program: block {block} expects page "
+                        f"{wp[block]}, got {page}"
+                    )
+                state[ppn] = PAGE_VALID
+                wp[block] = page + 1
+                valid_count[block] += 1
+                arr.total_programs += 1
+                meta_of[ppn] = meta
+                seq = arr.mod_seq + 1
+                arr.mod_seq = seq
+                last_mod[block] = seq
+                writes[aging] += 1
+                # GC check on the written plane
+                plane = ppn // pages_per_plane
+                if retire_pending or len(free_blocks[plane]) < ok_free:
+                    maybe_collect(plane, 0.0, timed=False)
+                for slot_idx, (key, _rel_lo, _rel_hi) in enumerate(group):
+                    region_map[key] = (ppn, slot_idx)
+                    region_mask[key] = masks[slot_idx]
+            consumed += 1
+            if writes[aging] >= target:
+                break
+        return consumed
+
+    # ------------------------------------------------------------------
     def read(
         self, offset: int, size: int, now: float
     ) -> tuple[float, Optional[dict]]:
@@ -366,11 +700,15 @@ class MRSMFTL(BaseFTL):
         R = self.R
         n = len(self.region_map)
         keys = np.fromiter(self.region_map.keys(), dtype=np.int64, count=n)
+        # itemgetter over the values iterates at C speed — this runs
+        # once per report over the full (possibly multi-100k) table
         ppns = np.fromiter(
-            (v[0] for v in self.region_map.values()), dtype=np.int64, count=n
+            map(itemgetter(0), self.region_map.values()),
+            dtype=np.int64, count=n,
         )
         slots = np.fromiter(
-            (v[1] for v in self.region_map.values()), dtype=np.int64, count=n
+            map(itemgetter(1), self.region_map.values()),
+            dtype=np.int64, count=n,
         )
         order = np.argsort(keys)
         keys, ppns, slots = keys[order], ppns[order], slots[order]

@@ -36,6 +36,7 @@ across sites occasionally exceed the site (merged reads, §4.2.1).
 from __future__ import annotations
 
 from bisect import bisect_right
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -213,6 +214,9 @@ class VDIWorkloadGenerator:
         self._large_cdf = _weights_cdf(pl)
         self._small_sizes = _SMALL_SIZES.tolist()
         self._large_sizes = _LARGE_SIZES.tolist()
+        self._w_small = w
+        self._n_pages = spec.footprint_sectors // _REF_SPP
+        self._pool_cap = max(256, self._n_pages // 128)
 
     def _pick_page(self) -> int:
         """A page index drawn from the zipf zone model."""
@@ -259,7 +263,7 @@ class VDIWorkloadGenerator:
     def _new_across_site(self) -> tuple[int, int]:
         """A fresh extent straddling a random 8 KiB page boundary."""
         rng = self.rng
-        n_boundaries = self.spec.footprint_sectors // _REF_SPP - 1
+        n_boundaries = self._n_pages - 1
         b_page = max(1, min(self._pick_page(), n_boundaries))
         # avoid boundaries adjacent to existing sites: an LPN can hold
         # only one across area, so neighbouring sites would force
@@ -359,7 +363,7 @@ class VDIWorkloadGenerator:
                 hi = min(first_page_end, lo + int(rng.integers(2, 5)))
                 return page * _REF_SPP + lo, hi - lo
             return page * _REF_SPP + rel, 1
-        pool_cap = max(256, self.spec.footprint_sectors // _REF_SPP // 128)
+        pool_cap = self._pool_cap
         if self._small_sites and (
             rng.random() < 0.6 or len(self._small_sites) >= pool_cap
         ):
@@ -401,8 +405,7 @@ class VDIWorkloadGenerator:
     def _aligned_write(self) -> tuple[int, int]:
         """4/8 KiB-aligned bulk traffic that is never across at 8 KiB."""
         rng = self.rng
-        w = self._aligned_weights[0]
-        if rng.random() < w:
+        if rng.random() < self._w_small:
             size = self._small_sizes[
                 bisect_right(self._small_cdf, rng.random())
             ]
@@ -414,7 +417,7 @@ class VDIWorkloadGenerator:
             # multiples of a page (and anything larger than a page)
             # start on a page boundary: unaligned-but-not-across is the
             # across component's job
-            n = self.spec.footprint_sectors // _REF_SPP
+            n = self._n_pages
             pages_spanned = -(-size // _REF_SPP)
             page = min(self._pick_page(), max(0, n - 1 - pages_spanned))
             for _ in range(6):  # keep bulk traffic off the across sites
@@ -539,8 +542,26 @@ class VDIWorkloadGenerator:
         return Trace(s.name, times, ops, offsets, sizes)
 
 
-def generate_trace(spec: SyntheticSpec) -> Trace:
-    """Convenience wrapper: one-shot generation from a spec.
+#: deterministic-generation memo: spec -> generated trace.  Generation
+#: is a pure function of the (frozen, hashable) spec, so any two calls
+#: with equal specs produce bit-identical traces — the memo only skips
+#: redundant work, never changes output.  Bounded LRU; huge traces are
+#: not retained.  Cached traces are marked read-only as a tripwire:
+#: traces are immutable by repo convention, and sharing one across
+#: callers must never let an in-place edit corrupt a later run.
+_TRACE_MEMO: "OrderedDict[SyntheticSpec, Trace]" = OrderedDict()
+_TRACE_MEMO_ENTRIES = 8
+_TRACE_MEMO_MAX_REQUESTS = 200_000
+
+
+def generate_trace(spec: SyntheticSpec, *, memo: bool = True) -> Trace:
+    """Convenience wrapper: one-shot generation from a spec, memoised.
+
+    Repeated calls with an equal spec return the same (read-only)
+    :class:`Trace` instead of regenerating it — the bench-gate
+    scenarios share their warm-up and lun specs across schemes, and
+    regeneration was a third of their wall time.  Pass ``memo=False``
+    to force a fresh, writable generation.
 
     Generation is deterministic in the spec (seed included), and the
     calibration targets come out within sampling noise:
@@ -560,7 +581,19 @@ def generate_trace(spec: SyntheticSpec) -> Trace:
     >>> abs(st.across_ratio - 0.25) < 0.03
     True
     """
-    return VDIWorkloadGenerator(spec).generate()
+    if not memo or spec.requests > _TRACE_MEMO_MAX_REQUESTS:
+        return VDIWorkloadGenerator(spec).generate()
+    cached = _TRACE_MEMO.get(spec)
+    if cached is not None:
+        _TRACE_MEMO.move_to_end(spec)
+        return cached
+    trace = VDIWorkloadGenerator(spec).generate()
+    for arr in (trace.times, trace.ops, trace.offsets, trace.sizes):
+        arr.setflags(write=False)
+    _TRACE_MEMO[spec] = trace
+    while len(_TRACE_MEMO) > _TRACE_MEMO_ENTRIES:
+        _TRACE_MEMO.popitem(last=False)
+    return trace
 
 
 def spec_from_stats(stats, *, requests: int | None = None, seed: int = 1,

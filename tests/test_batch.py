@@ -1,0 +1,214 @@
+"""Batch execution layer: bit-identical replay through vector kernels.
+
+``SimConfig.batch`` changes the execution strategy — columnar decode,
+absorbed read runs, fused flush — but not one observable value.  These
+tests hold the full canonical report (``benchgate.report_digest``)
+equal between the scalar and batch loops on all three schemes, on aged
+devices, with the oracle on, and composed with the event-driven
+frontend; plus the behavioural contracts around it (MIN_READ_RUN
+engagement, request-granular progress, config validation).
+"""
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.config import SimConfig, SSDConfig
+from repro.errors import ConfigError
+from repro.experiments.benchgate import report_digest
+from repro.flash.service import FlashService
+from repro.ftl import make_ftl
+from repro.sim.engine import Simulator
+from repro.traces.model import OP_READ, OP_WRITE, Trace
+from repro.traces.synthetic import SyntheticSpec, VDIWorkloadGenerator
+from repro.units import MIB
+
+SCHEMES = ("ftl", "mrsm", "across")
+
+
+def mixed_trace(cfg, n=300, seed=3, write_ratio=0.35):
+    """A read-leaning synthetic workload (long read runs engage the
+    kernel) sized to the given geometry."""
+    spec = SyntheticSpec(
+        name="batch-eq",
+        requests=n,
+        write_ratio=write_ratio,
+        across_ratio=0.2,
+        mean_write_kb=8.0,
+        footprint_sectors=int(cfg.logical_sectors * 0.6),
+        seed=seed,
+        small_unaligned=0.3,
+    )
+    return VDIWorkloadGenerator(spec).generate()
+
+
+def run_once(scheme, trace, sim_cfg, cfg):
+    sim = Simulator(make_ftl(scheme, FlashService(cfg)), sim_cfg)
+    report = sim.run(trace)
+    return sim, report
+
+
+def flat_trace(rows):
+    """Build a trace from explicit ``(op, offset, size)`` rows, 1 ms
+    apart."""
+    ops = np.array([r[0] for r in rows], np.uint8)
+    offsets = np.array([r[1] for r in rows], np.int64)
+    sizes = np.array([r[2] for r in rows], np.int64)
+    times = np.arange(len(rows), dtype=np.float64)
+    return Trace("flat", times, ops, offsets, sizes)
+
+
+class TestBitIdentical:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_full_report_equal_on_aged_device(self, scheme):
+        cfg = SSDConfig.tiny().replace(write_buffer_bytes=2 * MIB)
+        trace = mixed_trace(cfg)
+        base = SimConfig(aged_used=0.55, aged_valid=0.30, seed=9)
+        _, scalar = run_once(scheme, trace, base, cfg)
+        sim, batched = run_once(
+            scheme, trace, base.replace_batch(enabled=True), cfg
+        )
+        assert report_digest(batched) == report_digest(scalar)
+        # the equality is meaningful only if the kernel actually ran
+        assert sim._batch_kernel is not None
+        assert sim._batch_kernel.requests_vectorised > 0
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_full_report_equal_with_oracle(self, scheme):
+        cfg = SSDConfig.tiny().replace(write_buffer_bytes=2 * MIB)
+        trace = mixed_trace(cfg, seed=5)
+        base = SimConfig(check_oracle=True)
+        _, scalar = run_once(scheme, trace, base, cfg)
+        _, batched = run_once(
+            scheme, trace, base.replace_batch(enabled=True), cfg
+        )
+        assert report_digest(batched) == report_digest(scalar)
+        assert batched.extra["oracle_reads_verified"] > 0
+
+    def test_small_max_batch_still_identical(self):
+        cfg = SSDConfig.tiny()
+        trace = mixed_trace(cfg, seed=7)
+        _, scalar = run_once("across", trace, SimConfig(), cfg)
+        _, batched = run_once(
+            "across", trace,
+            SimConfig().replace_batch(enabled=True, max_batch=5), cfg,
+        )
+        assert report_digest(batched) == report_digest(scalar)
+
+    def test_report_shape_unchanged(self):
+        """Batch stats live on the simulator, never in the report —
+        the report dict feeds pinned digests."""
+        cfg = SSDConfig.tiny()
+        trace = mixed_trace(cfg, n=120)
+        _, scalar = run_once("ftl", trace, SimConfig(), cfg)
+        _, batched = run_once(
+            "ftl", trace, SimConfig().replace_batch(enabled=True), cfg
+        )
+        assert batched.to_dict().keys() == scalar.to_dict().keys()
+        assert batched.extra.keys() == scalar.extra.keys()
+
+
+class TestFrontendComposition:
+    def test_frontend_batch_release_identical(self):
+        cfg = SSDConfig.tiny().replace(write_buffer_bytes=2 * MIB)
+        trace = mixed_trace(cfg, seed=13)
+        fe = SimConfig().replace_frontend(enabled=True)
+        _, scalar = run_once("across", trace, fe, cfg)
+        sim, batched = run_once(
+            "across", trace, fe.replace_batch(enabled=True), cfg
+        )
+        assert report_digest(batched) == report_digest(scalar)
+        # released as hazard-free batches, counted per request
+        assert sim._frontend.batches_released > 0
+        assert sim._frontend.batch_requests == len(trace)
+
+    def test_scalar_frontend_releases_no_batches(self):
+        cfg = SSDConfig.tiny()
+        trace = mixed_trace(cfg, n=80)
+        sim, _ = run_once(
+            "ftl", trace, SimConfig().replace_frontend(enabled=True), cfg
+        )
+        assert sim._frontend.batches_released == 0
+        assert sim._frontend.batch_requests == 0
+
+    def test_frontend_batch_with_queue_depth(self):
+        cfg = SSDConfig.tiny()
+        trace = mixed_trace(cfg, seed=17)
+        fe = SimConfig(queue_depth=8).replace_frontend(enabled=True)
+        _, scalar = run_once("ftl", trace, fe, cfg)
+        _, batched = run_once(
+            "ftl", trace, fe.replace_batch(enabled=True), cfg
+        )
+        assert report_digest(batched) == report_digest(scalar)
+
+
+class TestMinReadRun:
+    def _seeded(self, rows):
+        """40 whole-page writes (data + cached translation pages),
+        then ``rows``."""
+        seed = [(OP_WRITE, lpn * 16, 16) for lpn in range(40)]
+        return flat_trace(seed + rows)
+
+    def _vectorised(self, trace):
+        cfg = SSDConfig.tiny()  # no write buffer: reads go to flash
+        sim, _ = run_once(
+            "ftl", trace, SimConfig().replace_batch(enabled=True), cfg
+        )
+        assert sim._batch_kernel is not None
+        return sim._batch_kernel.requests_vectorised
+
+    def test_short_runs_stay_scalar(self):
+        rows = []
+        for i in range(30):
+            rows += [(OP_WRITE, (i % 40) * 16, 16),
+                     (OP_READ, (i % 40) * 16, 16),
+                     (OP_READ, ((i + 1) % 40) * 16, 16)]
+        assert self._vectorised(self._seeded(rows)) == 0
+
+    def test_long_runs_are_absorbed(self):
+        rows = []
+        for i in range(15):
+            rows.append((OP_WRITE, (i % 40) * 16, 16))
+            rows += [(OP_READ, ((i + j) % 40) * 16, 16) for j in range(6)]
+        assert self._vectorised(self._seeded(rows)) >= 6
+
+
+class TestBatchProgress:
+    def test_progress_counts_requests_not_batches(self, monkeypatch, capsys):
+        """Regression: with 15 segments of 8 requests, the progress
+        line must advance per completed request (up to 160), not per
+        batch (at most 15)."""
+        from repro.sim import engine
+
+        monkeypatch.setattr(engine, "_PROGRESS_EVERY_S", 0.0)
+        cfg = SSDConfig.tiny()
+        trace = mixed_trace(cfg, n=120)
+        sim_cfg = SimConfig(progress=True).replace_batch(
+            enabled=True, max_batch=8
+        )
+        run_once("ftl", trace, sim_cfg, cfg)
+        err = capsys.readouterr().err
+        done = [int(m) for m in re.findall(r"(\d+)/120", err)]
+        assert done
+        assert max(done) == 120                    # final line completes
+        assert any(0 < d < 120 for d in done)      # mid-run updates
+        assert len({d for d in done}) > 120 // 8   # finer than per-batch
+
+
+class TestBatchConfig:
+    def test_defaults_off(self):
+        sc = SimConfig()
+        assert sc.batch.enabled is False
+        assert sc.batch.max_batch == 512
+        assert sc.batch.aging is True
+
+    def test_replace_batch_round_trip(self):
+        sc = SimConfig().replace_batch(enabled=True, max_batch=64)
+        assert sc.batch.enabled and sc.batch.max_batch == 64
+        assert SimConfig().batch.enabled is False  # original untouched
+        sc.validate()
+
+    def test_rejects_nonpositive_max_batch(self):
+        with pytest.raises(ConfigError):
+            SimConfig().replace_batch(enabled=True, max_batch=0).validate()
