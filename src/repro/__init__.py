@@ -65,12 +65,19 @@ from .errors import (
 from .faults import FaultInjector, raw_bit_error_rate, read_retry_steps
 from .experiments.runner import ExperimentContext, compare_schemes, run_trace
 from .experiments.workloads import TABLE2_SPECS, lun_specs, lun_traces
+from .experiments.endurance import (
+    EnduranceCell,
+    EnduranceResult,
+    endurance_specs,
+    run_endurance,
+)
 from .flash.service import FlashService
 from .flash.wear import WearStats, projected_lifetime_writes, wear_stats
 from .ftl import MRSMFTL, PageMapFTL, make_ftl
 from .ftl.bast import BASTFTL
 from .ftl.fast import FASTFTL
 from .ftl.gc import GC_POLICIES
+from .ftl.gc_policy import GcPolicy, make_policy
 from .geometry import FlashGeometry, PhysAddr
 from .metrics.report import SimulationReport, normalize, render_table
 from .metrics.series import CounterSeries, Snapshot
@@ -130,6 +137,8 @@ __all__ = [
     "FASTFTL",
     "make_ftl",
     "GC_POLICIES",
+    "GcPolicy",
+    "make_policy",
     "WearStats",
     "wear_stats",
     "projected_lifetime_writes",
@@ -178,6 +187,10 @@ __all__ = [
     "TABLE2_SPECS",
     "lun_specs",
     "lun_traces",
+    "EnduranceCell",
+    "EnduranceResult",
+    "endurance_specs",
+    "run_endurance",
     # metrics / attribution
     "SimulationReport",
     "normalize",

@@ -22,6 +22,10 @@ digests cannot:
   bit-identical results, so its oracle read digest must equal the
   scalar replay's; combined with ``frontend`` it also exercises the
   hazard-free batch release inside the event loop.
+* **GC policy zoo** (opt-in) — a garbage-collection policy
+  (:mod:`repro.ftl.gc_policy`) reshuffles *where* data lives and *when*
+  it migrates, never *what* a read returns: replaying under any policy
+  must yield the default-policy leg's oracle read digest.
 
 Every replay runs with the runtime invariant checker enabled, so a
 sweep violation or oracle mismatch inside any leg is reported as a
@@ -46,7 +50,7 @@ class ReplayFailure:
 
     #: "invariant" | "oracle" | "error" | "scheme-divergence" |
     #: "cache-divergence" | "jobs-divergence" | "frontend-divergence" |
-    #: "qd-divergence" | "batch-divergence"
+    #: "qd-divergence" | "batch-divergence" | "policy-divergence"
     kind: str
     #: scheme the failure occurred in (None for cross-run comparisons)
     scheme: str | None
@@ -135,6 +139,7 @@ def differential_replay(
     frontend: bool = False,
     qd_sweep: tuple = (),
     batch: bool = False,
+    policies: tuple = (),
 ) -> DifferentialResult:
     """Replay ``trace`` across ``schemes`` and cross-check the results.
 
@@ -161,6 +166,12 @@ def differential_replay(
     scalar leg exactly ("batch-divergence" otherwise).  When combined
     with ``frontend`` a batch+frontend leg also runs, exercising the
     hazard-free batch release inside the event loop.
+
+    ``policies`` adds, per scheme, one replay per listed GC policy
+    (:data:`repro.config.GC_POLICIES` names): GC decisions move data
+    and shape wear but must never change returned sector versions, so
+    each policy leg's oracle read digest must match the default-policy
+    leg exactly ("policy-divergence" otherwise).
     """
     sim_cfg = checked_sim_cfg(sim_cfg, every=every, attribution=attribution)
     result = DifferentialResult(trace_name=trace.name)
@@ -282,6 +293,29 @@ def differential_replay(
                             f"{got[:12]} (batch)",
                         )
                     )
+
+    for policy in policies:
+        pol_cfg = cfg.replace(gc_policy=policy)
+        for scheme in schemes:
+            if scheme not in digests:
+                continue  # the default-policy leg already failed
+            report, failure = _checked_run(scheme, trace, pol_cfg, sim_cfg)
+            if failure is not None:
+                result.failures.append(replace(
+                    failure, detail=f"(gc={policy} leg) {failure.detail}"
+                ))
+                continue
+            got = report.extra["check_read_digest"]
+            if got != digests[scheme]:
+                result.failures.append(
+                    ReplayFailure(
+                        "policy-divergence",
+                        scheme,
+                        f"read contents differ under gc_policy={policy}: "
+                        f"{digests[scheme][:12]} (default) vs {got[:12]} "
+                        f"({policy})",
+                    )
+                )
 
     if compare_jobs and result.reports:
         result.failures.extend(

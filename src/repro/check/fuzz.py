@@ -105,6 +105,7 @@ def run_fuzz(
     attribution: bool = False,
     frontend: bool = False,
     batch: bool = False,
+    policies: tuple = (),
     log: Optional[Callable[[str], None]] = None,
 ) -> FuzzOutcome:
     """Run ``n`` seeded differential fuzz cases on a small geometry.
@@ -117,7 +118,9 @@ def run_fuzz(
     per-scheme replay through the event-driven frontend and compares
     its oracle read digest against the sequential leg; ``batch`` does
     the same with the batch execution layer on (plus a batch+frontend
-    leg when both are set).  Failing cases
+    leg when both are set); ``policies`` adds one leg per listed GC
+    policy, comparing each oracle read digest against the
+    default-policy leg.  Failing cases
     are shrunk within ``shrink_budget`` replays and, when ``out_dir``
     is given, dumped there as JSON reproducers.
     """
@@ -155,6 +158,7 @@ def run_fuzz(
             attribution=attribution,
             frontend=frontend,
             batch=batch,
+            policies=policies,
         )
         outcome.cases += 1
         if result.ok:
@@ -175,6 +179,7 @@ def run_fuzz(
                     attribution=attribution,
                     frontend=frontend,
                     batch=batch,
+                    policies=policies,
                 )
             except Exception:
                 return True
@@ -184,7 +189,7 @@ def run_fuzz(
         final = result if len(shrunk) == len(trace) else differential_replay(
             shrunk, cfg, sim_cfg, schemes=schemes, every=every,
             compare_jobs=False, attribution=attribution, frontend=frontend,
-            batch=batch,
+            batch=batch, policies=policies,
         )
         if out_dir is not None:
             path = dump_counterexample(

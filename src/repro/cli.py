@@ -96,6 +96,23 @@ def _store(args):
     return ResultStore(args.store)
 
 
+def _add_fault_sweep(p: argparse.ArgumentParser) -> None:
+    """Shared fault-intensity sweep axis (``faults`` and ``endure``)."""
+    p.add_argument("--levels", type=float, nargs="+",
+                   default=[0.0, 0.5, 1.0, 2.0],
+                   help="intensity multipliers on the stress preset "
+                        "(0 = injection off)")
+    p.add_argument("--fault-seed", type=int, default=7,
+                   help="fault-injection RNG seed")
+
+
+def _fault_axis(args):
+    """(base FaultConfig, levels) from the shared sweep arguments."""
+    from .config import FaultConfig
+
+    return FaultConfig.stress(seed=args.fault_seed), list(args.levels)
+
+
 def _add_parallel(p: argparse.ArgumentParser) -> None:
     p.add_argument("--jobs", type=int, default=1, metavar="N",
                    help="worker processes for independent runs "
@@ -409,19 +426,18 @@ def cmd_faults(args) -> int:
     """
     from dataclasses import replace as _dc_replace
 
-    from .config import FaultConfig
     from .experiments.parallel import RunSpec, execute_runs
 
     cfg = _device(args)
     trace = _load_trace(args, cfg)
-    base = FaultConfig.stress(seed=args.fault_seed)
+    base, levels = _fault_axis(args)
     sim = _sim_cfg(args)
     specs = [
         RunSpec.make(
             args.scheme, trace, cfg,
             _dc_replace(sim, faults=base.scaled(lvl)),
         )
-        for lvl in args.levels
+        for lvl in levels
     ]
     outcome = execute_runs(
         specs,
@@ -430,7 +446,7 @@ def cmd_faults(args) -> int:
         progress=getattr(args, "progress", False),
     )
     rows = {}
-    for lvl, rep in zip(args.levels, outcome.reports):
+    for lvl, rep in zip(levels, outcome.reports):
         c = rep.counters
         rows[f"x{lvl:g}"] = [
             c.read_retries,
@@ -452,6 +468,54 @@ def cmd_faults(args) -> int:
     return 0
 
 
+def cmd_endure(args) -> int:
+    """``repro endure``: GC-policy endurance zoo.
+
+    Sweeps the GC policy zoo against the shared fault-intensity axis
+    (same ``--levels``/``--fault-seed`` wiring as ``repro faults``) and
+    scores every cell on write amplification, wear variance and tail
+    latency.  Cells are independent runs, so ``--jobs``/``--store``
+    fan-out and memoisation apply; see ``docs/gc_policies.md``.
+    """
+    from .config import GC_POLICIES
+    from .experiments.endurance import ROW_HEADERS, run_endurance
+
+    cfg = _device(args)
+    trace = _load_trace(args, cfg)
+    if args.policies:
+        policies = tuple(
+            p for ps in args.policies for p in ps.split(",") if p
+        )
+        for pol in policies:
+            if pol not in GC_POLICIES:
+                raise SystemExit(
+                    f"unknown GC policy {pol!r}; have {GC_POLICIES}"
+                )
+    else:
+        policies = GC_POLICIES
+    base, levels = _fault_axis(args)
+    res = run_endurance(
+        trace,
+        cfg,
+        _sim_cfg(args),
+        scheme=args.scheme,
+        policies=policies,
+        fault_levels=levels,
+        fault_seed=args.fault_seed,
+        fault_base=base,
+        jobs=args.jobs,
+        store=_store(args),
+        progress=getattr(args, "progress", False),
+    )
+    print(render_table(
+        f"{trace.name} / {args.scheme}: endurance zoo "
+        f"(policy x fault level, stress seed {args.fault_seed})",
+        ROW_HEADERS,
+        res.rows(),
+    ))
+    return 0
+
+
 def cmd_check(args) -> int:
     """``repro check``: differential replay & invariant checking.
 
@@ -465,6 +529,21 @@ def cmd_check(args) -> int:
     from .check.shrink import dump_counterexample
 
     schemes = tuple(args.schemes) if args.schemes else SCHEMES
+    policies: tuple = ()
+    if getattr(args, "gc_policies", None):
+        from .config import GC_POLICIES
+
+        if args.gc_policies.strip() == "all":
+            policies = tuple(p for p in GC_POLICIES if p != "greedy")
+        else:
+            policies = tuple(
+                p for p in args.gc_policies.split(",") if p.strip()
+            )
+            for pol in policies:
+                if pol not in GC_POLICIES:
+                    raise SystemExit(
+                        f"unknown GC policy {pol!r}; have {GC_POLICIES}"
+                    )
 
     if args.replay:
         res = replay_counterexample(args.replay)
@@ -482,6 +561,7 @@ def cmd_check(args) -> int:
             attribution=args.attribution,
             frontend=args.frontend,
             batch=args.batch,
+            policies=policies,
             log=print,
         )
         print(
@@ -515,6 +595,7 @@ def cmd_check(args) -> int:
         frontend=args.frontend,
         qd_sweep=qd_sweep,
         batch=args.batch,
+        policies=policies,
     )
     print(res.summary())
     if not res.ok and args.out:
@@ -775,14 +856,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--scheme", choices=SCHEMES, default="across")
     _add_common(p)
-    p.add_argument("--levels", type=float, nargs="+",
-                   default=[0.0, 0.5, 1.0, 2.0],
-                   help="intensity multipliers on the stress preset "
-                        "(0 = injection off)")
-    p.add_argument("--fault-seed", type=int, default=7,
-                   help="fault-injection RNG seed")
+    _add_fault_sweep(p)
     _add_parallel(p)
     p.set_defaults(func=cmd_faults)
+
+    p = sub.add_parser(
+        "endure",
+        help="GC-policy endurance zoo (policy x fault-intensity sweep)",
+    )
+    p.add_argument("--scheme", choices=SCHEMES, default="across")
+    p.add_argument("--gc-policies", dest="policies", action="append",
+                   metavar="P1[,P2,...]",
+                   help="GC policies to sweep (repeatable or "
+                        "comma-separated; default: the full zoo)")
+    _add_common(p)
+    _add_fault_sweep(p)
+    _add_parallel(p)
+    p.set_defaults(func=cmd_endure)
 
     p = sub.add_parser(
         "bench",
@@ -843,6 +933,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="with --frontend: additionally replay at each "
                         "listed host queue depth (point runs only), "
                         "e.g. 1,8,32")
+    p.add_argument("--gc-policies", dest="gc_policies",
+                   metavar="P1[,P2,...]",
+                   help="also replay each scheme under the listed GC "
+                        "policies ('all' = the whole zoo) and compare "
+                        "oracle read digests against the default-policy "
+                        "leg")
     _add_common(p)
     p.set_defaults(func=cmd_check)
 

@@ -21,6 +21,36 @@ from dataclasses import dataclass, field, replace
 from .errors import ConfigError
 from .units import GIB, KIB, MIB, sectors_per_page
 
+#: Registered GC victim-selection / scheduling policies
+#: (:mod:`repro.ftl.gc_policy`):
+#:
+#: * ``greedy`` — fewest valid pages (the paper's / SSDsim's default);
+#: * ``cost_benefit`` — classic (1-u)/(2u) * age score, favouring cold
+#:   blocks so hot data has time to invalidate itself;
+#: * ``wear_aware`` — greedy score with a penalty on already-worn
+#:   blocks, trading some write amplification for evener wear;
+#: * ``windowed_greedy`` — greedy restricted to the ``gc_window``
+#:   oldest sealed blocks (cheap cost-benefit approximation);
+#: * ``preemptive`` — partial GC in bounded ``gc_slice_pages`` slices
+#:   between host requests, starting early at ``gc_preempt_threshold``
+#:   and deferring the rest while the plane stays healthy
+#:   (arXiv 1807.09313);
+#: * ``hot_cold`` — greedy victim selection with hot/cold write-stream
+#:   separation (user and GC traffic fill distinct active blocks);
+#: * ``dual_pool`` — greedy victim selection plus dual-pool wear
+#:   levelling: when the plane's erase-count gap exceeds
+#:   ``gc_wear_gap``, the coldest sealed block's data is migrated out
+#:   so the under-worn block re-enters circulation.
+GC_POLICIES = (
+    "greedy",
+    "cost_benefit",
+    "wear_aware",
+    "windowed_greedy",
+    "preemptive",
+    "hot_cold",
+    "dual_pool",
+)
+
 
 @dataclass(frozen=True)
 class TimingConfig:
@@ -80,9 +110,22 @@ class SSDConfig:
     gc_threshold: float = 0.10
     #: GC stops once the free fraction is back above this (hysteresis).
     gc_restore: float = 0.12
-    #: victim-selection policy: "greedy" (paper default), "cost_benefit"
-    #: or "wear_aware" (see repro.ftl.gc.GC_POLICIES)
+    #: GC policy: victim selection plus trigger/budget scheduling (see
+    #: :data:`GC_POLICIES` and :mod:`repro.ftl.gc_policy`)
     gc_policy: str = "greedy"
+    #: free-block fraction below which the ``preemptive`` policy starts
+    #: background collection slices (its soft threshold; the classic
+    #: ``gc_threshold`` stays the urgent fall-back)
+    gc_preempt_threshold: float = 0.20
+    #: valid pages a ``preemptive`` collection slice may relocate per
+    #: GC invocation before deferring back to host traffic
+    gc_slice_pages: int = 8
+    #: candidate window of the ``windowed_greedy`` policy: victims come
+    #: from the N least-recently-modified sealed blocks of the plane
+    gc_window: int = 8
+    #: per-plane erase-count gap that triggers a ``dual_pool``
+    #: cold-block migration
+    gc_wear_gap: int = 16
     #: when True, GC-migrated (cold) pages fill separate active blocks
     #: from fresh user writes — classic stream separation that avoids
     #: mixing lifetimes within a block (bench_ablation_streams)
@@ -175,8 +218,16 @@ class SSDConfig:
             raise ConfigError("gc_restore must be in [gc_threshold, 1)")
         if not (0.0 < self.op_ratio < 1.0):
             raise ConfigError("op_ratio must be in (0, 1)")
-        if self.gc_policy not in ("greedy", "cost_benefit", "wear_aware"):
+        if self.gc_policy not in GC_POLICIES:
             raise ConfigError(f"unknown gc_policy {self.gc_policy!r}")
+        if not (self.gc_threshold <= self.gc_preempt_threshold < 1.0):
+            raise ConfigError(
+                "gc_preempt_threshold must be in [gc_threshold, 1)"
+            )
+        for name in ("gc_slice_pages", "gc_window", "gc_wear_gap"):
+            v = getattr(self, name)
+            if not isinstance(v, int) or v <= 0:
+                raise ConfigError(f"{name} must be a positive integer, got {v!r}")
         if self.blocks_per_plane < 4:
             raise ConfigError("need at least 4 blocks per plane for GC headroom")
         if self.write_buffer_bytes < 0:
@@ -591,6 +642,11 @@ class SimConfig:
     #: Keep a full per-request event log (time, op, class, latency,
     #: induced flushes) for tail-latency analysis; costs memory.
     record_requests: bool = False
+    #: Append end-of-run wear statistics (per-block erase distribution:
+    #: mean/std/max/Gini, :mod:`repro.flash.wear`) to ``report.extra``.
+    #: Off by default so existing report digests stay byte-identical;
+    #: the ``repro endure`` sweeps turn it on.
+    record_wear: bool = False
     #: Take a counter snapshot every N requests (0 = off): feeds the
     #: metric-over-time series of repro.metrics.series.
     snapshot_every: int = 0

@@ -2,6 +2,12 @@
 runner with result memoisation, and one function per paper figure/table."""
 
 from .charts import render_report_html
+from .endurance import (
+    EnduranceCell,
+    EnduranceResult,
+    endurance_specs,
+    run_endurance,
+)
 from .parallel import (
     ResultStore,
     RunSpec,
@@ -15,7 +21,11 @@ from .sweeps import SweepResult, sweep_config, sweep_sim, sweep_workload
 from .workloads import TABLE2_SPECS, lun_specs, lun_traces
 
 __all__ = [
+    "EnduranceCell",
+    "EnduranceResult",
     "ExperimentContext",
+    "endurance_specs",
+    "run_endurance",
     "run_trace",
     "compare_schemes",
     "TABLE2_SPECS",

@@ -41,6 +41,7 @@ from ..obs.events import FTLDecision
 from ..units import split_extent
 from .allocator import STREAM_GC, STREAM_USER, WriteAllocator
 from .gc import GarbageCollector
+from .gc_policy import make_policy
 from .mapping_cache import MappingCache
 from .meta import DataPageMeta, MapPageMeta
 
@@ -95,8 +96,15 @@ class BaseFTL(ABC):
                 else self.logical_pages
             )
         )
+        # the policy is built before the allocator so policies that ask
+        # for hot/cold stream separation (``hot_cold``) get it without
+        # the user also flipping ``hot_cold_separation``
+        gc_policy = make_policy(self.cfg.gc_policy, self.cfg)
         self.allocator = WriteAllocator(
-            service, separate_streams=self.cfg.hot_cold_separation
+            service,
+            separate_streams=(
+                self.cfg.hot_cold_separation or gc_policy.separate_streams
+            ),
         )
         self.gc = GarbageCollector(
             service,
@@ -104,7 +112,7 @@ class BaseFTL(ABC):
             self._relocate,
             self.cfg.gc_threshold,
             self.cfg.gc_restore,
-            policy=self.cfg.gc_policy,
+            policy=gc_policy,
         )
         #: toggled by the engine during device pre-conditioning: flash
         #: ops become untimed and are counted under OpKind.AGING.
@@ -174,13 +182,24 @@ class BaseFTL(ABC):
 
     def stats(self) -> dict:
         """Scheme-specific statistics merged into the run report."""
-        return {
+        out = {
             "gc_collections": self.gc.collections,
             "gc_migrated_pages": self.gc.migrated_pages,
             # includes aging-time passes; the measured-run count is
             # counters.gc_stalls
             "gc_stall_passes": self.gc.stalls,
         }
+        # policy-specific tallies only appear for non-default policies
+        # so default-config report digests stay byte-identical
+        if self.gc.policy != "greedy":
+            out["gc_policy"] = self.gc.policy
+            if self.gc.slices:
+                out["gc_slice_passes"] = self.gc.slices
+            if self.gc.deferrals:
+                out["gc_deferral_passes"] = self.gc.deferrals
+            if self.gc.wear_migrations:
+                out["gc_wear_migrations"] = self.gc.wear_migrations
+        return out
 
     def flush_metadata(self, now: float) -> float:
         """End-of-run barrier: write back dirty translation pages."""

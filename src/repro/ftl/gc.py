@@ -1,11 +1,14 @@
-"""Greedy garbage collection.
+"""Garbage collection: trigger mechanism + pluggable policies.
 
-When a plane's free-block fraction drops below ``gc_threshold``
-(Table 1: 10%), the collector repeatedly picks the fully-written,
-non-active block with the fewest valid pages, migrates those pages via
-the owning FTL's ``relocate`` callback (which re-programs them and
-fixes the mapping tables), and erases the block — until the plane is
-back above ``gc_restore`` or no block would yield free space.
+When a plane's free-block fraction drops below the policy's trigger
+threshold (Table 1: 10% for the default greedy policy), the collector
+repeatedly picks a victim via the configured :class:`GcPolicy`
+(:mod:`repro.ftl.gc_policy`), migrates its valid pages via the owning
+FTL's ``relocate`` callback (which re-programs them and fixes the
+mapping tables), and erases the block — until the plane is back above
+``gc_restore`` or no block would yield free space.  Partial policies
+(``preemptive``) instead relocate bounded slices per invocation and
+defer the rest to later invocations while the plane stays healthy.
 
 Erase operations are the paper's endurance metric (Fig. 11); migration
 reads/writes are counted with :attr:`OpKind.GC` so they appear in the
@@ -16,27 +19,20 @@ from __future__ import annotations
 
 from typing import Callable
 
-import numpy as np
-
+from ..config import GC_POLICIES
 from ..flash.service import FlashService
-from ..obs.events import GCEvent, GCStall
+from ..obs.events import GCEvent, GcPolicyDecision, GCStall
 from .allocator import WriteAllocator
+from .gc_policy import GcPolicy, make_policy
 
 #: relocate(old_ppn, now, timed) -> completion time
 RelocateFn = Callable[[int, float, bool], float]
 
-
-#: victim-selection policies (``SSDConfig.gc_policy``):
-#: ``greedy`` — fewest valid pages (the paper's / SSDsim's default);
-#: ``cost_benefit`` — classic (1-u)/(1+u) * age score, favouring cold
-#: blocks so hot data has time to invalidate itself;
-#: ``wear_aware`` — greedy score with a penalty on already-worn blocks,
-#: trading some write amplification for evener wear.
-GC_POLICIES = ("greedy", "cost_benefit", "wear_aware")
+__all__ = ["GC_POLICIES", "GarbageCollector", "RelocateFn"]
 
 
 class GarbageCollector:
-    """Per-plane collector with selectable victim policy."""
+    """Per-plane collector delegating decisions to a :class:`GcPolicy`."""
 
     def __init__(
         self,
@@ -45,32 +41,51 @@ class GarbageCollector:
         relocate: RelocateFn,
         threshold: float,
         restore: float,
-        policy: str = "greedy",
+        policy: str | GcPolicy = "greedy",
         wear_weight: float = 4.0,
     ):
-        if policy not in GC_POLICIES:
-            raise ValueError(
-                f"unknown GC policy {policy!r}; expected one of {GC_POLICIES}"
-            )
+        if isinstance(policy, str):
+            policy = make_policy(policy, service.cfg)
         self.service = service
         self.allocator = allocator
         self.relocate = relocate
-        self.threshold = threshold
+        #: the strategy object; ``self.policy`` stays the plain name
+        #: (the pre-refactor string attribute callers compare against)
+        self.policy_obj = policy
+        self.policy = policy.name
+        #: effective trigger threshold (the policy may start earlier
+        #: than the configured ``gc_threshold``, e.g. ``preemptive``)
+        self.threshold = policy.trigger_threshold(threshold)
+        #: the configured threshold: below this the plane is *urgent*
+        #: and even partial policies run the full restore loop
+        self.hard_threshold = threshold
         self.restore = restore
-        self.policy = policy
         self.wear_weight = wear_weight
         self._collecting = False
         # maybe_collect() runs after every page program; precompute the
         # smallest free-block count whose free_fraction clears the GC
-        # threshold (testing the same float comparison free_fraction
+        # trigger (testing the same float comparison free_fraction
         # would) so the common "plane is healthy" case is one integer
         # compare with no try/finally or method calls.
         bpp = service.geom.blocks_per_plane
         self._free_blocks = service.array._free_blocks
         self._retire_pending = service.retire_pending
         self._ok_free_count = next(
-            (c for c in range(bpp + 1) if c / bpp >= threshold), bpp + 1
+            (c for c in range(bpp + 1) if c / bpp >= self.threshold), bpp + 1
         )
+        # policy plumbing resolved once: partial mode, slice budget and
+        # the wear-levelling hook (None when the policy doesn't override
+        # it, so the default path pays a single None check)
+        policy.bind(self)
+        self._partial = policy.partial
+        self._budget = policy.relocation_budget()
+        self._wear_level = (
+            policy.wear_level
+            if type(policy).wear_level is not GcPolicy.wear_level
+            else None
+        )
+        #: plane -> victim block a partial policy is mid-way through
+        self._partial_victim: dict[int, int] = {}
         #: number of GC invocations (victim blocks processed)
         self.collections = 0
         #: valid pages migrated over the run (write-amplification source)
@@ -79,6 +94,15 @@ class GarbageCollector:
         #: ``FlashOpCounters.gc_stalls``, but also counts aging-time
         #: stalls)
         self.stalls = 0
+        #: bounded collection slices run by a partial policy (mirrors
+        #: the measured ``FlashOpCounters.gc_slices`` + aging-time ones)
+        self.slices = 0
+        #: slices that left the victim un-erased, deferring the rest to
+        #: a later invocation (measured twin: ``gc_deferrals``)
+        self.deferrals = 0
+        #: cold blocks migrated by wear levelling (measured twin:
+        #: ``wear_migrations``)
+        self.wear_migrations = 0
 
     # ------------------------------------------------------------------
     def _candidates(self, plane: int):
@@ -105,33 +129,10 @@ class GarbageCollector:
     def select_victim(self, plane: int) -> int | None:
         """Pick a victim block by the configured policy; None when no
         eligible block would free any space."""
-        geom = self.service.geom
-        arr = self.service.array
         lo, valid, eligible = self._candidates(plane)
         if not eligible.any():
             return None
-        if self.policy == "greedy":
-            costs = np.where(eligible, valid, np.iinfo(valid.dtype).max)
-            return lo + int(np.argmin(costs))
-        if self.policy == "wear_aware":
-            hi = lo + geom.blocks_per_plane
-            wear = arr.erase_count[lo:hi].astype(np.float64)
-            mean_wear = wear.mean()
-            score = valid + self.wear_weight * np.maximum(
-                0.0, wear - mean_wear
-            )
-            score = np.where(eligible, score, np.inf)
-            return lo + int(np.argmin(score))
-        # cost_benefit: maximise (free/ppb) / (2 * valid/ppb) * age,
-        # i.e. the classic (1-u)/(2u) * age with age = time since the
-        # block last changed (colder blocks win ties)
-        hi = lo + geom.blocks_per_plane
-        ppb = geom.pages_per_block
-        u = valid / ppb
-        age = (arr.mod_seq - arr.last_mod[lo:hi]).astype(np.float64) + 1.0
-        benefit = (1.0 - u) / (2.0 * u + 1e-9) * age
-        benefit = np.where(eligible, benefit, -np.inf)
-        return lo + int(np.argmax(benefit))
+        return self.policy_obj.select_victim(plane, lo, valid, eligible)
 
     # ------------------------------------------------------------------
     def collect_once(self, plane: int, now: float, *, timed: bool = True) -> float:
@@ -152,6 +153,27 @@ class GarbageCollector:
             self.migrated_pages += 1
         finish = max(finish, self.service.erase_block(victim, now, aging=not timed))
         self.collections += 1
+        return finish
+
+    def migrate_block(self, block: int, now: float, *, timed: bool = True) -> float:
+        """Wear-levelling migration: relocate every valid page of
+        ``block`` (typically a cold, under-worn block) and erase it so
+        it re-enters the free pool.  Returns the erase finish time."""
+        arr = self.service.array
+        obs = self.service.obs
+        if obs is not None:
+            obs.emit(GcPolicyDecision(
+                now, self.service.geom.plane_of_block(block), self.policy,
+                "wear_migrate", block, int(arr.valid_count[block]),
+            ))
+        finish = now
+        for ppn in list(arr.valid_ppns(block)):
+            finish = max(finish, self.relocate(ppn, now, timed))
+            self.migrated_pages += 1
+        finish = max(finish, self.service.erase_block(block, now, aging=not timed))
+        self.wear_migrations += 1
+        if timed:
+            self.service.counters.wear_migrations += 1
         return finish
 
     def _drain_retirements(self, now: float, *, timed: bool = True) -> float:
@@ -188,9 +210,112 @@ class GarbageCollector:
             service.retire(block, finish, relocated)
         return finish
 
+    def _collect_until_restored(
+        self, plane: int, now: float, *, timed: bool = True
+    ) -> float:
+        """The classic stop-the-world loop: collect whole victims until
+        the plane's free fraction clears ``restore`` (hysteresis) or no
+        victim makes progress."""
+        finish = now
+        arr = self.service.array
+        while self.service.free_fraction(plane) < self.restore:
+            before = arr.free_block_count(plane)
+            before_bad = arr.total_bad_blocks
+            finish = max(finish, self.collect_once(plane, now, timed=timed))
+            if arr.free_block_count(plane) <= before:
+                if arr.total_bad_blocks > before_bad:
+                    # the victim's erase failed and the block was
+                    # retired — that is progress of a sort: try
+                    # another victim before declaring a stall
+                    continue
+                # no progress possible; let allocation fail upstream —
+                # but make the starvation visible where it happens
+                self.stalls += 1
+                if timed:
+                    self.service.counters.gc_stalls += 1
+                obs = self.service.obs
+                if obs is not None:
+                    obs.emit(GCStall(now, plane, before))
+                break
+        return finish
+
+    def _collect_slice(self, plane: int, now: float, *, timed: bool = True) -> float:
+        """One bounded collection slice of a partial policy: continue
+        (or start) the plane's victim, relocate at most the policy's
+        budget of valid pages, erase the victim once it is empty, and
+        defer the rest to the next invocation."""
+        service = self.service
+        if service.free_fraction(plane) < self.hard_threshold:
+            # urgent: the plane hit the classic GC threshold — drop the
+            # polite slicing and restore headroom now, so allocation
+            # can never starve behind a deferring policy
+            self._partial_victim.pop(plane, None)
+            obs = service.obs
+            if obs is not None:
+                obs.emit(GcPolicyDecision(
+                    now, plane, self.policy, "urgent", -1, 0
+                ))
+            return self._collect_until_restored(plane, now, timed=timed)
+        arr = service.array
+        obs = service.obs
+        victim = self._partial_victim.get(plane)
+        if victim is not None and arr.is_bad[victim]:
+            # retired as bad between slices; pick a fresh victim
+            self._partial_victim.pop(plane)
+            victim = None
+        if victim is None:
+            victim = self.select_victim(plane)
+            if victim is None:
+                self.stalls += 1
+                if timed:
+                    service.counters.gc_stalls += 1
+                if obs is not None:
+                    obs.emit(GCStall(
+                        now, plane, arr.free_block_count(plane)
+                    ))
+                return now
+            self._partial_victim[plane] = victim
+            if obs is not None:
+                obs.emit(GCEvent(
+                    now, plane, victim, int(arr.valid_count[victim])
+                ))
+        budget = self._budget
+        finish = now
+        moved = 0
+        for ppn in list(arr.valid_ppns(victim)):
+            if budget is not None and moved >= budget:
+                break
+            finish = max(finish, self.relocate(ppn, now, timed))
+            self.migrated_pages += 1
+            moved += 1
+        self.slices += 1
+        if timed:
+            service.counters.gc_slices += 1
+        if int(arr.valid_count[victim]) == 0:
+            finish = max(
+                finish, service.erase_block(victim, now, aging=not timed)
+            )
+            self.collections += 1
+            self._partial_victim.pop(plane, None)
+            action = "slice_erase"
+        else:
+            # the victim keeps valid pages: defer them — host
+            # overwrites may invalidate some before the next slice,
+            # which is the policy's whole WAF saving
+            self.deferrals += 1
+            if timed:
+                service.counters.gc_deferrals += 1
+            action = "defer"
+        if obs is not None:
+            obs.emit(GcPolicyDecision(
+                now, plane, self.policy, action, victim, moved
+            ))
+        return finish
+
     def maybe_collect(self, plane: int, now: float, *, timed: bool = True) -> float:
-        """Run GC on ``plane`` if it is below threshold; returns the time
-        the reclamation finished (``now`` when nothing ran).
+        """Run GC on ``plane`` if it is below the trigger threshold;
+        returns the time the reclamation finished (``now`` when nothing
+        ran).
 
         Blocks queued for bad-block retirement are drained first (even
         above the GC threshold), so media failures translate into
@@ -218,26 +343,20 @@ class GarbageCollector:
             finish = max(finish, self._drain_retirements(now, timed=timed))
             if self.service.free_fraction(plane) >= self.threshold:
                 return finish
-            arr = self.service.array
-            while self.service.free_fraction(plane) < self.restore:
-                before = arr.free_block_count(plane)
-                before_bad = arr.total_bad_blocks
-                finish = max(finish, self.collect_once(plane, now, timed=timed))
-                if arr.free_block_count(plane) <= before:
-                    if arr.total_bad_blocks > before_bad:
-                        # the victim's erase failed and the block was
-                        # retired — that is progress of a sort: try
-                        # another victim before declaring a stall
-                        continue
-                    # no progress possible; let allocation fail upstream —
-                    # but make the starvation visible where it happens
-                    self.stalls += 1
-                    if timed:
-                        self.service.counters.gc_stalls += 1
-                    obs = self.service.obs
-                    if obs is not None:
-                        obs.emit(GCStall(now, plane, before))
-                    break
+            if self._partial:
+                finish = max(
+                    finish, self._collect_slice(plane, now, timed=timed)
+                )
+            else:
+                finish = max(
+                    finish,
+                    self._collect_until_restored(plane, now, timed=timed),
+                )
+            wear_level = self._wear_level
+            if wear_level is not None:
+                levelled = wear_level(plane, now, timed)
+                if levelled is not None:
+                    finish = max(finish, levelled)
         finally:
             self._collecting = False
             if attr is not None:

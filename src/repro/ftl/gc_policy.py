@@ -1,0 +1,320 @@
+"""Pluggable garbage-collection policies (the policy zoo).
+
+:class:`~repro.ftl.gc.GarbageCollector` owns the *mechanism* — trigger
+fast path, retirement draining, the restore loop, relocation plumbing —
+and delegates every *decision* to a :class:`GcPolicy` strategy object:
+
+* **victim selection** (:meth:`GcPolicy.select_victim`) over the
+  candidate arrays the collector already computed;
+* **trigger threshold** (:meth:`GcPolicy.trigger_threshold`) — how
+  early collection starts relative to ``SSDConfig.gc_threshold``;
+* **relocation budget** (:meth:`GcPolicy.relocation_budget`) — how many
+  valid pages one GC invocation may migrate before yielding back to
+  host traffic (``None`` = unbounded, the classic stop-the-world
+  collection);
+* **wear levelling** (:meth:`GcPolicy.wear_level`) — an optional
+  post-collection hook for policies that move cold data around.
+
+The registry (:func:`make_policy`) maps the
+:data:`~repro.config.GC_POLICIES` names to classes:
+
+========================  ============================================
+name                      behaviour
+========================  ============================================
+``greedy``                fewest valid pages (paper / SSDsim default)
+``cost_benefit``          (1-u)/(2u) * age score; cold blocks win
+``wear_aware``            greedy + penalty on already-worn blocks
+``windowed_greedy``       greedy among the ``gc_window`` oldest blocks
+``preemptive``            bounded ``gc_slice_pages``-page slices from
+                          ``gc_preempt_threshold`` down, full GC only
+                          when the plane turns urgent (1807.09313)
+``hot_cold``              greedy + hot/cold write-stream separation
+``dual_pool``             greedy + dual-pool wear levelling via
+                          ``gc_wear_gap``-triggered cold migration
+========================  ============================================
+
+The ``greedy`` policy reproduces the pre-refactor collector bit for
+bit: same victims, same counters, same report digests (enforced by the
+golden-hotpath fixture and the BENCH baseline).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..config import GC_POLICIES, SSDConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .gc import GarbageCollector
+
+__all__ = [
+    "GC_POLICIES",
+    "GcPolicy",
+    "GreedyPolicy",
+    "CostBenefitPolicy",
+    "WearAwarePolicy",
+    "WindowedGreedyPolicy",
+    "PreemptivePolicy",
+    "HotColdPolicy",
+    "DualPoolPolicy",
+    "make_policy",
+]
+
+
+class GcPolicy:
+    """Strategy interface the :class:`GarbageCollector` delegates to.
+
+    A policy is constructed from the device config (its knobs) and
+    bound to its collector with :meth:`bind` before use; the collector
+    reference gives access to the flash service, allocator and wear
+    state without duplicating any of it here.
+    """
+
+    #: registry name (matches :data:`repro.config.GC_POLICIES`)
+    name: str = "base"
+    #: request hot/cold write-stream separation in the allocator
+    #: (user and GC traffic fill distinct active blocks)
+    separate_streams: bool = False
+    #: collect in bounded slices (partial GC) instead of running the
+    #: full restore loop on every trigger
+    partial: bool = False
+
+    def __init__(self, cfg: SSDConfig):
+        self.cfg = cfg
+        self.gc: "GarbageCollector | None" = None
+
+    def bind(self, gc: "GarbageCollector") -> None:
+        """Attach the owning collector (called once from its init)."""
+        self.gc = gc
+
+    # -- scheduling ----------------------------------------------------
+    def trigger_threshold(self, threshold: float) -> float:
+        """Effective free-block fraction below which GC engages; the
+        default keeps the configured ``gc_threshold``."""
+        return threshold
+
+    def relocation_budget(self) -> int | None:
+        """Valid pages one GC invocation may relocate (``None`` =
+        unbounded)."""
+        return None
+
+    # -- victim selection ----------------------------------------------
+    def select_victim(
+        self, plane: int, lo: int, valid: np.ndarray, eligible: np.ndarray
+    ) -> int:
+        """Pick a victim among ``eligible`` blocks (at least one is
+        eligible; the collector handled the empty case)."""
+        raise NotImplementedError
+
+    # -- wear levelling ------------------------------------------------
+    def wear_level(self, plane: int, now: float, timed: bool) -> float | None:
+        """Optional post-collection wear-levelling step; returns the
+        finish time of any migration performed, or ``None``."""
+        return None
+
+
+class GreedyPolicy(GcPolicy):
+    """Fewest valid pages — the paper's (and SSDsim's) default.
+
+    This is the pre-refactor behaviour verbatim; runs with this policy
+    are bit-identical to the monolithic collector they replaced.
+    """
+
+    name = "greedy"
+
+    def select_victim(self, plane, lo, valid, eligible):
+        """Eligible block with the fewest valid pages (lowest index
+        wins ties, matching the original collector)."""
+        costs = np.where(eligible, valid, np.iinfo(valid.dtype).max)
+        return lo + int(np.argmin(costs))
+
+
+class CostBenefitPolicy(GcPolicy):
+    """Classic cost-benefit: maximise ``(1-u)/(2u) * age``.
+
+    ``age`` is the time (in block-modification sequence numbers) since
+    the block last changed, so cold blocks win ties — hot data gets
+    time to invalidate itself before being migrated.
+    """
+
+    name = "cost_benefit"
+
+    def select_victim(self, plane, lo, valid, eligible):
+        """Eligible block maximising the cost-benefit score."""
+        gc = self.gc
+        geom = gc.service.geom
+        arr = gc.service.array
+        hi = lo + geom.blocks_per_plane
+        ppb = geom.pages_per_block
+        u = valid / ppb
+        age = (arr.mod_seq - arr.last_mod[lo:hi]).astype(np.float64) + 1.0
+        benefit = (1.0 - u) / (2.0 * u + 1e-9) * age
+        benefit = np.where(eligible, benefit, -np.inf)
+        return lo + int(np.argmax(benefit))
+
+
+class WearAwarePolicy(GcPolicy):
+    """Greedy score plus a penalty on blocks worn past the plane mean,
+    trading some write amplification for evener wear."""
+
+    name = "wear_aware"
+
+    def select_victim(self, plane, lo, valid, eligible):
+        """Eligible block minimising valid pages + wear penalty."""
+        gc = self.gc
+        geom = gc.service.geom
+        arr = gc.service.array
+        hi = lo + geom.blocks_per_plane
+        wear = arr.erase_count[lo:hi].astype(np.float64)
+        mean_wear = wear.mean()
+        score = valid + gc.wear_weight * np.maximum(0.0, wear - mean_wear)
+        score = np.where(eligible, score, np.inf)
+        return lo + int(np.argmin(score))
+
+
+class WindowedGreedyPolicy(GcPolicy):
+    """Greedy restricted to the ``gc_window`` least-recently-modified
+    sealed blocks — a cheap cost-benefit approximation: the window
+    screens out hot blocks (young ``last_mod``), greedy then minimises
+    migration cost within it."""
+
+    name = "windowed_greedy"
+
+    def __init__(self, cfg: SSDConfig):
+        super().__init__(cfg)
+        self.window = cfg.gc_window
+
+    def select_victim(self, plane, lo, valid, eligible):
+        """Greedy pick restricted to the window's oldest blocks."""
+        gc = self.gc
+        arr = gc.service.array
+        hi = lo + gc.service.geom.blocks_per_plane
+        idx = np.nonzero(eligible)[0]
+        if idx.size > self.window:
+            # stable sort: equal ages resolve to the lower block index,
+            # keeping victim choice deterministic across runs
+            order = np.argsort(arr.last_mod[lo:hi][idx], kind="stable")
+            idx = idx[order[: self.window]]
+        return lo + int(idx[np.argmin(valid[idx])])
+
+
+class PreemptivePolicy(GcPolicy):
+    """Preemptive/partial GC with request-aware deferral (1807.09313).
+
+    Collection starts early — when the plane's free fraction drops
+    below ``gc_preempt_threshold`` — but each invocation (which runs
+    between host requests, right after a page program) relocates at
+    most ``gc_slice_pages`` valid pages of the current victim before
+    deferring the remainder.  Pages the host invalidates between slices
+    never need migration at all, which is where the WAF saving comes
+    from.  Once the plane falls below the classic ``gc_threshold`` the
+    collector abandons slicing and runs the full restore loop, so
+    allocation can never starve behind a polite policy.
+    """
+
+    name = "preemptive"
+    partial = True
+
+    def __init__(self, cfg: SSDConfig):
+        super().__init__(cfg)
+        self.soft_threshold = cfg.gc_preempt_threshold
+        self.slice_pages = cfg.gc_slice_pages
+
+    def trigger_threshold(self, threshold: float) -> float:
+        """Engage early, at the preemption (soft) threshold."""
+        return max(threshold, self.soft_threshold)
+
+    def relocation_budget(self) -> int | None:
+        """At most ``gc_slice_pages`` migrations per invocation."""
+        return self.slice_pages
+
+    def select_victim(self, plane, lo, valid, eligible):
+        """Greedy pick (slicing, not selection, is what differs)."""
+        costs = np.where(eligible, valid, np.iinfo(valid.dtype).max)
+        return lo + int(np.argmin(costs))
+
+
+class HotColdPolicy(GcPolicy):
+    """Greedy victim selection with hot/cold write-stream separation:
+    GC-migrated (cold, survived at least one collection) pages fill
+    different active blocks than fresh user writes, so blocks stop
+    mixing lifetimes (Dayan & Bonnet, arXiv 1504.01666)."""
+
+    name = "hot_cold"
+    separate_streams = True
+
+    def select_victim(self, plane, lo, valid, eligible):
+        """Greedy pick (stream separation is what differs)."""
+        costs = np.where(eligible, valid, np.iinfo(valid.dtype).max)
+        return lo + int(np.argmin(costs))
+
+
+class DualPoolPolicy(GcPolicy):
+    """Greedy victim selection plus dual-pool wear levelling.
+
+    Blocks split implicitly into a hot pool (high erase count) and a
+    cold pool (low erase count, pinned by long-lived data).  After each
+    collection pass the policy checks the plane's erase-count gap;
+    when ``max - min`` over sealed blocks reaches ``gc_wear_gap`` it
+    migrates the coldest sealed block's valid pages out and erases it,
+    returning the under-worn block to circulation (one block per GC
+    invocation, so the levelling cost stays bounded).
+    """
+
+    name = "dual_pool"
+
+    def __init__(self, cfg: SSDConfig):
+        super().__init__(cfg)
+        self.wear_gap = cfg.gc_wear_gap
+
+    def select_victim(self, plane, lo, valid, eligible):
+        """Greedy pick (wear levelling is what differs)."""
+        costs = np.where(eligible, valid, np.iinfo(valid.dtype).max)
+        return lo + int(np.argmin(costs))
+
+    def wear_level(self, plane, now, timed):
+        """Migrate the coldest sealed block out when the plane's
+        erase-count gap reaches ``gc_wear_gap``."""
+        gc = self.gc
+        arr = gc.service.array
+        lo, valid, eligible = gc._candidates(plane)
+        if not eligible.any():
+            return None
+        hi = lo + gc.service.geom.blocks_per_plane
+        erase = arr.erase_count[lo:hi]
+        cold = np.where(eligible, erase, np.iinfo(erase.dtype).max)
+        coldest = int(np.argmin(cold))
+        if int(erase.max()) - int(cold[coldest]) < self.wear_gap:
+            return None
+        return gc.migrate_block(lo + coldest, now, timed=timed)
+
+
+_REGISTRY: dict[str, type[GcPolicy]] = {
+    cls.name: cls
+    for cls in (
+        GreedyPolicy,
+        CostBenefitPolicy,
+        WearAwarePolicy,
+        WindowedGreedyPolicy,
+        PreemptivePolicy,
+        HotColdPolicy,
+        DualPoolPolicy,
+    )
+}
+
+assert tuple(_REGISTRY) == GC_POLICIES, "registry drifted from config"
+
+
+def make_policy(name: str, cfg: SSDConfig) -> GcPolicy:
+    """Instantiate the registered policy ``name`` with knobs from
+    ``cfg``; raises :class:`ValueError` on unknown names (the
+    pre-refactor :class:`GarbageCollector` contract)."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown GC policy {name!r}; expected one of {GC_POLICIES}"
+        ) from None
+    return cls(cfg)

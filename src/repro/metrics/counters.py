@@ -62,6 +62,15 @@ class FlashOpCounters:
     #: valid pages relocated off blocks headed for retirement (the
     #: bad-block remapping traffic, also counted under OpKind.GC).
     fault_relocations: int = 0
+    # -- GC policy zoo (all zero under the default greedy policy) --------
+    #: bounded collection slices run by a partial GC policy.
+    gc_slices: int = 0
+    #: partial-GC slices that left the victim un-erased (valid pages
+    #: deferred to a later slice — the request-aware deferral of
+    #: preemptive GC).
+    gc_deferrals: int = 0
+    #: cold blocks migrated by wear levelling (dual-pool policy).
+    wear_migrations: int = 0
     #: running totals of measured (non-aging) ops, kept in lock-step
     #: with the per-kind dicts so :attr:`total_reads`/:attr:`total_writes`
     #: are O(1) — the engine consults them on every request.
@@ -158,9 +167,12 @@ class FlashOpCounters:
         The per-kind splits (``reads_by_kind``/``writes_by_kind``) carry
         the full counter state, so :meth:`from_snapshot` can rebuild an
         equal instance; the flat aggregates stay for readability and
-        backward compatibility of archived sweeps.
+        backward compatibility of archived sweeps.  Policy-zoo tallies
+        (``gc_slices``/``gc_deferrals``/``wear_migrations``) appear only
+        when nonzero: the default greedy policy never touches them, and
+        omitting the keys keeps default-run report digests byte-stable.
         """
-        return {
+        out = {
             "data_reads": self.data_reads,
             "data_writes": self.data_writes,
             "map_reads": self.map_reads,
@@ -185,6 +197,13 @@ class FlashOpCounters:
             "reads_by_kind": {k.value: v for k, v in self.reads.items()},
             "writes_by_kind": {k.value: v for k, v in self.writes.items()},
         }
+        if self.gc_slices:
+            out["gc_slices"] = self.gc_slices
+        if self.gc_deferrals:
+            out["gc_deferrals"] = self.gc_deferrals
+        if self.wear_migrations:
+            out["wear_migrations"] = self.wear_migrations
+        return out
 
     @classmethod
     def from_snapshot(cls, d: dict) -> "FlashOpCounters":
@@ -216,6 +235,9 @@ class FlashOpCounters:
         out.erase_fails = int(d.get("erase_fails", 0))
         out.bad_blocks = int(d.get("bad_blocks", 0))
         out.fault_relocations = int(d.get("fault_relocations", 0))
+        out.gc_slices = int(d.get("gc_slices", 0))
+        out.gc_deferrals = int(d.get("gc_deferrals", 0))
+        out.wear_migrations = int(d.get("wear_migrations", 0))
         return out
 
     def merged_with(self, other: "FlashOpCounters") -> "FlashOpCounters":
@@ -242,4 +264,7 @@ class FlashOpCounters:
         out.fault_relocations = (
             self.fault_relocations + other.fault_relocations
         )
+        out.gc_slices = self.gc_slices + other.gc_slices
+        out.gc_deferrals = self.gc_deferrals + other.gc_deferrals
+        out.wear_migrations = self.wear_migrations + other.wear_migrations
         return out

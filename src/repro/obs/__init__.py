@@ -38,6 +38,7 @@ from .events import (
     FTLDecision,
     GCEvent,
     GCStall,
+    GcPolicyDecision,
     HazardStall,
     MediaFault,
     ReadRetry,
@@ -70,6 +71,7 @@ __all__ = [
     "GCEvent",
     "GCStall",
     "GaugeSampler",
+    "GcPolicyDecision",
     "HazardStall",
     "MediaFault",
     "Observability",

@@ -178,6 +178,24 @@ class GCStall(Event):
 
 
 @dataclass(frozen=True, slots=True)
+class GcPolicyDecision(Event):
+    """A non-trivial scheduling decision by the active GC policy.
+
+    ``action``: ``slice_erase`` (partial GC finished a victim) |
+    ``defer`` (partial GC left valid pages for a later slice) |
+    ``urgent`` (partial policy fell back to the full restore loop;
+    ``block`` is -1) | ``wear_migrate`` (wear levelling migrated a cold
+    block).  ``pages`` counts the valid pages relocated by the decision.
+    """
+
+    plane: int
+    policy: str
+    action: str
+    block: int
+    pages: int
+
+
+@dataclass(frozen=True, slots=True)
 class ReadRetry(Event):
     """A page read needed retry steps to correct raw bit errors
     (:mod:`repro.faults`); ``uncorrectable`` when even the full retry

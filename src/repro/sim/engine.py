@@ -1064,6 +1064,16 @@ class Simulator:
             extra["frontend_hazard_stalls"] = self._frontend.hazard_stalls
             extra["frontend_cache_bypass"] = self._frontend.cache_bypass
             extra["frontend_reordered"] = self._frontend.nand.reordered
+        if self.sim_cfg.record_wear:
+            from ..flash.wear import wear_stats
+
+            ws = wear_stats(self.ftl.service.array)
+            extra["wear_total_erases"] = ws.total_erases
+            extra["wear_mean"] = ws.mean
+            extra["wear_std"] = ws.std
+            extra["wear_max"] = ws.max
+            extra["wear_gini"] = ws.gini
+            extra["wear_imbalance"] = ws.imbalance
         return SimulationReport(
             scheme=self.ftl.name,
             trace_name=trace.name,

@@ -1,4 +1,4 @@
-"""GC victim-selection policies (greedy / cost-benefit / wear-aware)."""
+"""GC policy zoo: selection, scheduling and wear-levelling behaviour."""
 
 import pytest
 
@@ -7,6 +7,7 @@ from repro.errors import ConfigError
 from repro.flash.service import FlashService
 from repro.flash.wear import projected_lifetime_writes, wear_stats
 from repro.ftl.gc import GC_POLICIES, GarbageCollector
+from repro.ftl.gc_policy import GcPolicy, make_policy
 from repro.ftl.pagemap import PageMapFTL
 
 
@@ -38,7 +39,32 @@ class TestPolicySelection:
             SSDConfig(gc_policy="bogus").validate()
 
     def test_policies_constant(self):
-        assert GC_POLICIES == ("greedy", "cost_benefit", "wear_aware")
+        assert GC_POLICIES == (
+            "greedy",
+            "cost_benefit",
+            "wear_aware",
+            "windowed_greedy",
+            "preemptive",
+            "hot_cold",
+            "dual_pool",
+        )
+
+    def test_make_policy_registry(self, micro_cfg):
+        for name in GC_POLICIES:
+            policy = make_policy(name, micro_cfg)
+            assert isinstance(policy, GcPolicy)
+            assert policy.name == name
+        with pytest.raises(ValueError):
+            make_policy("nope", micro_cfg)
+
+    def test_collector_accepts_policy_object(self, micro_cfg):
+        svc = FlashService(micro_cfg)
+        ftl = PageMapFTL(svc)
+        gc = GarbageCollector(
+            svc, ftl.allocator, ftl._relocate, 0.1, 0.12,
+            policy=make_policy("cost_benefit", micro_cfg),
+        )
+        assert gc.policy == "cost_benefit"
 
 
 class TestAllPoliciesWork:
@@ -110,6 +136,96 @@ class TestPolicyCharacter:
         # the benefit actually differs
         svc2 = ftl.gc
         assert svc2.policy == "cost_benefit"
+
+
+class TestNewPolicyCharacter:
+    def test_preemptive_runs_bounded_slices(self, micro_cfg):
+        svc, ftl = run_hot_cold("preemptive", micro_cfg)
+        gc = ftl.gc
+        # the soft threshold starts collection earlier than gc_threshold
+        assert gc.threshold == micro_cfg.gc_preempt_threshold
+        assert gc.hard_threshold == micro_cfg.gc_threshold
+        assert gc.slices > 0
+        # with an 8-page budget on 8-page blocks some victims still
+        # carry valid pages when picked, producing deferrals; but even
+        # if every victim fit in one slice, collections must have run
+        assert gc.collections > 0
+
+    def test_preemptive_slice_budget_respected(self, micro_cfg):
+        # uniform overwrites leave every block partially valid, so a
+        # 2-page budget on 8-page blocks cannot finish a victim in one
+        # slice: deferrals must appear
+        import random
+
+        cfg = micro_cfg.replace(gc_policy="preemptive", gc_slice_pages=2)
+        svc = FlashService(cfg)
+        ftl = PageMapFTL(svc)
+        spp = ftl.spp
+        n = ftl.logical_pages
+        rng = random.Random(3)
+        for _ in range(4 * svc.geom.num_pages):
+            ftl.write(rng.randrange(n) * spp, spp, 0.0)
+        gc = ftl.gc
+        assert gc.slices > 0
+        assert gc.deferrals > 0
+        assert svc.counters.gc_deferrals > 0
+        ftl.check_invariants()
+
+    def test_windowed_greedy_restricts_to_window(self, micro_cfg):
+        cfg = micro_cfg.replace(gc_policy="windowed_greedy", gc_window=2)
+        svc, ftl = run_hot_cold("windowed_greedy", cfg)
+        assert ftl.gc.policy == "windowed_greedy"
+        assert svc.counters.erases > 0
+        ftl.check_invariants()
+
+    def test_hot_cold_separates_streams(self, micro_cfg):
+        cfg = micro_cfg.replace(gc_policy="hot_cold")
+        svc = FlashService(cfg)
+        ftl = PageMapFTL(svc)
+        # the policy requests stream separation without the user flag
+        assert ftl.allocator.separate_streams
+        svc2, ftl2 = run_hot_cold("hot_cold", micro_cfg)
+        assert svc2.counters.erases > 0
+        ftl2.check_invariants()
+
+    def test_dual_pool_levels_wear(self, micro_cfg):
+        cfg = micro_cfg.replace(gc_wear_gap=2)
+        _, greedy_ftl = run_hot_cold("greedy", cfg)
+        _, dual_ftl = run_hot_cold("dual_pool", cfg)
+        assert dual_ftl.gc.wear_migrations > 0
+        assert dual_ftl.gc.service.counters.wear_migrations > 0
+        g = wear_stats(greedy_ftl.service.array)
+        d = wear_stats(dual_ftl.service.array)
+        # cold-block migration must not worsen the wear spread
+        assert d.gini <= g.gini + 0.05
+
+    def test_dual_pool_respects_gap(self, micro_cfg):
+        # a gap larger than any achievable erase spread => no migrations
+        cfg = micro_cfg.replace(gc_wear_gap=10_000)
+        _, ftl = run_hot_cold("dual_pool", cfg)
+        assert ftl.gc.wear_migrations == 0
+
+    def test_policy_counters_round_trip(self, micro_cfg):
+        from repro.metrics.counters import FlashOpCounters
+
+        cfg = micro_cfg.replace(gc_policy="preemptive", gc_slice_pages=2)
+        svc, _ = run_hot_cold("preemptive", cfg)
+        snap = svc.counters.snapshot()
+        assert snap["gc_slices"] == svc.counters.gc_slices
+        rebuilt = FlashOpCounters.from_snapshot(snap)
+        assert rebuilt.gc_slices == svc.counters.gc_slices
+        assert rebuilt.gc_deferrals == svc.counters.gc_deferrals
+        merged = rebuilt.merged_with(rebuilt)
+        assert merged.gc_slices == 2 * svc.counters.gc_slices
+
+    def test_greedy_snapshot_has_no_policy_keys(self, micro_cfg):
+        svc, ftl = run_hot_cold("greedy", micro_cfg)
+        snap = svc.counters.snapshot()
+        assert "gc_slices" not in snap
+        assert "gc_deferrals" not in snap
+        assert "wear_migrations" not in snap
+        stats = ftl.stats()
+        assert "gc_policy" not in stats
 
 
 class TestWearStats:
