@@ -60,6 +60,7 @@ from .errors import (
     OutOfSpaceError,
     ReproError,
     SimulationError,
+    SweepError,
     TraceFormatError,
 )
 from .faults import FaultInjector, raw_bit_error_rate, read_retry_steps
@@ -70,6 +71,17 @@ from .experiments.endurance import (
     EnduranceResult,
     endurance_specs,
     run_endurance,
+)
+from .fleet import (
+    FleetConfig,
+    FleetService,
+    ShardPlan,
+    TenantQos,
+    aggregate_qos,
+    compose_shards,
+    fleet_summary,
+    shard_of,
+    tenant_weights,
 )
 from .flash.service import FlashService
 from .flash.wear import WearStats, projected_lifetime_writes, wear_stats
@@ -191,6 +203,16 @@ __all__ = [
     "EnduranceResult",
     "endurance_specs",
     "run_endurance",
+    # fleet-scale serving
+    "FleetConfig",
+    "FleetService",
+    "ShardPlan",
+    "TenantQos",
+    "aggregate_qos",
+    "compose_shards",
+    "fleet_summary",
+    "shard_of",
+    "tenant_weights",
     # metrics / attribution
     "SimulationReport",
     "normalize",
@@ -220,4 +242,5 @@ __all__ = [
     "InvariantViolation",
     "TraceFormatError",
     "SimulationError",
+    "SweepError",
 ]

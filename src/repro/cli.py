@@ -740,6 +740,59 @@ def cmd_bench(args) -> int:
     return benchgate.main(argv)
 
 
+def cmd_serve(args) -> int:
+    """``repro serve``: the fleet-scale simulation service.
+
+    Binds a local HTTP endpoint (see :mod:`repro.fleet.service` for the
+    request schema) backed by a shared ResultStore, so repeated sweep
+    and fleet requests are answered from cache without re-simulating.
+    ``--once FILE`` handles a single JSON request from a file (or ``-``
+    for stdin) and prints the response instead of serving — the same
+    code path, usable from CI without managing a daemon.
+    """
+    import asyncio
+    import json as _json
+
+    from .experiments.parallel import ResultStore
+    from .fleet.service import FleetService, serve_forever
+
+    store = ResultStore(args.store)
+    service = FleetService(
+        store, device=SSDConfig.preset(args.device), jobs=args.jobs
+    )
+    if args.once:
+        if args.once == "-":
+            payload = _json.load(sys.stdin)
+        else:
+            payload = _json.loads(Path(args.once).read_text())
+        doc = service.handle_request(payload)
+        print(_json.dumps(doc, indent=1, sort_keys=True))
+        return 0 if doc.get("ok") else 1
+
+    bound: list = []
+
+    async def run() -> None:
+        import threading
+
+        ready = threading.Event()
+        task = asyncio.ensure_future(serve_forever(
+            service, args.host, args.port, ready=ready, bound=bound
+        ))
+        while not ready.is_set():
+            await asyncio.sleep(0.01)
+        host, port = bound[0]
+        print(f"repro serve listening on http://{host}:{port} "
+              f"(store: {store.root}, device: {args.device}, "
+              f"jobs: {args.jobs})", file=sys.stderr)
+        await task
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("repro serve: shut down", file=sys.stderr)
+    return 0
+
+
 def cmd_report(args) -> int:
     """``repro report``: render the figure charts as an HTML report."""
     from .experiments.charts import render_report_html
@@ -941,6 +994,24 @@ def build_parser() -> argparse.ArgumentParser:
                         "leg")
     _add_common(p)
     p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser(
+        "serve",
+        help="HTTP simulation service over a shared result store",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765,
+                   help="TCP port (0 = OS-assigned)")
+    p.add_argument("--store", default="serve-store",
+                   help="ResultStore directory answering repeat requests")
+    p.add_argument("--device", choices=SSDConfig.PRESETS, default="bench",
+                   help="device preset for requests that name none")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="process-pool width for cache-missing runs")
+    p.add_argument("--once", metavar="FILE",
+                   help="handle one JSON request from FILE ('-' = stdin), "
+                        "print the response and exit")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("lint", help="sanity-check trace files")
     p.add_argument("files", nargs="+")

@@ -311,6 +311,26 @@ class SSDConfig:
         cfg.validate()
         return cfg
 
+    #: names accepted by :meth:`preset` (wire-facing: ``repro serve``
+    #: requests pick their device by one of these strings)
+    PRESETS = ("tiny", "bench", "table1")
+
+    @classmethod
+    def preset(cls, name: str) -> "SSDConfig":
+        """Look up a device preset by name: ``tiny``
+        (:meth:`tiny`), ``bench`` (:meth:`bench_default`) or
+        ``table1`` (:meth:`paper_table1`)."""
+        try:
+            return {
+                "tiny": cls.tiny,
+                "bench": cls.bench_default,
+                "table1": cls.paper_table1,
+            }[name]()
+        except KeyError:
+            raise ConfigError(
+                f"unknown device preset {name!r}; choose from {cls.PRESETS}"
+            ) from None
+
     def summary(self) -> str:
         """One-paragraph human-readable description."""
         return (
@@ -654,6 +674,15 @@ class SimConfig:
     #: later arrivals wait in the host queue (their latency includes the
     #: wait).  None = unlimited (the default, matching SSDsim replay).
     queue_depth: int | None = None
+    #: Per-stream QoS boundaries (strictly increasing sector offsets).
+    #: When non-empty the LBA space is split into ``len+1`` streams —
+    #: stream *i* covers ``[boundaries[i-1], boundaries[i])`` — and the
+    #: report gains a ``streams`` section with per-stream request
+    #: counts and latency sketches.  The fleet layer
+    #: (:mod:`repro.fleet`) uses this to recover per-tenant QoS from a
+    #: single shard run.  Empty (the default) keeps report digests
+    #: byte-identical to runs that never had the feature.
+    qos_streams: tuple[int, ...] = ()
     #: Instrumentation (event bus / spans / samplers); off by default.
     observability: ObservabilityConfig = field(
         default_factory=ObservabilityConfig
@@ -672,6 +701,12 @@ class SimConfig:
     #: stderr during the replay loop (``--progress`` on the CLI).
     progress: bool = False
 
+    def __post_init__(self) -> None:
+        # JSON round trips (shrink reproducers, serve requests) hand the
+        # boundaries back as a list; normalise so equality and hashing
+        # behave regardless of the source.
+        object.__setattr__(self, "qos_streams", tuple(self.qos_streams))
+
     def validate(self) -> None:
         """Raise :class:`ConfigError` on inconsistent run options."""
         if not (0.0 <= self.aged_used <= 0.98):
@@ -684,6 +719,14 @@ class SimConfig:
             raise ConfigError("queue_depth must be positive or None")
         if self.snapshot_every < 0:
             raise ConfigError("snapshot_every must be non-negative")
+        prev = 0
+        for b in self.qos_streams:
+            if not isinstance(b, int) or b <= prev:
+                raise ConfigError(
+                    "qos_streams must be strictly increasing positive "
+                    f"sector offsets, got {self.qos_streams!r}"
+                )
+            prev = b
         self.observability.validate()
         self.faults.validate()
         self.check.validate()

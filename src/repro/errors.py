@@ -82,3 +82,20 @@ class TraceFormatError(ReproError):
 
 class SimulationError(ReproError):
     """The simulator was driven incorrectly (e.g. time going backwards)."""
+
+
+class SweepError(ReproError):
+    """One or more runs of a parallel sweep failed.
+
+    Raised by :func:`repro.experiments.parallel.execute_runs` (in the
+    default fail-fast mode) *after* every sibling run has completed and
+    been persisted, so a single poisoned spec never discards finished
+    work.  ``failures`` holds ``(spec_label, exception)`` pairs.
+    """
+
+    def __init__(self, failures):
+        self.failures = list(failures)
+        labels = ", ".join(label for label, _ in self.failures)
+        super().__init__(
+            f"{len(self.failures)} sweep run(s) failed: {labels}"
+        )

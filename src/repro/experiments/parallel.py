@@ -29,23 +29,27 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import multiprocessing
 import os
 import re
 import sys
 import tempfile
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Mapping, Optional, Sequence
+from typing import Any, Callable, Mapping, Optional, Sequence
 
 import numpy as np
 
 from ..config import SimConfig, SSDConfig
+from ..errors import SweepError
 from ..metrics.report import SimulationReport
 from ..traces.model import Trace
 
 __all__ = [
     "RunSpec",
     "ResultStore",
+    "SweepError",
     "SweepOutcome",
     "execute_runs",
     "run_key",
@@ -224,6 +228,15 @@ class ResultStore:
         self.hits = 0
         self.misses = 0
         self.puts = 0
+        #: results served after waiting on another thread's in-flight
+        #: simulation of the same key (single-flight dedup)
+        self.coalesced = 0
+        #: guards the stats counters and the in-flight registry; the
+        #: store is shared by threaded callers (the serve layer fans
+        #: requests out across a thread pool onto one store)
+        self._lock = threading.Lock()
+        #: run key -> Event set when the in-flight computation finishes
+        self._inflight: dict[str, threading.Event] = {}
 
     # -- paths -----------------------------------------------------------
     def path_for(self, spec: RunSpec) -> Path:
@@ -234,24 +247,34 @@ class ResultStore:
         return self.root / f"{label}__{key[: self.KEY_DIGITS]}.json"
 
     # -- access ----------------------------------------------------------
-    def get(self, spec: RunSpec) -> Optional[SimulationReport]:
-        """The stored report for ``spec``, or None (corrupt or
-        key-mismatched files count as misses, never as errors)."""
+    def _load(self, spec: RunSpec) -> Optional[dict]:
+        """The one shared lookup path: the parsed document for ``spec``,
+        or None on anything wrong (missing, corrupt, key mismatch)."""
         path = self.path_for(spec)
         try:
             doc = json.loads(path.read_text())
         except (OSError, ValueError):
-            self.misses += 1
             return None
         if doc.get("key") != spec.key():
-            self.misses += 1
             return None
-        try:
-            report = SimulationReport.from_dict(doc["report"])
-        except (KeyError, TypeError, ValueError):
-            self.misses += 1
-            return None
-        self.hits += 1
+        return doc
+
+    def get(self, spec: RunSpec) -> Optional[SimulationReport]:
+        """The stored report for ``spec``, or None (corrupt or
+        key-mismatched files count as misses, never as errors)."""
+        doc = self._load(spec)
+        if doc is not None:
+            try:
+                report = SimulationReport.from_dict(doc["report"])
+            except (KeyError, TypeError, ValueError):
+                report = None
+        else:
+            report = None
+        with self._lock:
+            if report is None:
+                self.misses += 1
+            else:
+                self.hits += 1
         return report
 
     def put(self, spec: RunSpec, report: SimulationReport) -> Path:
@@ -280,15 +303,82 @@ class ResultStore:
             except OSError:
                 pass
             raise
-        self.puts += 1
+        with self._lock:
+            self.puts += 1
         return path
 
     def __contains__(self, spec: RunSpec) -> bool:
-        path = self.path_for(spec)
-        try:
-            return json.loads(path.read_text()).get("key") == spec.key()
-        except (OSError, ValueError):
-            return False
+        return self._load(spec) is not None
+
+    # -- single-flight ---------------------------------------------------
+    def _claim(self, key: str) -> Optional[threading.Event]:
+        """Try to become the computing thread for ``key``.
+
+        Returns None when the caller now owns the computation (it must
+        call :meth:`_release` when done, success or not), or the Event
+        of the thread already computing it (wait on it, then re-check
+        the store)."""
+        with self._lock:
+            ev = self._inflight.get(key)
+            if ev is None:
+                self._inflight[key] = threading.Event()
+                return None
+            return ev
+
+    def _release(self, key: str) -> None:
+        """Drop the in-flight claim on ``key`` and wake every waiter."""
+        with self._lock:
+            ev = self._inflight.pop(key, None)
+        if ev is not None:
+            ev.set()
+
+    def get_or_run(
+        self,
+        spec: RunSpec,
+        runner: Callable[["RunSpec"], SimulationReport] | None = None,
+    ) -> tuple[SimulationReport, bool]:
+        """Memoised execution with single-flight dedup.
+
+        Returns ``(report, cached)``.  When several threads ask for the
+        same key concurrently, exactly one simulates (``runner``,
+        default: the in-process worker entry point) while the rest wait
+        on its completion and then read the stored result — two
+        in-flight identical requests never simulate twice.  If the
+        computing thread fails, one waiter takes over (a deterministic
+        failure then propagates to it too).
+        """
+        run = runner if runner is not None else _execute_spec
+        key = spec.key()
+        waited = False
+        while True:
+            report = self.get(spec)
+            if report is not None:
+                if waited:
+                    with self._lock:
+                        self.coalesced += 1
+                return report, True
+            ev = self._claim(key)
+            if ev is not None:
+                ev.wait()
+                waited = True
+                continue
+            try:
+                report = run(spec)
+                self.put(spec, report)
+                return report, False
+            finally:
+                self._release(key)
+
+    def stats(self) -> dict[str, int]:
+        """Thread-safe snapshot of the access counters."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "puts": self.puts,
+                "coalesced": self.coalesced,
+                "inflight": len(self._inflight),
+            }
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*.json"))
@@ -330,13 +420,35 @@ class ResultStore:
 # ----------------------------------------------------------------------
 @dataclass
 class SweepOutcome:
-    """Reports of one batch, in spec order, plus execution accounting."""
+    """Reports of one batch, in spec order, plus execution accounting.
 
-    reports: list[SimulationReport] = field(default_factory=list)
+    ``reports[i]`` is None when spec ``i`` failed — its ``(label,
+    exception)`` pair is in ``failures``.  With the default
+    ``on_error="raise"`` a failing batch raises :class:`SweepError`
+    instead of returning, but only *after* every sibling finished and
+    was persisted, so the outcome is only ever partially populated for
+    ``on_error="continue"`` callers who asked to inspect failures.
+    """
+
+    reports: list[Optional[SimulationReport]] = field(default_factory=list)
     #: simulations actually executed in this call
     executed: int = 0
     #: results served from the :class:`ResultStore`
     cached: int = 0
+    #: ``(RunSpec.label, exception)`` of every failed spec, in
+    #: completion order
+    failures: list[tuple[str, BaseException]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every spec produced a report."""
+        return not self.failures
+
+    def raise_if_failed(self) -> None:
+        """Raise :class:`SweepError` when any spec failed."""
+        if self.failures:
+            err = SweepError(self.failures)
+            raise err from self.failures[0][1]
 
     def __iter__(self):
         return iter(self.reports)
@@ -367,15 +479,35 @@ def execute_runs(
     store: ResultStore | None = None,
     progress: bool = False,
     fresh: bool = False,
+    on_error: str = "raise",
 ) -> SweepOutcome:
     """Execute a batch of independent runs, reusing and filling ``store``.
 
-    ``jobs`` > 1 fans the cache-missing specs out across a process pool;
-    ``jobs`` <= 1 runs them in-process (identical results either way —
-    each run is a fresh seeded device).  ``fresh=True`` skips store
-    lookups (but still persists results), for forced re-measurement.
-    Reports come back in spec order.
+    ``jobs`` > 1 fans the cache-missing specs out across a process pool
+    (pinned to the ``spawn`` start method so Linux and macOS replay
+    identically and fork-under-threads never happens); ``jobs`` <= 1
+    runs them in-process (identical results either way — each run is a
+    fresh seeded device).  ``fresh=True`` skips store lookups (but
+    still persists results), for forced re-measurement.  Reports come
+    back in spec order.
+
+    Worker exceptions are caught per-future and recorded as
+    ``(spec.label, exception)`` in :attr:`SweepOutcome.failures`;
+    completed sibling results are always stored first.  With the
+    default ``on_error="raise"`` a failing batch then raises
+    :class:`~repro.errors.SweepError`; ``on_error="continue"`` returns
+    the partial outcome (failed slots hold None) for callers — like the
+    fleet serve loop — that must survive poisoned specs.
+
+    When ``store`` is set, in-flight keys are deduplicated against
+    concurrent callers of the same store (single-flight): a spec
+    another thread is already simulating is awaited and then served
+    from the store instead of being simulated twice.
     """
+    if on_error not in ("raise", "continue"):
+        raise ValueError(
+            f"on_error must be 'raise' or 'continue', got {on_error!r}"
+        )
     specs = list(specs)
     out = SweepOutcome(reports=[None] * len(specs))
     pending: list[int] = []
@@ -393,32 +525,120 @@ def execute_runs(
     if progress and total:
         _sweep_progress(done, total, "cached" if done else "starting")
 
+    #: index -> exception, so same-batch duplicates of a failed leader
+    #: can mirror its failure
+    failed: dict[int, BaseException] = {}
+
     def _finish(i: int, report: SimulationReport) -> None:
         out.reports[i] = report
         out.executed += 1
         if store is not None:
             store.put(specs[i], report)
 
-    if jobs > 1 and len(pending) > 1:
+    def _fail(i: int, exc: BaseException) -> None:
+        failed[i] = exc
+        out.failures.append((specs[i].label, exc))
+
+    # -- split pending into leaders (we simulate), waiters (another
+    #    thread on this store is already simulating the key) and
+    #    same-batch duplicates (resolved from their leader's slot)
+    leaders: list[int] = []
+    waiters: list[tuple[int, str, threading.Event]] = []
+    dup_of: dict[int, int] = {}
+    if store is not None and not fresh:
+        first_for_key: dict[str, int] = {}
+        for i in pending:
+            key = specs[i].key()
+            if key in first_for_key:
+                dup_of[i] = first_for_key[key]
+                continue
+            ev = store._claim(key)
+            if ev is None:
+                first_for_key[key] = i
+                leaders.append(i)
+            else:
+                waiters.append((i, key, ev))
+    else:
+        leaders = pending
+
+    def _release(i: int) -> None:
+        if store is not None and not fresh:
+            store._release(specs[i].key())
+
+    def _run_leader_inprocess(i: int) -> None:
+        try:
+            report = _execute_spec(specs[i])
+        except Exception as exc:
+            _fail(i, exc)
+        else:
+            _finish(i, report)
+        finally:
+            _release(i)
+
+    if jobs > 1 and len(leaders) > 1:
         from concurrent.futures import ProcessPoolExecutor, as_completed
 
-        workers = min(jobs, len(pending))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        workers = min(jobs, len(leaders))
+        ctx = multiprocessing.get_context("spawn")
+        with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
             futures = {
-                pool.submit(_execute_spec, specs[i]): i for i in pending
+                pool.submit(_execute_spec, specs[i]): i for i in leaders
             }
             for fut in as_completed(futures):
                 i = futures[fut]
-                _finish(i, fut.result())
+                try:
+                    report = fut.result()
+                except Exception as exc:
+                    _fail(i, exc)
+                else:
+                    _finish(i, report)
+                finally:
+                    _release(i)
                 done += 1
                 if progress:
                     _sweep_progress(done, total, specs[i].label)
     else:
-        for i in pending:
-            _finish(i, _execute_spec(specs[i]))
+        for i in leaders:
+            _run_leader_inprocess(i)
             done += 1
             if progress:
                 _sweep_progress(done, total, specs[i].label)
+
+    # -- waiters: the other thread finished (or died); read its result
+    #    from the store, taking over the computation if it failed
+    for i, key, ev in waiters:
+        while True:
+            ev.wait()
+            report = store.get(specs[i])
+            if report is not None:
+                out.reports[i] = report
+                out.cached += 1
+                with store._lock:
+                    store.coalesced += 1
+                break
+            next_ev = store._claim(key)
+            if next_ev is not None:
+                ev = next_ev
+                continue
+            _run_leader_inprocess(i)
+            break
+        done += 1
+        if progress:
+            _sweep_progress(done, total, specs[i].label)
+
+    # -- same-batch duplicates mirror their leader's outcome
+    for i, leader in dup_of.items():
+        if leader in failed:
+            _fail(i, failed[leader])
+        else:
+            out.reports[i] = out.reports[leader]
+            out.cached += 1
+        done += 1
+        if progress:
+            _sweep_progress(done, total, specs[i].label)
+
     if progress and total:
         _sweep_progress(total, total, "done", final=True)
+    if on_error == "raise":
+        out.raise_if_failed()
     return out

@@ -1,0 +1,101 @@
+"""Fleet shape: how many shards, how many tenants, how they map.
+
+:class:`FleetConfig` is deliberately JSON-first — it round-trips
+through :meth:`to_dict`/:meth:`from_dict` because it arrives over the
+wire in ``repro serve`` requests.  The per-tenant traffic knobs
+default to the paper's Table 2 LUN1 row (write ratio 0.615, across
+ratio 0.247, mean write 8.9 KiB), so an empty request body already
+exercises the workload the reproduction is calibrated against.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from ..config import SCHEMES
+from ..errors import ConfigError
+
+#: recognised shard routing functions (see :func:`repro.fleet.workload.shard_of`)
+SHARD_BY = ("tenant", "lba")
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Shape of one simulated fleet."""
+
+    #: independent device shards (each one simulator run)
+    shards: int = 4
+    #: total tenants across the fleet
+    tenants: int = 64
+    #: routing: "tenant" hashes the tenant id (stable blake2b, NOT
+    #: Python's per-process-randomised ``hash``); "lba" bands tenants
+    #: into contiguous shard ranges (range-partitioned layout)
+    shard_by: str = "tenant"
+    #: mean requests per tenant before Zipf popularity scaling
+    requests_per_tenant: int = 200
+    #: Zipf exponent of tenant popularity (larger = more skewed);
+    #: tenant of popularity rank r issues ~``1/r**zipf_s`` of traffic
+    zipf_s: float = 1.1
+    #: base seed; every tenant derives its own stream seed from it
+    seed: int = 42
+    #: FTL scheme every shard runs
+    scheme: str = "across"
+    # -- per-tenant traffic mix (defaults: Table 2, LUN1) ---------------
+    write_ratio: float = 0.615
+    across_ratio: float = 0.247
+    mean_write_kb: float = 8.9
+    #: mean request interarrival per tenant stream (ms)
+    interarrival_ms: float = 7.0
+    #: sectors of logical space per tenant slice; 0 = divide the
+    #: shard's logical space evenly among its tenants
+    tenant_sectors: int = 0
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on any out-of-range knob."""
+        if self.shards < 1:
+            raise ConfigError("shards must be >= 1")
+        if self.tenants < 1:
+            raise ConfigError("tenants must be >= 1")
+        if self.shard_by not in SHARD_BY:
+            raise ConfigError(
+                f"shard_by must be one of {SHARD_BY}, got {self.shard_by!r}"
+            )
+        if self.requests_per_tenant < 1:
+            raise ConfigError("requests_per_tenant must be >= 1")
+        if self.zipf_s <= 0:
+            raise ConfigError("zipf_s must be positive")
+        if self.scheme not in SCHEMES:
+            raise ConfigError(
+                f"unknown scheme {self.scheme!r}; choose from {SCHEMES}"
+            )
+        for nm in ("write_ratio", "across_ratio"):
+            v = getattr(self, nm)
+            if not (0.0 <= v <= 1.0):
+                raise ConfigError(f"{nm} must be in [0, 1], got {v}")
+        if self.mean_write_kb <= 0:
+            raise ConfigError("mean_write_kb must be positive")
+        if self.interarrival_ms <= 0:
+            raise ConfigError("interarrival_ms must be positive")
+        if self.tenant_sectors < 0:
+            raise ConfigError("tenant_sectors must be non-negative")
+
+    # -- JSON round trip -------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-dict form, inverse of :meth:`from_dict`."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FleetConfig":
+        """Build from a (possibly partial) JSON object; unknown keys
+        raise so a typo in a serve request fails loudly instead of
+        silently running the default fleet."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        extra = set(d) - known
+        if extra:
+            raise ConfigError(
+                f"unknown FleetConfig field(s): {sorted(extra)}"
+            )
+        cfg = cls(**d)
+        cfg.validate()
+        return cfg

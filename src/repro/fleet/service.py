@@ -1,0 +1,481 @@
+"""The ``repro serve`` request handler and its asyncio HTTP server.
+
+The service is two layers:
+
+* :class:`FleetService` — pure request handling: a JSON payload in, a
+  JSON-serialisable response out.  Sweep and fleet requests are turned
+  into :class:`~repro.experiments.parallel.RunSpec` batches and fanned
+  out through the hardened
+  :func:`~repro.experiments.parallel.execute_runs` with
+  ``on_error="continue"`` (a poisoned spec is reported per-label, the
+  siblings still land), backed by one shared
+  :class:`~repro.experiments.parallel.ResultStore` — so a repeated
+  request re-simulates nothing (``executed=0, cached=N``) and returns
+  a byte-identical ``digest``.
+* :func:`serve_forever` / :func:`start_server_thread` — a minimal
+  hand-rolled HTTP/1.1 loop over :func:`asyncio.start_server` (the
+  toolchain has no HTTP framework and the stdlib server is threaded).
+  Simulation work is pushed off the event loop into a thread pool, so
+  health checks stay responsive while a sweep runs.
+
+Wire protocol (all bodies JSON):
+
+* ``GET /healthz`` → ``{"ok": true}``
+* ``GET /stats`` → service + store counters
+* ``GET /metrics`` → the same counters as Prometheus text
+* ``POST /simulate`` → dispatch on the payload's ``kind``:
+
+  * ``{"kind": "sweep", "schemes": [...], "workload": {...},
+    "device": "tiny|bench|table1", "sim": {...}}`` — one run per
+    scheme over one calibrated synthetic workload.
+  * ``{"kind": "fleet", "fleet": {...FleetConfig...}, "device": ...,
+    "sim": {...}}`` — one run per shard, per-tenant QoS aggregated
+    from the shard stream sketches.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import hashlib
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..config import SimConfig, SSDConfig, SCHEMES
+from ..errors import ConfigError, ReproError
+from ..experiments.parallel import ResultStore, RunSpec, execute_runs
+from ..traces.synthetic import SyntheticSpec, generate_trace
+from .config import FleetConfig
+from .qos import aggregate_qos, fleet_summary
+from .workload import compose_shards
+
+#: SimConfig knobs a request may set; anything else is rejected so a
+#: typo cannot silently run a default simulation under a wrong key
+_SIM_KEYS = (
+    "aged_used",
+    "aged_valid",
+    "aging_style",
+    "seed",
+    "queue_depth",
+    "qos_streams",
+)
+
+#: workload knobs a sweep request may set (SyntheticSpec subset)
+_WORKLOAD_KEYS = (
+    "name",
+    "requests",
+    "write_ratio",
+    "across_ratio",
+    "mean_write_kb",
+    "seed",
+    "interarrival_ms",
+    "footprint_fraction",
+)
+
+
+def _request_error(msg: str) -> dict:
+    return {"ok": False, "error": msg}
+
+
+def _sim_cfg_from(doc: dict | None) -> SimConfig:
+    doc = dict(doc or {})
+    extra = set(doc) - set(_SIM_KEYS)
+    if extra:
+        raise ConfigError(f"unknown sim field(s): {sorted(extra)}")
+    if "qos_streams" in doc:
+        doc["qos_streams"] = tuple(int(b) for b in doc["qos_streams"])
+    cfg = SimConfig(**doc)
+    cfg.validate()
+    return cfg
+
+
+def _canonical_digest(doc: Any) -> str:
+    """Stable content hash of a JSON-serialisable response section."""
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@dataclass
+class ServiceStats:
+    """Monotonic service counters (guarded by the service lock)."""
+
+    requests_total: int = 0
+    sweeps_total: int = 0
+    fleets_total: int = 0
+    errors_total: int = 0
+    runs_executed_total: int = 0
+    runs_cached_total: int = 0
+    runs_failed_total: int = 0
+
+
+class FleetService:
+    """JSON request handler over one shared ResultStore."""
+
+    def __init__(
+        self,
+        store: ResultStore,
+        *,
+        device: SSDConfig | None = None,
+        jobs: int = 1,
+    ):
+        self.store = store
+        #: device used when a request names no preset
+        self.device = device if device is not None else SSDConfig.tiny()
+        self.jobs = jobs
+        self._lock = threading.Lock()
+        self._stats = ServiceStats()
+
+    # -- accounting ------------------------------------------------------
+    def _count(self, **deltas: int) -> None:
+        with self._lock:
+            for k, v in deltas.items():
+                setattr(self._stats, k, getattr(self._stats, k) + v)
+
+    def stats(self) -> dict:
+        """Service counters plus the underlying store's."""
+        with self._lock:
+            svc = dataclasses.asdict(self._stats)
+        return {"service": svc, "store": self.store.stats()}
+
+    # -- request plumbing ------------------------------------------------
+    def _device_for(self, payload: dict) -> SSDConfig:
+        name = payload.get("device")
+        if name is None:
+            return self.device
+        return SSDConfig.preset(name)
+
+    def handle_request(self, payload: dict) -> dict:
+        """Dispatch one decoded JSON request; never raises — every
+        failure comes back as ``{"ok": false, "error": ...}`` so one
+        bad request cannot kill the serve loop."""
+        self._count(requests_total=1)
+        try:
+            if not isinstance(payload, dict):
+                raise ConfigError("request body must be a JSON object")
+            kind = payload.get("kind")
+            if kind == "sweep":
+                return self._handle_sweep(payload)
+            if kind == "fleet":
+                return self._handle_fleet(payload)
+            raise ConfigError(
+                f"unknown request kind {kind!r}; expected 'sweep' or 'fleet'"
+            )
+        except (ReproError, TypeError, ValueError) as exc:
+            self._count(errors_total=1)
+            return _request_error(f"{type(exc).__name__}: {exc}")
+
+    def _execute(self, specs: list[RunSpec]):
+        out = execute_runs(
+            specs,
+            jobs=self.jobs,
+            store=self.store,
+            on_error="continue",
+        )
+        self._count(
+            runs_executed_total=out.executed,
+            runs_cached_total=out.cached,
+            runs_failed_total=len(out.failures),
+        )
+        return out
+
+    # -- sweep requests --------------------------------------------------
+    def _handle_sweep(self, payload: dict) -> dict:
+        self._count(sweeps_total=1)
+        cfg = self._device_for(payload)
+        sim_cfg = _sim_cfg_from(payload.get("sim"))
+        schemes = payload.get("schemes", list(SCHEMES))
+        for s in schemes:
+            if s not in SCHEMES:
+                raise ConfigError(
+                    f"unknown scheme {s!r}; choose from {SCHEMES}"
+                )
+        wl = dict(payload.get("workload") or {})
+        extra = set(wl) - set(_WORKLOAD_KEYS)
+        if extra:
+            raise ConfigError(f"unknown workload field(s): {sorted(extra)}")
+        frac = float(wl.pop("footprint_fraction", 0.5))
+        if not (0.0 < frac <= 1.0):
+            raise ConfigError("footprint_fraction must be in (0, 1]")
+        spec = SyntheticSpec(
+            name=wl.pop("name", "serve"),
+            requests=int(wl.pop("requests", 2000)),
+            write_ratio=float(wl.pop("write_ratio", 0.615)),
+            across_ratio=float(wl.pop("across_ratio", 0.247)),
+            mean_write_kb=float(wl.pop("mean_write_kb", 8.9)),
+            footprint_sectors=int(cfg.logical_sectors * frac),
+            **wl,
+        )
+        spec.validate()
+        trace = generate_trace(spec)
+        specs = [
+            RunSpec.make(scheme, trace, cfg, sim_cfg) for scheme in schemes
+        ]
+        out = self._execute(specs)
+        results = {
+            s.label: (r.to_dict() if r is not None else None)
+            for s, r in zip(specs, out.reports)
+        }
+        return {
+            "ok": out.ok,
+            "kind": "sweep",
+            "executed": out.executed,
+            "cached": out.cached,
+            "failures": [
+                {"label": label, "error": f"{type(e).__name__}: {e}"}
+                for label, e in out.failures
+            ],
+            "digest": _canonical_digest(results),
+            "results": results,
+        }
+
+    # -- fleet requests --------------------------------------------------
+    def _handle_fleet(self, payload: dict) -> dict:
+        self._count(fleets_total=1)
+        cfg = self._device_for(payload)
+        sim_doc = dict(payload.get("sim") or {})
+        if "qos_streams" in sim_doc:
+            raise ConfigError(
+                "fleet requests derive qos_streams from the shard plan; "
+                "do not set it in 'sim'"
+            )
+        fleet = FleetConfig.from_dict(dict(payload.get("fleet") or {}))
+        plans = compose_shards(fleet, cfg)
+        specs = []
+        for plan in plans:
+            sim_cfg = _sim_cfg_from(
+                {**sim_doc, "qos_streams": plan.boundaries}
+                if plan.boundaries
+                else sim_doc
+            )
+            specs.append(RunSpec.make(fleet.scheme, plan.trace, cfg, sim_cfg))
+        out = self._execute(specs)
+        qos = aggregate_qos(plans, out.reports)
+        tenants = {
+            str(tid): row.to_dict() for tid, row in sorted(qos.items())
+        }
+        shards = [
+            {
+                "shard_id": plan.shard_id,
+                "tenants": len(plan.tenant_ids),
+                "requests": len(plan.trace),
+                "ok": report is not None,
+            }
+            for plan, report in zip(plans, out.reports)
+        ]
+        summary = fleet_summary(qos)
+        return {
+            "ok": out.ok,
+            "kind": "fleet",
+            "executed": out.executed,
+            "cached": out.cached,
+            "failures": [
+                {"label": label, "error": f"{type(e).__name__}: {e}"}
+                for label, e in out.failures
+            ],
+            "digest": _canonical_digest({"tenants": tenants,
+                                         "summary": summary}),
+            "summary": summary,
+            "shards": shards,
+            "tenants": tenants,
+        }
+
+
+# ----------------------------------------------------------------------
+# the HTTP layer
+# ----------------------------------------------------------------------
+_MAX_BODY = 8 * 1024 * 1024  # refuse absurd request bodies
+
+
+def _http_response(
+    status: int, body: bytes, content_type: str = "application/json"
+) -> bytes:
+    reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+              405: "Method Not Allowed", 413: "Payload Too Large"}
+    head = (
+        f"HTTP/1.1 {status} {reason.get(status, 'Error')}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n\r\n"
+    )
+    return head.encode() + body
+
+
+def _json_response(status: int, doc: Any) -> bytes:
+    return _http_response(
+        status, json.dumps(doc, sort_keys=True).encode() + b"\n"
+    )
+
+
+async def _read_request(reader: asyncio.StreamReader):
+    """Parse one request: (method, path, body) or None on a bad/empty
+    stream."""
+    try:
+        line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    parts = line.decode("latin-1").split()
+    if len(parts) < 2:
+        return None
+    method, path = parts[0].upper(), parts[1]
+    length = 0
+    while True:
+        hdr = await reader.readline()
+        if hdr in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = hdr.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            try:
+                length = int(value.strip())
+            except ValueError:
+                return None
+    if length > _MAX_BODY:
+        return method, path, None  # signal 413
+    body = await reader.readexactly(length) if length else b""
+    return method, path, body
+
+
+def make_http_handler(service: FleetService, pool: ThreadPoolExecutor):
+    """The ``asyncio.start_server`` connection callback: one request
+    per connection (Connection: close), simulation work runs in
+    ``pool`` so the loop keeps answering health checks."""
+
+    async def handle(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            req = await _read_request(reader)
+            if req is None:
+                return
+            method, path, body = req
+            if body is None:
+                writer.write(_json_response(
+                    413, _request_error("request body too large")
+                ))
+                return
+            if method == "GET" and path == "/healthz":
+                writer.write(_json_response(200, {"ok": True}))
+            elif method == "GET" and path == "/stats":
+                writer.write(_json_response(200, service.stats()))
+            elif method == "GET" and path == "/metrics":
+                from ..obs.export import stats_prometheus_text
+
+                text = stats_prometheus_text(service.stats())
+                writer.write(_http_response(
+                    200, text.encode(), "text/plain; version=0.0.4"
+                ))
+            elif method == "POST" and path in ("/", "/simulate"):
+                try:
+                    payload = json.loads(body or b"null")
+                except ValueError:
+                    writer.write(_json_response(
+                        400, _request_error("request body is not JSON")
+                    ))
+                    return
+                loop = asyncio.get_running_loop()
+                doc = await loop.run_in_executor(
+                    pool, service.handle_request, payload
+                )
+                writer.write(_json_response(200 if doc.get("ok") else 400,
+                                            doc))
+            elif method in ("GET", "POST"):
+                writer.write(_json_response(
+                    404, _request_error(f"no such route {path}")
+                ))
+            else:
+                writer.write(_json_response(
+                    405, _request_error(f"method {method} not allowed")
+                ))
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    return handle
+
+
+async def serve_forever(
+    service: FleetService,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    *,
+    ready: Optional[threading.Event] = None,
+    bound: Optional[list] = None,
+) -> None:
+    """Run the server until cancelled.  ``ready``/``bound`` let a
+    launcher (CLI, tests) learn the bound address — with ``port=0`` the
+    OS picks a free one."""
+    pool = ThreadPoolExecutor(
+        max_workers=4, thread_name_prefix="repro-serve"
+    )
+    server = await asyncio.start_server(
+        make_http_handler(service, pool), host, port
+    )
+    try:
+        addr = server.sockets[0].getsockname()
+        if bound is not None:
+            bound.append((addr[0], addr[1]))
+        if ready is not None:
+            ready.set()
+        async with server:
+            await server.serve_forever()
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+class ServerHandle:
+    """A running server in a background thread (tests, smoke checks)."""
+
+    def __init__(self, host: str, port: int, thread: threading.Thread,
+                 loop: asyncio.AbstractEventLoop, task: "asyncio.Task"):
+        self.host = host
+        self.port = port
+        self._thread = thread
+        self._loop = loop
+        self._task = task
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Cancel the serve task and join the server thread."""
+        self._loop.call_soon_threadsafe(self._task.cancel)
+        self._thread.join(timeout)
+
+
+def start_server_thread(
+    service: FleetService, host: str = "127.0.0.1", port: int = 0
+) -> ServerHandle:
+    """Start :func:`serve_forever` on a fresh event loop in a daemon
+    thread and return once the socket is bound."""
+    ready = threading.Event()
+    bound: list = []
+    box: dict = {}
+
+    def run() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        task = loop.create_task(
+            serve_forever(service, host, port, ready=ready, bound=bound)
+        )
+        box["loop"] = loop
+        box["task"] = task
+        try:
+            loop.run_until_complete(task)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            loop.close()
+
+    thread = threading.Thread(
+        target=run, name="repro-serve", daemon=True
+    )
+    thread.start()
+    if not ready.wait(timeout=10.0):
+        raise ReproError("serve thread failed to bind within 10 s")
+    bhost, bport = bound[0]
+    return ServerHandle(bhost, bport, thread, box["loop"], box["task"])

@@ -39,6 +39,14 @@ class SimulationReport:
     #: and then absent from :meth:`to_dict` output, so disabled runs
     #: keep byte-identical report digests.
     attribution: dict | None = None
+    #: Per-stream QoS summary (``SimConfig.qos_streams``): the stream
+    #: boundaries plus, per occupied stream, request counts by op and a
+    #: serialised :class:`~repro.metrics.sketch.LogHistogram` latency
+    #: sketch.  The fleet layer reads this to recover per-tenant QoS
+    #: from a cached shard report.  Same digest discipline as
+    #: ``attribution``: None unless the feature was on, and then absent
+    #: from :meth:`to_dict` output.
+    streams: dict | None = None
 
     # -- headline metrics used by the figures ----------------------------
     @property
@@ -109,6 +117,8 @@ class SimulationReport:
         # off must keep byte-identical dumps (bench-gate digests)
         if self.attribution is not None:
             d["attribution"] = self.attribution
+        if self.streams is not None:
+            d["streams"] = self.streams
         return d
 
     @classmethod
@@ -124,6 +134,7 @@ class SimulationReport:
             mapping_table_bytes=int(d.get("mapping_table_bytes", 0)),
             wall_seconds=float(d.get("wall_seconds", 0.0)),
             attribution=d.get("attribution"),
+            streams=d.get("streams"),
         )
 
     def to_json(self, **kw) -> str:

@@ -19,7 +19,9 @@ import numpy as np
 class RequestLog:
     """Columnar per-request log with amortised O(1) appends."""
 
-    __slots__ = ("_time", "_op", "_across", "_latency", "_flush", "_n")
+    __slots__ = (
+        "_time", "_op", "_across", "_latency", "_flush", "_offset", "_n"
+    )
 
     def __init__(self, capacity: int = 4096):
         self._time = np.empty(capacity, dtype=np.float64)
@@ -27,10 +29,17 @@ class RequestLog:
         self._across = np.empty(capacity, dtype=bool)
         self._latency = np.empty(capacity, dtype=np.float64)
         self._flush = np.empty(capacity, dtype=np.int32)
+        self._offset = np.empty(capacity, dtype=np.int64)
         self._n = 0
 
     def append(
-        self, time: float, op: int, across: bool, latency: float, flush: int
+        self,
+        time: float,
+        op: int,
+        across: bool,
+        latency: float,
+        flush: int,
+        offset: int = 0,
     ) -> None:
         """Record one serviced request."""
         if self._n == len(self._time):
@@ -40,12 +49,14 @@ class RequestLog:
             self._across = np.resize(self._across, new)
             self._latency = np.resize(self._latency, new)
             self._flush = np.resize(self._flush, new)
+            self._offset = np.resize(self._offset, new)
         i = self._n
         self._time[i] = time
         self._op[i] = op
         self._across[i] = across
         self._latency[i] = latency
         self._flush[i] = flush
+        self._offset[i] = offset
         self._n += 1
 
     def __len__(self) -> int:
@@ -71,6 +82,10 @@ class RequestLog:
     @property
     def flush(self) -> np.ndarray:
         return self._flush[: self._n]
+
+    @property
+    def offset(self) -> np.ndarray:
+        return self._offset[: self._n]
 
     # -- analyses ----------------------------------------------------------
     def percentile(

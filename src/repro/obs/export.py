@@ -249,3 +249,44 @@ def write_json_snapshot(path, counters, samplers=None, extra=None) -> None:
     """Write :func:`json_snapshot` output to ``path`` as JSON."""
     with open(path, "w") as fh:
         json.dump(json_snapshot(counters, samplers, extra), fh, indent=1)
+
+
+_SERVE_HELP = {
+    "requests_total": "HTTP simulation requests handled",
+    "sweeps_total": "Sweep-kind requests handled",
+    "fleets_total": "Fleet-kind requests handled",
+    "errors_total": "Requests rejected with an error response",
+    "runs_executed_total": "Simulations actually executed",
+    "runs_cached_total": "Runs answered from the result store",
+    "runs_failed_total": "Runs that raised in a worker",
+    "hits_total": "Result-store lookups that found a report",
+    "misses_total": "Result-store lookups that found nothing",
+    "puts_total": "Reports persisted to the result store",
+    "coalesced_total": "Runs served after awaiting an in-flight twin",
+}
+
+
+def stats_prometheus_text(stats: dict) -> str:
+    """Render :meth:`repro.fleet.service.FleetService.stats` output
+    (``{"service": {...}, "store": {...}}``) for ``GET /metrics``.
+
+    Same exposition contract as :func:`prometheus_text`: ``repro_``
+    prefix, counters end in ``_total``, one HELP/TYPE pair per family.
+    The store's ``inflight`` count is the one gauge.
+    """
+    exp = _Exposition()
+    for k, v in stats.get("service", {}).items():
+        name = f"repro_serve_{k}"
+        exp.family(name, "counter", _SERVE_HELP.get(k, k))
+        exp.sample(name, None, v)
+    for k, v in stats.get("store", {}).items():
+        if k == "inflight":
+            name = "repro_store_inflight"
+            exp.family(name, "gauge", "Run keys currently being simulated")
+        else:
+            name = f"repro_store_{k}_total"
+            exp.family(
+                name, "counter", _SERVE_HELP.get(f"{k}_total", k)
+            )
+        exp.sample(name, None, v)
+    return exp.text()

@@ -29,6 +29,7 @@ from ..errors import ConfigError, SimulationError
 from ..ftl.base import BaseFTL
 from ..metrics.latency import LatencyRecorder
 from ..metrics.report import SimulationReport
+from ..metrics.sketch import LogHistogram
 from ..metrics.series import CounterSeries, Snapshot
 from ..metrics.timeline import RequestLog
 from ..obs import Observability
@@ -121,8 +122,12 @@ class Simulator:
         self._completions: deque[float] = deque(
             maxlen=128 if qd is None else max(128, qd)
         )
+        # qos_streams needs the per-request rows even when the caller
+        # did not ask for the full log explicitly
         self.request_log: Optional[RequestLog] = (
-            RequestLog() if self.sim_cfg.record_requests else None
+            RequestLog()
+            if self.sim_cfg.record_requests or self.sim_cfg.qos_streams
+            else None
         )
         #: metric-over-time snapshots (SimConfig.snapshot_every)
         self.series: Optional[CounterSeries] = (
@@ -439,7 +444,7 @@ class Simulator:
             # keeps its one-row-per-serviced-request contract (flush=0:
             # a trim never induces flash programs)
             if self.request_log is not None:
-                self.request_log.append(arrival, op, across, latency, 0)
+                self.request_log.append(arrival, op, across, latency, 0, offset)
             phases = None
             if attr is not None:
                 attr.advance("cache", finish)
@@ -503,7 +508,9 @@ class Simulator:
             self.flush_writes[cls] += induced
             self.flush_sectors[cls] += size
         if self.request_log is not None:
-            self.request_log.append(arrival, op, across, latency, induced)
+            self.request_log.append(
+                arrival, op, across, latency, induced, offset
+            )
         phases = None
         if attr is not None:
             cls = ("write_" if op == OP_WRITE else "read_") + (
@@ -968,7 +975,9 @@ class Simulator:
         if op == OP_TRIM:
             self.trim_count += 1
             if self.request_log is not None:
-                self.request_log.append(req.arrival, op, req.across, latency, 0)
+                self.request_log.append(
+                    req.arrival, op, req.across, latency, 0, req.offset
+                )
         else:
             self.recorder.record(op == OP_WRITE, req.across, latency, req.size)
             if op == OP_WRITE:
@@ -977,7 +986,8 @@ class Simulator:
                 self.flush_sectors[cls] += req.size
             if self.request_log is not None:
                 self.request_log.append(
-                    req.arrival, op, req.across, latency, req.induced
+                    req.arrival, op, req.across, latency, req.induced,
+                    req.offset,
                 )
             if op == OP_READ and self.oracle is not None:
                 self.oracle.verify_expected(
@@ -1002,6 +1012,42 @@ class Simulator:
                 ))
             bus.emit(RequestComplete(finish, req.rid, latency))
             self.obs.maybe_sample(finish)
+
+    # ------------------------------------------------------------------
+    def _streams_summary(self) -> Optional[dict]:
+        """Per-stream QoS rollup of the request log
+        (``SimConfig.qos_streams``).
+
+        Streams partition the LBA space at the configured sector
+        boundaries; every logged request lands in exactly one stream by
+        its start offset.  Only occupied streams appear, keyed by their
+        index as a string (JSON round-trip safe).
+        """
+        boundaries = self.sim_cfg.qos_streams
+        if not boundaries or self.request_log is None:
+            return None
+        log = self.request_log
+        streams: dict[str, dict] = {}
+        out = {"boundaries": [int(b) for b in boundaries], "streams": streams}
+        if len(log) == 0:
+            return out
+        idx = np.searchsorted(
+            np.asarray(boundaries, dtype=np.int64), log.offset, side="right"
+        )
+        ops = log.op
+        lat = log.latency
+        for i in np.unique(idx):
+            mask = idx == i
+            hist = LogHistogram()
+            hist.extend(float(v) for v in lat[mask])
+            streams[str(int(i))] = {
+                "requests": int(mask.sum()),
+                "reads": int((ops[mask] == OP_READ).sum()),
+                "writes": int((ops[mask] == OP_WRITE).sum()),
+                "trims": int((ops[mask] == OP_TRIM).sum()),
+                "hist": hist.to_dict(),
+            }
+        return out
 
     # ------------------------------------------------------------------
     # full trace
@@ -1086,4 +1132,5 @@ class Simulator:
             attribution=(
                 self._attr.summary() if self._attr is not None else None
             ),
+            streams=self._streams_summary(),
         )

@@ -211,7 +211,7 @@ class BatchReadKernel:
                 if self.sim._read_digest is not None:
                     self.sim._update_read_digest(offset, size, found)
             self._reqs.append(
-                (index, ts, across, size, ts + self.cache_ms, 0, 0)
+                (index, ts, across, size, ts + self.cache_ms, 0, 0, offset)
             )
             return True
         # buffer miss (already counted by full_hit): flash read path
@@ -269,7 +269,9 @@ class BatchReadKernel:
             oracle.verify(offset, size, found)
             if self.sim._read_digest is not None:
                 self.sim._update_read_digest(offset, size, found)
-        self._reqs.append((index, ts, across, size, None, p_lo, len(ppns)))
+        self._reqs.append(
+            (index, ts, across, size, None, p_lo, len(ppns), offset)
+        )
         return True
 
     # ------------------------------------------------------------------
@@ -313,7 +315,7 @@ class BatchReadKernel:
                 if self.sim._read_digest is not None:
                     self.sim._update_read_digest(offset, size, found)
             self._reqs.append(
-                (index, ts, across, size, ts + self.cache_ms, 0, 0)
+                (index, ts, across, size, ts + self.cache_ms, 0, 0, offset)
             )
             return True
         # buffer miss (already counted by full_hit): flash read path
@@ -386,7 +388,9 @@ class BatchReadKernel:
             oracle.verify(offset, size, found)
             if self.sim._read_digest is not None:
                 self.sim._update_read_digest(offset, size, found)
-        self._reqs.append((index, ts, across, size, None, p_lo, len(ppns)))
+        self._reqs.append(
+            (index, ts, across, size, None, p_lo, len(ppns), offset)
+        )
         return True
 
     # ------------------------------------------------------------------
@@ -423,7 +427,7 @@ class BatchReadKernel:
         completions = self.completions
         rlog = self.request_log
         checker = self.checker
-        for index, ts, across, size, finish, p_lo, p_hi in reqs:
+        for index, ts, across, size, finish, p_lo, p_hi, offset in reqs:
             if finish is None:
                 finish = ts
                 for j in range(p_lo, p_hi):
@@ -433,7 +437,7 @@ class BatchReadKernel:
             latency = finish - ts
             record(False, across, latency, size)
             if rlog is not None:
-                rlog.append(ts, OP_READ, across, latency, 0)
+                rlog.append(ts, OP_READ, across, latency, 0, offset)
             if checker is not None:
                 checker.maybe_check(index + 1)
         self.runs_flushed += 1

@@ -124,6 +124,27 @@ class TestSimConfig:
     def test_schemes_constant(self):
         assert SCHEMES == ("ftl", "mrsm", "across")
 
+    def test_qos_streams_valid(self):
+        SimConfig(qos_streams=(16, 32, 4096)).validate()
+        SimConfig(qos_streams=()).validate()
+
+    @pytest.mark.parametrize("bad", [
+        (0,),            # not positive
+        (32, 32),        # not strictly increasing
+        (64, 16),        # decreasing
+        (16.0,),         # not an int
+    ])
+    def test_qos_streams_invalid(self, bad):
+        with pytest.raises(ConfigError):
+            SimConfig(qos_streams=bad).validate()
+
+    def test_device_presets(self):
+        assert SSDConfig.preset("tiny") == SSDConfig.tiny()
+        assert SSDConfig.preset("bench") == SSDConfig.bench_default()
+        assert SSDConfig.preset("table1") == SSDConfig.paper_table1()
+        with pytest.raises(ConfigError):
+            SSDConfig.preset("huge")
+
 
 def test_summary_mentions_capacity():
     s = SSDConfig.tiny().summary()

@@ -295,3 +295,122 @@ class TestContextIntegration:
         names = [e["file"] for e in index]
         assert len(set(names)) == 3  # de-collided
         assert sorted(names)[2].endswith("__2.json")
+
+
+class TestWorkerFailure:
+    """A raising worker must not abort the sweep or lose siblings."""
+
+    def _mixed_specs(self, tiny_setup):
+        cfg, sim_cfg, trace = tiny_setup
+        good = [RunSpec.make(s, trace, cfg, sim_cfg) for s in ("ftl", "across")]
+        # unknown scheme: raises inside the worker, after pickling fine
+        bad = RunSpec.make("bogus", trace, cfg, sim_cfg)
+        return [good[0], bad, good[1]]
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_continue_keeps_siblings(self, tiny_setup, tmp_path, jobs):
+        store = ResultStore(tmp_path / "store")
+        specs = self._mixed_specs(tiny_setup)
+        out = execute_runs(
+            specs, jobs=jobs, store=store, on_error="continue"
+        )
+        assert not out.ok
+        assert [r is None for r in out.reports] == [False, True, False]
+        assert len(out.failures) == 1
+        label, exc = out.failures[0]
+        assert label == specs[1].label
+        assert "bogus" in str(exc)
+        # completed siblings were persisted despite the failure
+        assert specs[0] in store and specs[2] in store
+        assert specs[1] not in store
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_raise_after_siblings_stored(self, tiny_setup, tmp_path, jobs):
+        from repro.errors import SweepError
+
+        store = ResultStore(tmp_path / "store")
+        specs = self._mixed_specs(tiny_setup)
+        with pytest.raises(SweepError) as ei:
+            execute_runs(specs, jobs=jobs, store=store)
+        assert specs[1].label in str(ei.value)
+        assert len(ei.value.failures) == 1
+        # fail-fast still drained the batch first: siblings are stored
+        assert specs[0] in store and specs[2] in store
+
+    def test_failed_runs_rerun_next_time(self, tiny_setup, tmp_path):
+        """A failure is not cached: fixing the spec re-executes it."""
+        store = ResultStore(tmp_path / "store")
+        specs = self._mixed_specs(tiny_setup)
+        execute_runs(specs, store=store, on_error="continue")
+        good = execute_runs(specs[:1] + specs[2:], store=store)
+        assert good.ok
+        assert good.executed == 0 and good.cached == 2
+
+    def test_duplicate_of_failing_spec_mirrors_failure(
+        self, tiny_setup, tmp_path
+    ):
+        store = ResultStore(tmp_path / "store")
+        specs = self._mixed_specs(tiny_setup)
+        batch = specs + [specs[1]]  # same-batch duplicate of the bad spec
+        out = execute_runs(batch, store=store, on_error="continue")
+        assert out.reports[1] is None and out.reports[3] is None
+        assert len(out.failures) == 2
+
+    def test_invalid_on_error_rejected(self, tiny_setup):
+        with pytest.raises(ValueError):
+            execute_runs(_specs(tiny_setup)[:1], on_error="explode")
+
+
+class TestSingleFlight:
+    """Concurrent identical specs must simulate exactly once."""
+
+    def test_get_or_run_coalesces_threads(self, tiny_setup, tmp_path):
+        import threading
+
+        store = ResultStore(tmp_path / "store")
+        spec = _specs(tiny_setup)[:1][0]
+        executions = []
+        gate = threading.Barrier(4)
+
+        def runner(s):
+            executions.append(s.key())
+            from repro.experiments.parallel import _execute_spec
+
+            return _execute_spec(s)
+
+        results = []
+
+        def worker():
+            gate.wait()
+            results.append(store.get_or_run(spec, runner=runner))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(executions) == 1
+        assert len(results) == 4
+        # exactly one simulated (cached=False), the rest store-served
+        assert sorted(cached for _, cached in results) == [
+            False, True, True, True
+        ]
+        stats = store.stats()
+        assert stats["inflight"] == 0
+        assert stats["coalesced"] >= 1
+
+    def test_same_batch_duplicates_execute_once(self, tiny_setup, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        spec = _specs(tiny_setup)[0]
+        out = execute_runs([spec, spec, spec], store=store)
+        assert out.executed == 1 and out.cached == 2
+        assert [_comparable(r) for r in out.reports[1:]] == [
+            _comparable(out.reports[0])
+        ] * 2
+
+    def test_stats_snapshot_is_consistent(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        stats = store.stats()
+        assert stats == {
+            "hits": 0, "misses": 0, "puts": 0, "coalesced": 0, "inflight": 0
+        }

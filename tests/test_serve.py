@@ -1,0 +1,171 @@
+"""The serve layer (repro.fleet.service): request handling, the store
+cache loop, and the HTTP server."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.config import SSDConfig
+from repro.experiments.parallel import ResultStore
+from repro.fleet.service import FleetService, start_server_thread
+
+TINY = SSDConfig.tiny()
+
+SWEEP_REQ = {
+    "kind": "sweep",
+    "schemes": ["ftl", "across"],
+    "workload": {"requests": 300, "seed": 5},
+    "device": "tiny",
+}
+
+FLEET_REQ = {
+    "kind": "fleet",
+    "fleet": {"shards": 2, "tenants": 4, "requests_per_tenant": 40},
+    "device": "tiny",
+}
+
+
+@pytest.fixture()
+def service(tmp_path):
+    return FleetService(ResultStore(tmp_path / "store"), device=TINY)
+
+
+class TestSweepRequests:
+    def test_first_request_executes(self, service):
+        doc = service.handle_request(SWEEP_REQ)
+        assert doc["ok"] and doc["kind"] == "sweep"
+        assert doc["executed"] == 2 and doc["cached"] == 0
+        assert len(doc["results"]) == 2
+        for body in doc["results"].values():
+            assert body["requests"] == 300
+
+    def test_duplicate_is_pure_cache_hit(self, service):
+        first = service.handle_request(SWEEP_REQ)
+        second = service.handle_request(SWEEP_REQ)
+        assert second["executed"] == 0
+        assert second["cached"] == 2
+        assert second["digest"] == first["digest"]
+        assert second["results"] == first["results"]
+
+    def test_changed_workload_misses(self, service):
+        service.handle_request(SWEEP_REQ)
+        other = dict(SWEEP_REQ, workload={"requests": 301, "seed": 5})
+        doc = service.handle_request(other)
+        assert doc["executed"] == 2 and doc["cached"] == 0
+
+    def test_defaults_fill_in(self, service):
+        doc = service.handle_request({"kind": "sweep", "device": "tiny",
+                                      "workload": {"requests": 50}})
+        assert doc["ok"]
+        assert len(doc["results"]) > 2  # all schemes by default
+
+    @pytest.mark.parametrize("req, frag", [
+        ({"kind": "warp"}, "unknown request kind"),
+        ({"kind": "sweep", "schemes": ["bogus"]}, "unknown scheme"),
+        ({"kind": "sweep", "workload": {"requestz": 1}}, "workload field"),
+        ({"kind": "sweep", "sim": {"agedd": 1}}, "unknown sim field"),
+        ({"kind": "sweep", "device": "huge"}, "preset"),
+        ({"kind": "sweep",
+          "workload": {"footprint_fraction": 2.0}}, "footprint_fraction"),
+        ({"kind": "fleet", "fleet": {"shards": 0}}, "shards"),
+        ({"kind": "fleet",
+          "sim": {"qos_streams": [8]}}, "shard plan"),
+    ])
+    def test_bad_requests_answered_not_raised(self, service, req, frag):
+        doc = service.handle_request(req)
+        assert doc["ok"] is False
+        assert frag in doc["error"]
+
+    def test_error_counted(self, service):
+        service.handle_request({"kind": "warp"})
+        assert service.stats()["service"]["errors_total"] == 1
+
+
+class TestFleetRequests:
+    def test_fleet_round_trip(self, service):
+        doc = service.handle_request(FLEET_REQ)
+        assert doc["ok"] and doc["kind"] == "fleet"
+        assert len(doc["tenants"]) == 4
+        assert doc["summary"]["tenants"] == 4
+        assert all(s["ok"] for s in doc["shards"])
+
+    def test_duplicate_fleet_is_cache_hit(self, service):
+        first = service.handle_request(FLEET_REQ)
+        second = service.handle_request(FLEET_REQ)
+        assert second["executed"] == 0
+        assert second["cached"] == len(first["shards"])
+        assert second["digest"] == first["digest"]
+        assert second["tenants"] == first["tenants"]
+
+    def test_stats_accumulate(self, service):
+        service.handle_request(FLEET_REQ)
+        service.handle_request(FLEET_REQ)
+        s = service.stats()
+        assert s["service"]["fleets_total"] == 2
+        assert s["service"]["runs_cached_total"] >= 2
+        assert s["store"]["puts"] >= 2
+
+
+class TestHttpServer:
+    @pytest.fixture(scope="class")
+    def server(self, tmp_path_factory):
+        store = ResultStore(tmp_path_factory.mktemp("serve") / "store")
+        handle = start_server_thread(FleetService(store, device=TINY))
+        yield f"http://{handle.host}:{handle.port}"
+        handle.stop()
+
+    def _post(self, base, payload):
+        req = urllib.request.Request(
+            base + "/simulate",
+            data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(req, timeout=300) as resp:
+            return json.load(resp)
+
+    def test_healthz(self, server):
+        with urllib.request.urlopen(server + "/healthz", timeout=30) as r:
+            assert json.load(r) == {"ok": True}
+
+    def test_duplicate_sweep_served_from_store(self, server):
+        first = self._post(server, SWEEP_REQ)
+        second = self._post(server, SWEEP_REQ)
+        assert first["ok"] and second["ok"]
+        assert second["executed"] == 0 and second["cached"] == 2
+        assert second["digest"] == first["digest"]
+
+    def test_stats_route(self, server):
+        with urllib.request.urlopen(server + "/stats", timeout=30) as r:
+            doc = json.load(r)
+        assert "service" in doc and "store" in doc
+
+    def test_metrics_route(self, server):
+        with urllib.request.urlopen(server + "/metrics", timeout=30) as r:
+            text = r.read().decode()
+        assert "# TYPE repro_serve_requests_total counter" in text
+        assert "repro_store_inflight" in text
+
+    def test_unknown_route_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as ei:
+            urllib.request.urlopen(server + "/nope", timeout=30)
+        assert ei.value.code == 404
+
+    def test_bad_json_400(self, server):
+        req = urllib.request.Request(
+            server + "/simulate", data=b"{not json"
+        )
+        with pytest.raises(urllib.error.HTTPError) as ei:
+            urllib.request.urlopen(req, timeout=30)
+        assert ei.value.code == 400
+
+    def test_bad_request_400_with_reason(self, server):
+        req = urllib.request.Request(
+            server + "/simulate",
+            data=json.dumps({"kind": "warp"}).encode(),
+        )
+        with pytest.raises(urllib.error.HTTPError) as ei:
+            urllib.request.urlopen(req, timeout=30)
+        assert ei.value.code == 400
+        assert "unknown request kind" in json.load(ei.value)["error"]
